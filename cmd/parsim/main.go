@@ -1,0 +1,259 @@
+// Command parsim runs one algorithm on one simulated machine and prints
+// the per-phase cost table — the microscope view of the cost model.
+//
+// Usage:
+//
+//	parsim -model sqsm -alg parity -n 1024 -p 1024 -g 4 [-L 16] [-fanin 2] [-seed 7] [-v]
+//
+// Models: qsm, sqsm, crqw, qsmgd (with -d), bsp, gsm (with -alpha/-beta/
+// -gamma). Algorithms: parity, or, or-contention, prefix, lac-det,
+// lac-dart, listrank for the shared-memory models; bsp-parity, bsp-or for
+// bsp; gsm-parity, gsm-or for gsm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	model := flag.String("model", "qsm", "qsm | sqsm | crqw | bsp")
+	alg := flag.String("alg", "parity", "parity | or | or-contention | prefix | lac-det | lac-dart | listrank | bsp-parity | bsp-or")
+	n := flag.Int("n", 1024, "input size")
+	p := flag.Int("p", 0, "processors (default n)")
+	g := flag.Int64("g", 4, "gap parameter")
+	d := flag.Int64("d", 2, "QSM(g,d) memory gap")
+	l := flag.Int64("L", 16, "BSP latency")
+	alpha := flag.Int64("alpha", 2, "GSM α")
+	beta := flag.Int64("beta", 2, "GSM β")
+	gamma := flag.Int64("gamma", 1, "GSM γ")
+	fanin := flag.Int("fanin", 2, "tree fan-in")
+	seed := flag.Int64("seed", 7, "workload seed")
+	verbose := flag.Bool("v", false, "print the per-phase table")
+	flag.Parse()
+
+	cfg := config{
+		model: *model, alg: *alg, n: *n, p: *p, g: *g, d: *d, l: *l,
+		alpha: *alpha, beta: *beta, gamma: *gamma,
+		fanin: *fanin, seed: *seed, verbose: *verbose,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "parsim:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	model, alg                  string
+	n, p                        int
+	g, d, l, alpha, beta, gamma int64
+	fanin                       int
+	seed                        int64
+	verbose                     bool
+}
+
+func run(cfg config) error {
+	model, alg := cfg.model, cfg.alg
+	n, p := cfg.n, cfg.p
+	g, l, fanin, seed, verbose := cfg.g, cfg.l, cfg.fanin, cfg.seed, cfg.verbose
+	if p == 0 {
+		p = n
+	}
+	bits := repro.RandomBits(seed, n)
+
+	if model == "bsp" {
+		return runBSP(alg, n, p, g, l, fanin, seed, verbose)
+	}
+	if model == "gsm" {
+		return runGSM(cfg)
+	}
+
+	var m *repro.QSMMachine
+	var err error
+	switch model {
+	case "qsm":
+		m, err = repro.NewQSM(p, g, n, n)
+	case "sqsm":
+		m, err = repro.NewSQSM(p, g, n, n)
+	case "crqw":
+		m, err = repro.NewCRQW(p, g, n, n)
+	case "qsmgd":
+		m, err = repro.NewQSMGD(p, g, cfg.d, n, n)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	if err != nil {
+		return err
+	}
+
+	var answer int64
+	switch alg {
+	case "parity":
+		if err := m.Load(0, bits); err != nil {
+			return err
+		}
+		out, err := repro.ParityTree(m, 0, n, fanin)
+		if err != nil {
+			return err
+		}
+		answer = m.Peek(out)
+		fmt.Printf("parity = %d (reference %d)\n", answer, repro.ReferenceParity(bits))
+	case "or":
+		if err := m.Load(0, bits); err != nil {
+			return err
+		}
+		out, err := repro.ORReadTree(m, 0, n, fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OR = %d (reference %d)\n", m.Peek(out), repro.ReferenceOr(bits))
+	case "or-contention":
+		if err := m.Load(0, bits); err != nil {
+			return err
+		}
+		out, err := repro.ORContentionTree(m, 0, n, int(g))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OR = %d (reference %d)\n", m.Peek(out), repro.ReferenceOr(bits))
+	case "prefix":
+		if err := m.Load(0, bits); err != nil {
+			return err
+		}
+		out, err := repro.PrefixSums(m, 0, n, fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("total = %d\n", m.Peek(out+n-1))
+	case "lac-det":
+		items, err := repro.SparseItems(seed, n, n/4)
+		if err != nil {
+			return err
+		}
+		if err := m.Load(0, items); err != nil {
+			return err
+		}
+		_, k, err := repro.CompactExact(m, 0, n, fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %d items\n", k)
+	case "lac-dart":
+		items, err := repro.SparseItems(seed, n, n/4)
+		if err != nil {
+			return err
+		}
+		if err := m.Load(0, items); err != nil {
+			return err
+		}
+		res, err := repro.CompactDarts(m, seed, 0, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("placed %d items in %d cells over %d rounds\n",
+			len(res.Placed), res.OutSize, res.Rounds)
+	case "listrank":
+		// Parity via the size-preserving list-ranking reduction.
+		m2, err := repro.NewQSM(2*(n+1), g, n, n)
+		if err != nil {
+			return err
+		}
+		if err := m2.Load(0, bits); err != nil {
+			return err
+		}
+		v, err := repro.ParityViaListRanking(m2, 0, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parity via list ranking = %d (reference %d)\n", v, repro.ReferenceParity(bits))
+		m = m2
+	default:
+		return fmt.Errorf("unknown algorithm %q for shared-memory models", alg)
+	}
+
+	fmt.Println(m.Report().String())
+	if verbose {
+		fmt.Print(m.Report().Table())
+	}
+	return nil
+}
+
+func runBSP(alg string, n, p int, g, l int64, fanin int, seed int64, verbose bool) error {
+	bits := repro.RandomBits(seed, n)
+	var priv int
+	switch alg {
+	case "bsp-parity":
+		priv = repro.ParityBSPPrivCells(n, p)
+	case "bsp-or":
+		priv = repro.ORBSPPrivCells(n, p)
+	default:
+		return fmt.Errorf("unknown BSP algorithm %q", alg)
+	}
+	m, err := repro.NewBSP(p, g, l, n, priv)
+	if err != nil {
+		return err
+	}
+	if err := m.Scatter(bits); err != nil {
+		return err
+	}
+	switch alg {
+	case "bsp-parity":
+		v, err := repro.ParityBSP(m, n, fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parity = %d (reference %d)\n", v, repro.ReferenceParity(bits))
+	case "bsp-or":
+		v, err := repro.ORBSP(m, n, fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
+	}
+	fmt.Println(m.Report().String())
+	if verbose {
+		fmt.Print(m.Report().Table())
+	}
+	return nil
+}
+
+func runGSM(cfg config) error {
+	n := cfg.n
+	bits := repro.RandomBits(cfg.seed, n)
+	gamma := cfg.gamma
+	if gamma < 1 {
+		gamma = 1
+	}
+	r := (n + int(gamma) - 1) / int(gamma)
+	m, err := repro.NewGSM(r, cfg.alpha, cfg.beta, gamma, n, repro.GSMGatherCells(r))
+	if err != nil {
+		return err
+	}
+	if err := m.LoadInputs(bits); err != nil {
+		return err
+	}
+	switch cfg.alg {
+	case "gsm-parity":
+		v, err := repro.ParityGSM(m, n, cfg.fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parity = %d (reference %d)\n", v, repro.ReferenceParity(bits))
+	case "gsm-or":
+		v, err := repro.ORGSM(m, n, cfg.fanin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
+	default:
+		return fmt.Errorf("unknown GSM algorithm %q", cfg.alg)
+	}
+	fmt.Println(m.Report().String())
+	if cfg.verbose {
+		fmt.Print(m.Report().Table())
+	}
+	return nil
+}

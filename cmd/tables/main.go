@@ -1,0 +1,79 @@
+// Command tables regenerates the paper's evaluation: all four sub-tables
+// of Table 1 of MacKenzie & Ramachandran (SPAA 1998), with the lower-bound
+// formula, the Section 8 upper-bound formula and the measured simulator
+// cost of the matching algorithm at every sweep point.
+//
+// Usage:
+//
+//	tables [-seed N] [-id T2.Parity.det]
+//
+// Without -id it renders everything (the content of EXPERIMENTS.md);
+// with -id it runs a single row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1998, "workload seed")
+	id := flag.String("id", "", "run a single experiment (e.g. T2.Parity.det)")
+	theorems := flag.Bool("theorems", false, "also print the GSM-level theorem sweeps (Thm 3.1, Thm 6.3)")
+	params := flag.Bool("params", false, "also print the g and L/g parameter sweeps")
+	format := flag.String("format", "text", "output format: text | csv | json")
+	flag.Parse()
+
+	if *format != "text" {
+		out, err := repro.ExportTables(*seed, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *theorems {
+		out, err := repro.RenderTheoremSweeps(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if *id == "" && !*params {
+			return
+		}
+	}
+	if *params {
+		out, err := repro.RenderParamSweeps(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if *id == "" {
+			return
+		}
+	}
+
+	if *id != "" {
+		r, err := repro.RunExperiment(*id, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(repro.RenderExperiment(r))
+		return
+	}
+
+	out, err := repro.RenderTables(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,85 @@
+// BSP sorting: run regular sample sort and the Section 6 Padded Sort on a
+// simulated BSP machine, with full superstep/h-relation accounting — the
+// distributed-memory side of the paper's model family.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n = 1 << 12
+		p = 32
+		g = 2
+		L = 16
+	)
+
+	// Sample sort of a random permutation.
+	keys := make([]int64, n)
+	for i, v := range repro.RandomBits(3, n) {
+		keys[i] = int64(i)*2 + v // distinct keys
+	}
+	ms, err := repro.NewBSP(p, g, L, n, repro.SampleSortBSPPrivCells(n, p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ms.Scatter(keys); err != nil {
+		log.Fatal(err)
+	}
+	outOff, err := repro.SampleSortBSP(ms, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, sorted, prev := 0, true, int64(-1)
+	for comp := 0; comp < p; comp++ {
+		ln := int(ms.Peek(comp, outOff-1))
+		for i := 0; i < ln; i++ {
+			v := ms.Peek(comp, outOff+i)
+			if v < prev {
+				sorted = false
+			}
+			prev = v
+			total++
+		}
+	}
+	fmt.Printf("sample sort: %d keys, globally sorted = %v\n", total, sorted)
+	fmt.Printf("             %v\n", ms.Report())
+
+	// Padded Sort of U[0,1] values (Section 6's problem): output size 2n
+	// with NULL padding, one value-routing superstep plus local sorts.
+	vals := repro.Uniform01(5, n)
+	mp, err := repro.NewBSP(p, g, L, n, repro.PaddedSortBSPPrivCells(n, p, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mp.Scatter(vals); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repro.PaddedSortBSP(mp, n, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("padded sort: %d values into a 2n padded array\n", n)
+	fmt.Printf("             %v\n", mp.Report())
+
+	// Parity on the same machine shape, for the Table 1c Θ row.
+	bits := repro.RandomBits(11, n)
+	mb, err := repro.NewBSP(p, g, L, n, repro.ParityBSPPrivCells(n, p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mb.Scatter(bits); err != nil {
+		log.Fatal(err)
+	}
+	v, err := repro.ParityBSP(mb, n, L/g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := repro.BoundByID("T3.Parity.det")
+	predicted := bound.Eval(repro.BoundArgs{N: n, P: p, G: g, L: L})
+	fmt.Printf("\nBSP parity = %d (reference %d); measured %d vs Θ bound %.0f\n",
+		v, repro.ReferenceParity(bits), mb.Report().TotalTime, predicted)
+}

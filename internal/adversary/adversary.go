@@ -1,0 +1,196 @@
+// Package adversary implements, as executable machinery, the Random
+// Adversary technique of MacKenzie & Ramachandran (SPAA 1998), Sections 4,
+// 5 and 7 — the engine behind the paper's randomized lower bounds for Load
+// Balancing, LAC and OR.
+//
+// Three layers:
+//
+//   - The generic framework of Section 4: partial input maps, the
+//     RANDOMSET procedure (Fact 4.1: inputs fixed one at a time by
+//     conditional draws reproduce the target distribution), and the
+//     GENERATE driver that interleaves an algorithm-specific REFINE with
+//     RANDOMSET until the time bound is reached.
+//   - The knowledge machinery of Section 5: Know(v,t), AffProc(i,t),
+//     AffCell(i,t), |States(v,t)| and deg(States(v,t)) computed *exactly*
+//     (by exhaustive input enumeration) over traced GSM runs of real
+//     algorithms — so the t-goodness invariants the proofs maintain can be
+//     checked on real executions.
+//   - The modified adversary of Section 7 for the OR bound: the layered
+//     input distributions H_i with geometrically exploding densities d_i,
+//     the mixture distribution D, and RANDOMRESTRICT / RANDOMFIX.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Unset is the '*' value of a partial input map.
+const Unset int8 = -1
+
+// PartialInput is a partial input map f: I → {*} ∪ {0,1}. The zero-filled
+// constructor NewPartialInput yields f_* (everything unset).
+type PartialInput []int8
+
+// NewPartialInput returns f_*, the all-unset map on n inputs.
+func NewPartialInput(n int) PartialInput {
+	f := make(PartialInput, n)
+	for i := range f {
+		f[i] = Unset
+	}
+	return f
+}
+
+// IsSet reports whether input i is fixed.
+func (f PartialInput) IsSet(i int) bool { return f[i] != Unset }
+
+// SetCount returns the number of fixed inputs.
+func (f PartialInput) SetCount() int {
+	c := 0
+	for _, v := range f {
+		if v != Unset {
+			c++
+		}
+	}
+	return c
+}
+
+// Refines reports whether f refines e (agrees with every fixed value of e).
+func (f PartialInput) Refines(e PartialInput) bool {
+	if len(f) != len(e) {
+		return false
+	}
+	for i, v := range e {
+		if v != Unset && f[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (f PartialInput) Clone() PartialInput {
+	return append(PartialInput(nil), f...)
+}
+
+// Complete reports whether no input is unset.
+func (f PartialInput) Complete() bool {
+	for _, v := range f {
+		if v == Unset {
+			return false
+		}
+	}
+	return true
+}
+
+// Distribution is an input distribution over {0,1}^n supporting the
+// conditional single-input draws RANDOMSET needs. Implementations must
+// satisfy: sampling inputs one at a time via Conditional, in any order,
+// reproduces the joint distribution (automatic for product distributions;
+// mixtures implement the chain rule explicitly).
+type Distribution interface {
+	// N returns the number of inputs.
+	N() int
+	// Conditional returns P(input i = 1 | the fixed values of f), for an
+	// unset input i.
+	Conditional(f PartialInput, i int) float64
+}
+
+// RandomSet is the paper's RANDOMSET procedure: it fixes the inputs of S
+// (in order) by conditional draws from dist given f, mutating and
+// returning f. Already-set members of S are an error (the adversary never
+// re-fixes an input).
+func RandomSet(rng *rand.Rand, dist Distribution, f PartialInput, S []int) (PartialInput, error) {
+	for _, i := range S {
+		if i < 0 || i >= len(f) {
+			return f, fmt.Errorf("adversary: input %d out of range", i)
+		}
+		if f.IsSet(i) {
+			return f, fmt.Errorf("adversary: input %d already set", i)
+		}
+		p := dist.Conditional(f, i)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return f, fmt.Errorf("adversary: conditional %v for input %d", p, i)
+		}
+		if rng.Float64() < p {
+			f[i] = 1
+		} else {
+			f[i] = 0
+		}
+	}
+	return f, nil
+}
+
+// RefineFunc is the algorithm-specific REFINE(t, f) of Section 4: it fixes
+// some inputs (via RandomSet against its distribution) and returns the
+// refined map together with a lower bound x ≥ 0 on the duration of the
+// next step. GENERATE stops when the accumulated time reaches T.
+type RefineFunc func(t int, f PartialInput) (PartialInput, int, error)
+
+// GenerateResult reports a GENERATE run.
+type GenerateResult struct {
+	// Input is the fully fixed input map, distributed per the adversary's
+	// distribution (Lemma 4.1).
+	Input PartialInput
+	// Steps is the number of REFINE calls made.
+	Steps int
+	// Time is the accumulated lower bound Σx at exit.
+	Time int
+}
+
+// Generate is the paper's GENERATE: starting from f_*, it calls refine
+// until the accumulated time reaches T, then fixes all remaining inputs
+// with RandomSet. Refine steps returning x = 0 are counted but a run is
+// aborted after maxSteps such calls to guarantee termination.
+func Generate(rng *rand.Rand, dist Distribution, refine RefineFunc, T, maxSteps int) (*GenerateResult, error) {
+	f := NewPartialInput(dist.N())
+	res := &GenerateResult{}
+	for res.Time < T {
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("adversary: GENERATE exceeded %d refine steps", maxSteps)
+		}
+		var x int
+		var err error
+		f, x, err = refine(res.Steps, f)
+		if err != nil {
+			return nil, err
+		}
+		if x < 0 {
+			return nil, fmt.Errorf("adversary: refine returned negative time %d", x)
+		}
+		res.Steps++
+		res.Time += x
+	}
+	var rest []int
+	for i := range f {
+		if !f.IsSet(i) {
+			rest = append(rest, i)
+		}
+	}
+	var err error
+	f, err = RandomSet(rng, dist, f, rest)
+	if err != nil {
+		return nil, err
+	}
+	res.Input = f
+	return res, nil
+}
+
+// --- concrete distributions ---------------------------------------------------
+
+// Bernoulli is the product distribution with P(x_i = 1) = P for all i.
+type Bernoulli struct {
+	Size int
+	P    float64
+}
+
+// N implements Distribution.
+func (b Bernoulli) N() int { return b.Size }
+
+// Conditional implements Distribution; independence makes it the marginal.
+func (b Bernoulli) Conditional(PartialInput, int) float64 { return b.P }
+
+// Uniform returns the uniform distribution on {0,1}^n (the hard Parity
+// distribution of Theorem 3.2).
+func Uniform(n int) Distribution { return Bernoulli{Size: n, P: 0.5} }

@@ -1,0 +1,243 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPartialInputBasics(t *testing.T) {
+	f := NewPartialInput(4)
+	if f.SetCount() != 0 || f.Complete() {
+		t.Fatal("fresh map must be all-unset")
+	}
+	f[1] = 1
+	f[3] = 0
+	if f.SetCount() != 2 {
+		t.Errorf("SetCount = %d, want 2", f.SetCount())
+	}
+	if !f.IsSet(1) || f.IsSet(0) {
+		t.Error("IsSet wrong")
+	}
+	g := f.Clone()
+	g[0] = 0
+	if f.IsSet(0) {
+		t.Error("Clone aliases")
+	}
+	if !g.Refines(f) {
+		t.Error("g must refine f")
+	}
+	if f.Refines(g) {
+		t.Error("f must not refine g (g is stricter)")
+	}
+	h := NewPartialInput(4)
+	h[1] = 0
+	if h.Refines(f) || f.Refines(h) {
+		t.Error("conflicting maps must not refine each other")
+	}
+	if f.Refines(NewPartialInput(5)) {
+		t.Error("length mismatch must not refine")
+	}
+	g[2] = 1
+	if !g.Complete() {
+		t.Error("fully set map must be Complete")
+	}
+}
+
+func TestRandomSetErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewPartialInput(3)
+	if _, err := RandomSet(rng, Uniform(3), f, []int{5}); err == nil {
+		t.Error("want range error")
+	}
+	f[0] = 1
+	if _, err := RandomSet(rng, Uniform(3), f, []int{0}); err == nil {
+		t.Error("want already-set error")
+	}
+}
+
+// Fact 4.1: inputs fixed one at a time by RANDOMSET are distributed
+// according to D, regardless of the order of fixing. Frequency test over a
+// biased product distribution with two different orders.
+func TestFact41RandomSetDistribution(t *testing.T) {
+	const trials = 20000
+	dist := Bernoulli{Size: 3, P: 0.3}
+	orders := [][]int{{0, 1, 2}, {2, 0, 1}}
+	for _, order := range orders {
+		rng := rand.New(rand.NewSource(42))
+		counts := [3]int{}
+		for k := 0; k < trials; k++ {
+			f, err := RandomSet(rng, dist, NewPartialInput(3), order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range f {
+				if v == 1 {
+					counts[i]++
+				}
+			}
+		}
+		for i, c := range counts {
+			freq := float64(c) / trials
+			if math.Abs(freq-0.3) > 0.02 {
+				t.Errorf("order %v input %d: frequency %.3f, want 0.30±0.02", order, i, freq)
+			}
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dist := Uniform(8)
+	fixedPerStep := 2
+	refine := func(step int, f PartialInput) (PartialInput, int, error) {
+		var S []int
+		for i := range f {
+			if !f.IsSet(i) && len(S) < fixedPerStep {
+				S = append(S, i)
+			}
+		}
+		f, err := RandomSet(rng, dist, f, S)
+		return f, 1, err
+	}
+	res, err := Generate(rng, dist, refine, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 || res.Time != 3 {
+		t.Errorf("steps/time = %d/%d, want 3/3", res.Steps, res.Time)
+	}
+	if !res.Input.Complete() {
+		t.Error("GENERATE must return a complete input map")
+	}
+}
+
+func TestGenerateGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stall := func(int, PartialInput) (PartialInput, int, error) {
+		return NewPartialInput(4), 0, nil
+	}
+	if _, err := Generate(rng, Uniform(4), stall, 5, 10); err == nil {
+		t.Error("want max-steps error for stalling refine")
+	}
+	negative := func(_ int, f PartialInput) (PartialInput, int, error) {
+		return f, -1, nil
+	}
+	if _, err := Generate(rng, Uniform(4), negative, 5, 10); err == nil {
+		t.Error("want negative-time error")
+	}
+}
+
+// Lemma 4.1 flavour: GENERATE's final input map is distributed per D even
+// though REFINE fixed some inputs early.
+func TestGenerateDistribution(t *testing.T) {
+	const trials = 20000
+	dist := Bernoulli{Size: 4, P: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	ones := 0
+	for k := 0; k < trials; k++ {
+		refine := func(step int, f PartialInput) (PartialInput, int, error) {
+			if !f.IsSet(step) {
+				var err error
+				f, err = RandomSet(rng, dist, f, []int{step})
+				if err != nil {
+					return f, 0, err
+				}
+			}
+			return f, 1, nil
+		}
+		res, err := Generate(rng, dist, refine, 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Input {
+			if v == 1 {
+				ones++
+			}
+		}
+	}
+	freq := float64(ones) / float64(trials*4)
+	if math.Abs(freq-0.5) > 0.02 {
+		t.Errorf("overall one-frequency %.3f, want 0.50±0.02", freq)
+	}
+}
+
+// Yao's Theorem (Theorem 2.1) on a toy problem: computing OR of 2 uniform
+// bits while reading only one bit. Every deterministic single-read
+// algorithm succeeds on at most 3 of the 4 inputs (probability 3/4), so by
+// the theorem no randomized single-read algorithm can beat 3/4 — verified
+// by exhausting all deterministic strategies and all mixtures over them on
+// the worst case.
+func TestYaoToyExperiment(t *testing.T) {
+	type strategy struct {
+		readBit int
+		out     [2]int64 // answer as a function of the read bit
+	}
+	var strategies []strategy
+	for rb := 0; rb < 2; rb++ {
+		for o0 := int64(0); o0 < 2; o0++ {
+			for o1 := int64(0); o1 < 2; o1++ {
+				strategies = append(strategies, strategy{rb, [2]int64{o0, o1}})
+			}
+		}
+	}
+	or := func(x, y int64) int64 {
+		if x != 0 || y != 0 {
+			return 1
+		}
+		return 0
+	}
+	// Distributional bound: max over strategies of success under uniform D.
+	bestDistributional := 0.0
+	for _, s := range strategies {
+		wins := 0
+		for m := 0; m < 4; m++ {
+			x, y := int64(m&1), int64(m>>1)
+			read := x
+			if s.readBit == 1 {
+				read = y
+			}
+			if s.out[read] == or(x, y) {
+				wins++
+			}
+		}
+		if p := float64(wins) / 4; p > bestDistributional {
+			bestDistributional = p
+		}
+	}
+	if bestDistributional != 0.75 {
+		t.Fatalf("best distributional success = %v, want 0.75", bestDistributional)
+	}
+	// Randomized bound: for any mixture q over strategies, the worst-case
+	// input keeps success ≤ 3/4. Checking the extreme points suffices for
+	// the inequality direction of Theorem 2.1; sample mixtures too.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		q := make([]float64, len(strategies))
+		var sum float64
+		for i := range q {
+			q[i] = rng.Float64()
+			sum += q[i]
+		}
+		worst := 1.0
+		for m := 0; m < 4; m++ {
+			x, y := int64(m&1), int64(m>>1)
+			var succ float64
+			for i, s := range strategies {
+				read := x
+				if s.readBit == 1 {
+					read = y
+				}
+				if s.out[read] == or(x, y) {
+					succ += q[i] / sum
+				}
+			}
+			if succ < worst {
+				worst = succ
+			}
+		}
+		if worst > 0.75+1e-9 {
+			t.Fatalf("randomized strategy beats Yao bound: %v", worst)
+		}
+	}
+}

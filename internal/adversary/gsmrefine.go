@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The Section 5 REFINE procedure, executable. The paper's REFINE walks a
+// deterministic GSM algorithm phase by phase and plays two forcing games:
+//
+//   - lines (4)–(10): find the processor with the maximum possible request
+//     count, and fix (via RANDOMSET) the certificate of the state that
+//     makes it issue those requests; repeat until the drawn values agree
+//     with the certificate ("success"), which happens with probability
+//     ≥ q^|Cert| per attempt;
+//   - lines (12)–(21): the same for the cell with maximum possible
+//     contention, fixing the certificates of up to μ·log log n writers.
+//
+// The procedure is "successful" when it fixes at most n^{2/3} inputs
+// (Lemma 5.3 shows this holds with probability ≥ 1 − n⁻²  in the paper's
+// regime because certificates are ≤ √log n inputs).
+//
+// GSMAccessOracle abstracts the algorithm quantities REFINE consults, in
+// certificate form. Implementations answer for the *current* partial
+// input f.
+type GSMAccessOracle interface {
+	// MaxProcCert returns the certificate (input indexes and the values
+	// that force the max-request state) of MaxProc at step t, plus the
+	// request count that state issues.
+	MaxProcCert(t int, f PartialInput) (idx []int, vals []int8, requests int)
+	// MaxCellCerts returns the certificates of the (up to limit) writers
+	// of MaxCell at step t, flattened, plus the achievable contention.
+	MaxCellCerts(t int, f PartialInput, limit int) (idx []int, vals []int8, contention int)
+}
+
+// GSMRefineResult reports one REFINE call.
+type GSMRefineResult struct {
+	// BigSteps is the returned lower bound x on the phase duration:
+	// max(⌈requests/α⌉, ⌈contention/β⌉).
+	BigSteps int
+	// Fixed is the number of inputs RANDOMSET fixed during the call.
+	Fixed int
+	// Attempts counts RANDOMSET retries across both While loops.
+	Attempts int
+	// Successful reports whether ≤ budget inputs were fixed (the Lemma 5.3
+	// success criterion).
+	Successful bool
+}
+
+// GSMRefine executes REFINE(t, f) against the oracle, mutating f. dist
+// drives RANDOMSET; alpha and beta are the GSM parameters; budget is the
+// n^{2/3} input cap of the success definition; maxAttempts bounds each
+// While loop (the paper's √n̄ cap).
+func GSMRefine(rng *rand.Rand, dist Distribution, orc GSMAccessOracle,
+	t int, f PartialInput, alpha, beta float64, budget, maxAttempts int) (*GSMRefineResult, error) {
+	if budget < 1 || maxAttempts < 1 {
+		return nil, fmt.Errorf("adversary: budget and maxAttempts must be ≥ 1")
+	}
+	res := &GSMRefineResult{}
+	requests := 0
+
+	// Lines (4)–(10): force the max-request processor.
+	for {
+		res.Attempts++
+		if res.Attempts > maxAttempts {
+			return nil, fmt.Errorf("adversary: REFINE processor loop exceeded %d attempts", maxAttempts)
+		}
+		idx, vals, req := orc.MaxProcCert(t, f)
+		if len(idx) != len(vals) {
+			return nil, fmt.Errorf("adversary: oracle certificate shape mismatch")
+		}
+		var unset []int
+		for _, i := range idx {
+			if !f.IsSet(i) {
+				unset = append(unset, i)
+			}
+		}
+		var err error
+		f, err = RandomSet(rng, dist, f, unset)
+		if err != nil {
+			return nil, err
+		}
+		res.Fixed += len(unset)
+		if agrees(f, idx, vals) {
+			requests = req
+			break
+		}
+	}
+
+	// Lines (12)–(21): force the max-contention cell (up to μ·loglog n
+	// writers; the caller encodes the limit in the oracle query).
+	contention := 0
+	limit := int(math.Max(1, (alpha+beta)*math.Log2(math.Max(2, math.Log2(float64(budget)+2)))))
+	for {
+		res.Attempts++
+		if res.Attempts > 2*maxAttempts {
+			return nil, fmt.Errorf("adversary: REFINE cell loop exceeded %d attempts", maxAttempts)
+		}
+		idx, vals, cont := orc.MaxCellCerts(t, f, limit)
+		if len(idx) != len(vals) {
+			return nil, fmt.Errorf("adversary: oracle certificate shape mismatch")
+		}
+		var unset []int
+		for _, i := range idx {
+			if !f.IsSet(i) {
+				unset = append(unset, i)
+			}
+		}
+		var err error
+		f, err = RandomSet(rng, dist, f, unset)
+		if err != nil {
+			return nil, err
+		}
+		res.Fixed += len(unset)
+		if agrees(f, idx, vals) {
+			contention = cont
+			break
+		}
+	}
+
+	x := int(math.Ceil(float64(requests) / alpha))
+	if c := int(math.Ceil(float64(contention) / beta)); c > x {
+		x = c
+	}
+	if x < 1 {
+		x = 1
+	}
+	res.BigSteps = x
+	res.Successful = res.Fixed <= budget
+	return res, nil
+}
+
+// agrees reports whether f matches the certificate values (a repeat draw
+// is needed otherwise — the paper's If at lines (8)/(19)).
+func agrees(f PartialInput, idx []int, vals []int8) bool {
+	for k, i := range idx {
+		if f[i] != vals[k] {
+			return false
+		}
+	}
+	return true
+}

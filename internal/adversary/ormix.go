@@ -1,0 +1,300 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ORMixture is the Section 7 input distribution D for the OR lower bound,
+// at group granularity (each group of γ inputs associated with one cell is
+// set as a unit, so there are r = n/γ groups):
+//
+//   - with probability 1/2 the input is all zeros;
+//   - otherwise a layer i ∈ {0, …, K} is chosen uniformly
+//     (K = ⌈¼·log*_{μ+1} r⌉) and the input is drawn from H_i, in which
+//     every group is 1 independently with probability 1/d_i.
+//
+// The densities explode: d_0 = log^{(⌈¾·log* r⌉)}_{μ+1}(r) (clamped ≥ 2)
+// and d_{i+1} = (μ+1)^{(μ+1)^{d_i}} — each successive layer is sparser by
+// a tower, which is what forces any algorithm to spend Ω(log* r) steps
+// ruling layers out.
+type ORMixture struct {
+	// Groups is r, the number of input groups.
+	Groups int
+	// Mu is the GSM μ parameter the densities are built from.
+	Mu float64
+	// D holds the layer densities d_0 … d_K.
+	D []float64
+}
+
+// NewORMixture constructs the distribution for r groups and parameter μ ≥ 1.
+func NewORMixture(groups int, mu float64) (*ORMixture, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("adversary: need ≥ 1 group, got %d", groups)
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("adversary: μ must be ≥ 1, got %v", mu)
+	}
+	r := float64(groups)
+	ls := LogStarBase(mu+1, r)
+	k := (ls + 3) / 4 // ⌈¼·log* r⌉ layers above layer 0
+	d0 := IterLogBase(mu+1, r, (3*ls+3)/4)
+	if d0 < 2 {
+		d0 = 2
+	}
+	m := &ORMixture{Groups: groups, Mu: mu, D: []float64{d0}}
+	for i := 0; i < k; i++ {
+		prev := m.D[len(m.D)-1]
+		next := math.Pow(mu+1, math.Pow(mu+1, prev))
+		if math.IsInf(next, 0) || next > 1e300 {
+			next = 1e300
+		}
+		m.D = append(m.D, next)
+	}
+	return m, nil
+}
+
+// Layers returns the number of H_i layers (K+1).
+func (o *ORMixture) Layers() int { return len(o.D) }
+
+// LayerZeros is the layer index used for the all-zeros component.
+const LayerZeros = -1
+
+// LayerWeight returns the mixture weight of a layer (LayerZeros or 0..K).
+func (o *ORMixture) LayerWeight(layer int) float64 {
+	if layer == LayerZeros {
+		return 0.5
+	}
+	if layer < 0 || layer >= len(o.D) {
+		return 0
+	}
+	return 0.5 / float64(len(o.D))
+}
+
+// SampleLayer draws a layer according to the mixture weights.
+func (o *ORMixture) SampleLayer(rng *rand.Rand) int {
+	if rng.Float64() < 0.5 {
+		return LayerZeros
+	}
+	return rng.Intn(len(o.D))
+}
+
+// SampleGroups draws a full group-value vector from the mixture.
+func (o *ORMixture) SampleGroups(rng *rand.Rand) []int8 {
+	return o.SampleGroupsFromLayer(rng, o.SampleLayer(rng))
+}
+
+// SampleGroupsFromLayer draws group values from one component.
+func (o *ORMixture) SampleGroupsFromLayer(rng *rand.Rand, layer int) []int8 {
+	out := make([]int8, o.Groups)
+	if layer == LayerZeros {
+		return out
+	}
+	p := 1 / o.D[layer]
+	for i := range out {
+		if rng.Float64() < p {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LayerSet is the adversary's current knowledge in the Section 7 modified
+// framework: the set of mixture components still possible. RANDOMRESTRICT
+// shrinks it; RANDOMFIX draws a concrete input from it.
+type LayerSet struct {
+	mix    *ORMixture
+	active map[int]bool
+}
+
+// FullSet returns the unrestricted layer set (all components).
+func (o *ORMixture) FullSet() *LayerSet {
+	ls := &LayerSet{mix: o, active: map[int]bool{LayerZeros: true}}
+	for i := range o.D {
+		ls.active[i] = true
+	}
+	return ls
+}
+
+// Active reports whether a layer is still possible.
+func (ls *LayerSet) Active(layer int) bool { return ls.active[layer] }
+
+// Size returns the number of active layers.
+func (ls *LayerSet) Size() int { return len(ls.active) }
+
+// Weight returns the total mixture weight of the active layers.
+func (ls *LayerSet) Weight() float64 {
+	var w float64
+	for l := range ls.active {
+		w += ls.mix.LayerWeight(l)
+	}
+	return w
+}
+
+// RandomRestrict is the paper's RANDOMRESTRICT(F, F′) with F′ = {H_t}: with
+// probability D(H_t)/D(F) the set collapses to {H_t} (returns true), else
+// H_t is removed from F (returns false). An inactive t is an error.
+func (ls *LayerSet) RandomRestrict(rng *rand.Rand, t int) (bool, error) {
+	if !ls.active[t] {
+		return false, fmt.Errorf("adversary: layer %d not active", t)
+	}
+	p := ls.mix.LayerWeight(t) / ls.Weight()
+	if rng.Float64() < p {
+		ls.active = map[int]bool{t: true}
+		return true, nil
+	}
+	delete(ls.active, t)
+	return false, nil
+}
+
+// RandomFix is the paper's RANDOMFIX: it draws a complete input from the
+// mixture restricted to the active layers, returning the group values and
+// the layer they came from.
+func (ls *LayerSet) RandomFix(rng *rand.Rand) ([]int8, int, error) {
+	w := ls.Weight()
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("adversary: empty layer set")
+	}
+	x := rng.Float64() * w
+	for _, l := range orderedLayers(ls) {
+		x -= ls.mix.LayerWeight(l)
+		if x <= 0 {
+			return ls.mix.SampleGroupsFromLayer(rng, l), l, nil
+		}
+	}
+	// Floating-point slack: take the last active layer.
+	layers := orderedLayers(ls)
+	l := layers[len(layers)-1]
+	return ls.mix.SampleGroupsFromLayer(rng, l), l, nil
+}
+
+func orderedLayers(ls *LayerSet) []int {
+	var out []int
+	if ls.active[LayerZeros] {
+		out = append(out, LayerZeros)
+	}
+	for i := 0; i < len(ls.mix.D); i++ {
+		if ls.active[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- the Section 7 REFINE over an access profile ------------------------------
+
+// AccessProfile abstracts the algorithm quantities REFINE consults: the
+// maximum possible per-processor request count and per-cell contention at
+// step t, over the inputs still possible. Oblivious algorithms return
+// constants; adaptive ones may grow them as layers are ruled out.
+type AccessProfile interface {
+	MaxRWP(t int, ls *LayerSet) float64
+	MaxAccess(t int, ls *LayerSet) float64
+}
+
+// ORRefineResult reports a run of the Section 7 adversary.
+type ORRefineResult struct {
+	// Steps is the number of REFINE calls until the input was fully fixed
+	// or maxSteps elapsed.
+	Steps int
+	// FixedEarly reports whether line (4)/(10) fired (the algorithm tried
+	// a big step and the adversary cashed in the expected contention).
+	FixedEarly bool
+	// Line17 reports whether line (17) fired (RANDOMRESTRICT chose H_t).
+	Line17 bool
+	// Input is the fixed group vector (nil if maxSteps elapsed first).
+	Input []int8
+	// Layer is the mixture component of the fixed input.
+	Layer int
+}
+
+// ORRefine drives the modified adversary of Section 7 against an access
+// profile: at each step, if the profile exceeds the d_t^{d_t+2}·log* r
+// thresholds (scaled by α or β), the input is fixed immediately
+// (lines 3–13); otherwise RANDOMRESTRICT is called on layer t (lines
+// 15–19) and, if it selects H_t, the input is fixed.
+func ORRefine(rng *rand.Rand, mix *ORMixture, prof AccessProfile, alpha, beta float64, maxSteps int) (*ORRefineResult, error) {
+	ls := mix.FullSet()
+	lsr := float64(LogStarBase(mix.Mu+1, float64(mix.Groups)))
+	if lsr < 1 {
+		lsr = 1
+	}
+	res := &ORRefineResult{Layer: LayerZeros}
+	for t := 0; t < maxSteps; t++ {
+		res.Steps = t + 1
+		dt := mix.D[minInt(t, len(mix.D)-1)]
+		threshold := math.Pow(dt, dt+2) * lsr
+		if math.IsInf(threshold, 0) || threshold > 1e300 {
+			threshold = 1e300
+		}
+		if prof.MaxRWP(t, ls) >= alpha*threshold || prof.MaxAccess(t, ls) >= beta*threshold {
+			in, layer, err := ls.RandomFix(rng)
+			if err != nil {
+				return nil, err
+			}
+			res.FixedEarly, res.Input, res.Layer = true, in, layer
+			return res, nil
+		}
+		if t < len(mix.D) && ls.Active(t) {
+			took, err := ls.RandomRestrict(rng, t)
+			if err != nil {
+				return nil, err
+			}
+			if took {
+				in, layer, err := ls.RandomFix(rng)
+				if err != nil {
+					return nil, err
+				}
+				res.Line17, res.Input, res.Layer = true, in, layer
+				return res, nil
+			}
+		}
+		if ls.Size() == 1 {
+			in, layer, err := ls.RandomFix(rng)
+			if err != nil {
+				return nil, err
+			}
+			res.Input, res.Layer = in, layer
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// --- iterated logarithms -------------------------------------------------------
+
+// LogStarBase returns log*_b(x): the number of times log_b must be applied
+// before the value drops to ≤ 1. b must exceed 1.
+func LogStarBase(b, x float64) int {
+	if b <= 1 {
+		b = 2
+	}
+	s := 0
+	for x > 1 && s < 64 {
+		x = math.Log(x) / math.Log(b)
+		s++
+	}
+	return s
+}
+
+// IterLogBase applies log_b k times to x, flooring intermediate values at 1.
+func IterLogBase(b, x float64, k int) float64 {
+	if b <= 1 {
+		b = 2
+	}
+	for i := 0; i < k; i++ {
+		if x <= 1 {
+			return 1
+		}
+		x = math.Log(x) / math.Log(b)
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The Theorem 3.2 randomized-parity adversary. The proof maintains, phase
+// by phase, four invariants over a set V_t of unfixed variables:
+//
+//  1. each processor and cell knows at most one unfixed variable;
+//  2. at most k_t = ν^t entities know any one unfixed variable;
+//  3. |V_t| ≥ |V_{t−1}|/(5ν·k_t);
+//  4. fixed variables were set (by RANDOMSET over the uniform
+//     distribution) to maximise the algorithm's failure.
+//
+// Mechanically, after each phase the adversary builds an undirected graph
+// G on V_t with an edge {x_i, x_j} whenever an entity knowing x_i touched
+// an entity knowing x_j, takes a large independent set I of G, and fixes
+// everything outside I. ParityAdversary executes exactly that bookkeeping
+// against an abstract access profile and reports the invariant ledger.
+
+// ParityAccess describes, for one phase, which knowledge collisions the
+// algorithm causes: Edges(t, V) returns the pairs of distinct unfixed
+// variables whose knowers interact in phase t (a processor knowing x_i
+// reads/writes a cell knowing x_j). Degree bounds follow from the
+// algorithm's per-phase read/write and contention limits, as in the proof.
+type ParityAccess interface {
+	Edges(t int, unfixed []int) [][2]int
+}
+
+// ParityAdversaryResult is the invariant ledger of a run.
+type ParityAdversaryResult struct {
+	// Phases executed before |V_t| dropped to ≤ 1.
+	Phases int
+	// Unfixed[t] is |V_t| after phase t (index 0 = before any phase).
+	Unfixed []int
+	// KnowersBound[t] is the paper's k_t = ν^t cap.
+	KnowersBound []float64
+	// Fixed is the final assignment of all fixed variables.
+	Fixed PartialInput
+}
+
+// ParityAdversary runs the Theorem 3.2 adversary over n variables against
+// the access profile: per phase it collects the interaction edges, finds a
+// greedy independent set, and fixes the complement uniformly at random
+// (invariant 4's RANDOMSET step). nu is the paper's ν = μτ growth
+// parameter, used only for the reported k_t ledger. It stops when at most
+// one variable is left (the algorithm can no longer know the parity) or
+// after maxPhases.
+func ParityAdversary(rng *rand.Rand, n int, acc ParityAccess, nu float64, maxPhases int) (*ParityAdversaryResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: need ≥ 1 variable")
+	}
+	f := NewPartialInput(n)
+	unfixed := make([]int, n)
+	for i := range unfixed {
+		unfixed[i] = i
+	}
+	res := &ParityAdversaryResult{
+		Unfixed:      []int{n},
+		KnowersBound: []float64{1},
+	}
+	dist := Uniform(n)
+
+	for t := 0; len(unfixed) > 1 && t < maxPhases; t++ {
+		edges := acc.Edges(t, unfixed)
+		// Validate the profile only returns unfixed pairs.
+		inU := make(map[int]bool, len(unfixed))
+		for _, v := range unfixed {
+			inU[v] = true
+		}
+		adj := make(map[int][]int)
+		for _, e := range edges {
+			if e[0] == e[1] || !inU[e[0]] || !inU[e[1]] {
+				return nil, fmt.Errorf("adversary: profile returned invalid edge %v at phase %d", e, t)
+			}
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		// Greedy independent set in degree order — at least |V|/(Δ+1).
+		taken := make(map[int]bool)
+		blocked := make(map[int]bool)
+		for _, v := range unfixed {
+			if !blocked[v] {
+				taken[v] = true
+				for _, w := range adj[v] {
+					blocked[w] = true
+				}
+				blocked[v] = true
+			}
+		}
+		var keep, drop []int
+		for _, v := range unfixed {
+			if taken[v] {
+				keep = append(keep, v)
+			} else {
+				drop = append(drop, v)
+			}
+		}
+		// Invariant 4: fix dropped variables via RANDOMSET.
+		var err error
+		f, err = RandomSet(rng, dist, f, drop)
+		if err != nil {
+			return nil, err
+		}
+		unfixed = keep
+		res.Phases = t + 1
+		res.Unfixed = append(res.Unfixed, len(unfixed))
+		res.KnowersBound = append(res.KnowersBound, pow(nu, t+1))
+	}
+	res.Fixed = f
+	return res, nil
+}
+
+// TreeParityAccess models the knowledge collisions of a fan-in-k combine
+// tree: in phase t, variables that share a fan-in-k group of the current
+// level interact pairwise. It is the canonical profile for which the
+// adversary's |V_t| shrink matches the ν-regime of the theorem.
+type TreeParityAccess struct {
+	// Fanin is the tree fan-in (≥ 2).
+	Fanin int
+}
+
+// Edges implements ParityAccess: unfixed variables are ordered and grouped
+// k at a time per level.
+func (a TreeParityAccess) Edges(t int, unfixed []int) [][2]int {
+	k := a.Fanin
+	if k < 2 {
+		k = 2
+	}
+	// At phase t the tree has collapsed groups t times; surviving unfixed
+	// variables collide within their current group of k.
+	var out [][2]int
+	for i := 0; i < len(unfixed); i += k {
+		hi := i + k
+		if hi > len(unfixed) {
+			hi = len(unfixed)
+		}
+		for x := i; x < hi; x++ {
+			for y := x + 1; y < hi; y++ {
+				out = append(out, [2]int{unfixed[x], unfixed[y]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParityAdversaryTreeProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 10
+	res, err := ParityAdversary(rng, n, TreeParityAccess{Fanin: 2}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariant 3 flavour: against a fan-in-k profile the independent set
+	// keeps ≥ 1/k of the variables, so the adversary survives ≥ log_k n
+	// phases before |V_t| ≤ 1 — the Ω(# phases) mechanism.
+	if res.Phases < 10 {
+		t.Errorf("adversary survived only %d phases against a binary tree, want ≥ log₂ n = 10", res.Phases)
+	}
+	// |V_t| shrinks by at most the group factor each phase, never to zero
+	// before the end.
+	for i := 1; i < len(res.Unfixed); i++ {
+		lo := res.Unfixed[i-1] / 2
+		if res.Unfixed[i] < lo-1 {
+			t.Errorf("phase %d: |V| dropped from %d to %d (> factor 2)",
+				i, res.Unfixed[i-1], res.Unfixed[i])
+		}
+	}
+	// Everything outside the final survivor set is fixed to 0/1.
+	unset := 0
+	for _, v := range res.Fixed {
+		if v == Unset {
+			unset++
+		}
+	}
+	if unset != res.Unfixed[len(res.Unfixed)-1] {
+		t.Errorf("unset count %d ≠ final |V| %d", unset, res.Unfixed[len(res.Unfixed)-1])
+	}
+}
+
+func TestParityAdversaryWideFanin(t *testing.T) {
+	// Larger fan-in (more contention budget) kills variables faster —
+	// exactly the log ν denominator of Theorem 3.2.
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 10
+	r2, err := ParityAdversary(rng, n, TreeParityAccess{Fanin: 2}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := ParityAdversary(rng, n, TreeParityAccess{Fanin: 8}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Phases >= r2.Phases {
+		t.Errorf("fan-in 8 adversary survived %d ≥ fan-in 2's %d phases", r8.Phases, r2.Phases)
+	}
+	if r8.Phases < 3 {
+		t.Errorf("fan-in 8 adversary died too fast: %d phases, want ≥ log₈ n", r8.Phases)
+	}
+}
+
+func TestParityAdversaryLedger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := ParityAdversary(rng, 64, TreeParityAccess{Fanin: 2}, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k_t = ν^t ledger is monotone and matches the formula.
+	for i := 1; i < len(res.KnowersBound); i++ {
+		if res.KnowersBound[i] < res.KnowersBound[i-1] {
+			t.Error("k_t ledger must be monotone")
+		}
+		if math.Abs(res.KnowersBound[i]-pow(3, i)) > 1e-9 {
+			t.Errorf("k_%d = %v, want %v", i, res.KnowersBound[i], pow(3, i))
+		}
+	}
+}
+
+func TestParityAdversaryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ParityAdversary(rng, 0, TreeParityAccess{Fanin: 2}, 1, 8); err == nil {
+		t.Error("want n error")
+	}
+	// A profile returning self-loops or fixed variables is rejected.
+	bad := badAccess{}
+	if _, err := ParityAdversary(rng, 8, bad, 1, 8); err == nil {
+		t.Error("want invalid-edge error")
+	}
+}
+
+type badAccess struct{}
+
+func (badAccess) Edges(int, []int) [][2]int { return [][2]int{{3, 3}} }
+
+// The adversary's fixing is unbiased (invariant 4 via RANDOMSET): over
+// many runs the fixed values are ~uniform.
+func TestParityAdversaryUnbiasedFixing(t *testing.T) {
+	ones, total := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		res, err := ParityAdversary(rng, 128, TreeParityAccess{Fanin: 4}, 4, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Fixed {
+			if v == 1 {
+				ones++
+			}
+			if v != Unset {
+				total++
+			}
+		}
+	}
+	freq := float64(ones) / float64(total)
+	if math.Abs(freq-0.5) > 0.03 {
+		t.Errorf("fixed-value one-frequency %.3f, want 0.50±0.03", freq)
+	}
+}

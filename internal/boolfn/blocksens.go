@@ -1,0 +1,43 @@
+package boolfn
+
+// BlockSensitivityAt returns bs(f, a): the maximum number of pairwise
+// disjoint blocks B₁,…,B_k of variables such that flipping each block
+// individually changes f(a). Computed exactly by memoized search over the
+// lattice of remaining variable sets (O(3ⁿ) per input) — fine for the
+// small arities the proof-machinery experiments use.
+func (f *Fn) BlockSensitivityAt(a uint32) int {
+	full := uint32(1)<<uint(f.n) - 1
+	memo := make(map[uint32]int)
+	var rec func(free uint32) int
+	rec = func(free uint32) int {
+		if v, ok := memo[free]; ok {
+			return v
+		}
+		best := 0
+		// Enumerate nonempty subsets B of free.
+		for b := free; b > 0; b = (b - 1) & free {
+			if f.table[a^b] != f.table[a] {
+				if k := 1 + rec(free&^b); k > best {
+					best = k
+				}
+			}
+		}
+		memo[free] = best
+		return best
+	}
+	return rec(full)
+}
+
+// BlockSensitivity returns bs(f) = max over inputs of BlockSensitivityAt.
+func (f *Fn) BlockSensitivity() int {
+	best := 0
+	for a := uint32(0); a < 1<<uint(f.n); a++ {
+		if k := f.BlockSensitivityAt(a); k > best {
+			best = k
+		}
+		if best == f.n {
+			break // cannot exceed n
+		}
+	}
+	return best
+}

@@ -1,0 +1,54 @@
+package boolfn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockSensitivityKnownValues(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		// Parity: every singleton is a sensitive block ⇒ bs = n everywhere.
+		if bs := Parity(n).BlockSensitivity(); bs != n {
+			t.Errorf("bs(Parity_%d) = %d, want %d", n, bs, n)
+		}
+		// OR at the all-zero input: n singleton blocks.
+		if bs := OR(n).BlockSensitivityAt(0); bs != n {
+			t.Errorf("bs(OR_%d, 0) = %d, want %d", n, bs, n)
+		}
+	}
+	// OR at a weight-2 input: flipping either one of the two ones alone
+	// does not change OR, but the block of both does, and each zero
+	// contributes nothing — bs = 1.
+	if bs := OR(4).BlockSensitivityAt(0b0011); bs != 1 {
+		t.Errorf("bs(OR_4, 0011) = %d, want 1", bs)
+	}
+	zero := MustNew(3, func(uint32) int64 { return 0 })
+	if zero.BlockSensitivity() != 0 {
+		t.Error("constant bs must be 0")
+	}
+}
+
+// The classical chain s(f) ≤ bs(f) ≤ C(f): exhaustive on 3 variables,
+// randomized above.
+func TestSensitivityBlockSensitivityCertificateChain(t *testing.T) {
+	for tt := 0; tt < 256; tt++ {
+		table := make([]int64, 8)
+		for i := 0; i < 8; i++ {
+			table[i] = int64((tt >> i) & 1)
+		}
+		f, _ := FromTable(3, table)
+		s, bs, c := f.Sensitivity(), f.BlockSensitivity(), f.Certificate()
+		if !(s <= bs && bs <= c) {
+			t.Fatalf("table %08b: chain broken: s=%d bs=%d C=%d", tt, s, bs, c)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(2)
+		f := MustNew(n, func(uint32) int64 { return int64(rng.Intn(2)) })
+		s, bs, c := f.Sensitivity(), f.BlockSensitivity(), f.Certificate()
+		if !(s <= bs && bs <= c) {
+			t.Fatalf("n=%d: chain broken: s=%d bs=%d C=%d", n, s, bs, c)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package boolfn
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBoolFn(rng *rand.Rand, n int) *Fn {
+	return MustNew(n, func(uint32) int64 { return int64(rng.Intn(2)) })
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, func(uint32) int64 { return 0 }); err == nil {
+		t.Error("want error for negative arity")
+	}
+	if _, err := New(MaxVars+1, func(uint32) int64 { return 0 }); err == nil {
+		t.Error("want error for huge arity")
+	}
+	if _, err := FromTable(2, []int64{1, 2, 3}); err == nil {
+		t.Error("want error for wrong table length")
+	}
+	if _, err := FromTable(30, nil); err == nil {
+		t.Error("want error for arity out of range")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	MustNew(-5, func(uint32) int64 { return 0 })
+}
+
+// Fact 2.1: the monomial expansion exists (Coefficients → FromCoefficients
+// round-trips) and is unique (FromCoefficients → Coefficients round-trips).
+func TestFact21RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		f := MustNew(n, func(uint32) int64 { return int64(rng.Intn(11) - 5) })
+		coef := f.Coefficients()
+		g, err := FromCoefficients(n, coef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := uint32(0); m < 1<<uint(n); m++ {
+			if f.At(m) != g.At(m) {
+				t.Fatalf("n=%d: round-trip mismatch at %b: %d vs %d", n, m, f.At(m), g.At(m))
+			}
+		}
+		// Uniqueness direction: coefficients of the reconstruction match.
+		coef2 := g.Coefficients()
+		for i := range coef {
+			if coef[i] != coef2[i] {
+				t.Fatalf("coefficient round-trip mismatch at S=%b", i)
+			}
+		}
+	}
+}
+
+func TestFromCoefficientsValidation(t *testing.T) {
+	if _, err := FromCoefficients(3, []int64{1, 2}); err == nil {
+		t.Error("want length error")
+	}
+}
+
+// Exhaustive uniqueness for n=3: distinct functions have distinct
+// coefficient vectors.
+func TestFact21UniquenessExhaustive(t *testing.T) {
+	seen := make(map[[8]int64]bool)
+	for tt := 0; tt < 256; tt++ {
+		table := make([]int64, 8)
+		for i := 0; i < 8; i++ {
+			table[i] = int64((tt >> i) & 1)
+		}
+		f, _ := FromTable(3, table)
+		var key [8]int64
+		copy(key[:], f.Coefficients())
+		if seen[key] {
+			t.Fatalf("two distinct functions share coefficients %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestKnownExpansions(t *testing.T) {
+	// x0 ∨ x1 = x0 + x1 − x0x1.
+	or2 := OR(2)
+	c := or2.Coefficients()
+	want := []int64{0, 1, 1, -1}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("OR2 coefficients = %v, want %v", c, want)
+		}
+	}
+	// Parity2 = x0 + x1 − 2x0x1.
+	p2 := Parity(2)
+	c = p2.Coefficients()
+	want = []int64{0, 1, 1, -2}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Parity2 coefficients = %v, want %v", c, want)
+		}
+	}
+	// AND3 is the single monomial x0x1x2.
+	a3 := AND(3)
+	c = a3.Coefficients()
+	for i, v := range c {
+		wantV := int64(0)
+		if i == 7 {
+			wantV = 1
+		}
+		if v != wantV {
+			t.Fatalf("AND3 coefficient[%d] = %d", i, v)
+		}
+	}
+}
+
+// The anchor facts: deg(Parity_n) = deg(OR_n) = deg(AND_n) = n.
+func TestFullDegreeAnchors(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		if d := Parity(n).Degree(); d != n {
+			t.Errorf("deg(Parity_%d) = %d, want %d", n, d, n)
+		}
+		if d := OR(n).Degree(); d != n {
+			t.Errorf("deg(OR_%d) = %d, want %d", n, d, n)
+		}
+		if d := AND(n).Degree(); d != n {
+			t.Errorf("deg(AND_%d) = %d, want %d", n, d, n)
+		}
+	}
+	if d := Majority(5).Degree(); d != 5 {
+		t.Errorf("deg(Maj_5) = %d, want 5", d)
+	}
+}
+
+func TestZeroAndConstantDegree(t *testing.T) {
+	zero := MustNew(4, func(uint32) int64 { return 0 })
+	if zero.Degree() != 0 {
+		t.Errorf("deg(0) = %d", zero.Degree())
+	}
+	one := MustNew(4, func(uint32) int64 { return 1 })
+	if one.Degree() != 0 {
+		t.Errorf("deg(1) = %d", one.Degree())
+	}
+}
+
+// Fact 2.2(1,3): deg(f∧g) ≤ deg f + deg g and deg(f∨g) ≤ deg f + deg g.
+func TestFact22Composition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		f, g := randBoolFn(rng, n), randBoolFn(rng, n)
+		df, dg := f.Degree(), g.Degree()
+		fg, err := f.And(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fg.Degree(); d > df+dg {
+			t.Errorf("deg(f∧g)=%d > %d+%d", d, df, dg)
+		}
+		fo, _ := f.Or(g)
+		if d := fo.Degree(); d > df+dg {
+			t.Errorf("deg(f∨g)=%d > %d+%d", d, df, dg)
+		}
+		fx, _ := f.Xor(g)
+		if d := fx.Degree(); d > df+dg {
+			t.Errorf("deg(f⊕g)=%d > %d+%d", d, df, dg)
+		}
+	}
+}
+
+// Fact 2.2(2): deg(¬f) = deg(f) for non-constant f; for constants both sides
+// are degree 0.
+func TestFact22Negation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		f := randBoolFn(rng, n)
+		if f.Not().Degree() != f.Degree() {
+			t.Errorf("deg(¬f)=%d ≠ deg(f)=%d", f.Not().Degree(), f.Degree())
+		}
+	}
+}
+
+// Fact 2.2(4): restriction never increases degree.
+func TestFact22Restriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		f := randBoolFn(rng, n)
+		i := rng.Intn(n)
+		v := int64(rng.Intn(2))
+		g, err := f.Restrict(i, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n-1 {
+			t.Fatalf("restriction arity = %d, want %d", g.N(), n-1)
+		}
+		if g.Degree() > f.Degree() {
+			t.Errorf("deg(f|x%d=%d)=%d > deg(f)=%d", i, v, g.Degree(), f.Degree())
+		}
+	}
+}
+
+func TestRestrictSemantics(t *testing.T) {
+	// Parity_3 restricted at x1=1 is ¬Parity_2 of the remaining variables.
+	p3 := Parity(3)
+	r, err := p3.Restrict(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint32(0); m < 4; m++ {
+		want := int64((bits.OnesCount32(m) + 1) & 1)
+		if r.At(m) != want {
+			t.Errorf("restriction at %b = %d, want %d", m, r.At(m), want)
+		}
+	}
+	if _, err := p3.Restrict(5, 0); err == nil {
+		t.Error("want variable-range error")
+	}
+	if _, err := p3.Restrict(0, 2); err == nil {
+		t.Error("want value error")
+	}
+}
+
+func TestBinaryArityMismatch(t *testing.T) {
+	if _, err := OR(2).And(OR(3)); err == nil {
+		t.Error("want arity mismatch error")
+	}
+}
+
+func TestAddIsIntegerValued(t *testing.T) {
+	f, err := OR(3).Add(Parity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsBoolean() {
+		t.Error("OR+Parity should not be Boolean (value 2 at 0b111)")
+	}
+	if f.At(7) != 2 {
+		t.Errorf("(OR+Parity)(111) = %d, want 2", f.At(7))
+	}
+	if !OR(3).IsBoolean() {
+		t.Error("OR should be Boolean")
+	}
+}
+
+// Certificate complexity: known values. C(OR_n) = n (the all-zero input
+// needs every variable), C(AND_n) = n, C(Parity_n) = n.
+func TestCertificateKnownValues(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if c := OR(n).Certificate(); c != n {
+			t.Errorf("C(OR_%d) = %d, want %d", n, c, n)
+		}
+		if c := Parity(n).Certificate(); c != n {
+			t.Errorf("C(Parity_%d) = %d, want %d", n, c, n)
+		}
+	}
+	// At a one-input of OR, a single variable certifies.
+	if c := OR(5).CertificateAt(0b00100); c != 1 {
+		t.Errorf("C(OR_5, e3) = %d, want 1", c)
+	}
+	// The all-zero input needs everything.
+	if c := OR(5).CertificateAt(0); c != 5 {
+		t.Errorf("C(OR_5, 0) = %d, want 5", c)
+	}
+	// Constants have certificate 0.
+	zero := MustNew(3, func(uint32) int64 { return 0 })
+	if c := zero.Certificate(); c != 0 {
+		t.Errorf("C(const) = %d, want 0", c)
+	}
+}
+
+// Fact 2.3: C(f) ≤ deg(f)^4 — exhaustive over all Boolean functions on 3
+// variables, then randomized on larger arities.
+func TestFact23Exhaustive3(t *testing.T) {
+	for tt := 0; tt < 256; tt++ {
+		table := make([]int64, 8)
+		for i := 0; i < 8; i++ {
+			table[i] = int64((tt >> i) & 1)
+		}
+		f, _ := FromTable(3, table)
+		d, c := f.Degree(), f.Certificate()
+		bound := d * d * d * d
+		if d == 0 {
+			bound = 0
+		}
+		if c > bound {
+			t.Fatalf("truth table %08b: C=%d > deg^4=%d", tt, c, bound)
+		}
+	}
+}
+
+func TestFact23Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(3)
+		f := randBoolFn(rng, n)
+		d, c := f.Degree(), f.Certificate()
+		bound := d * d * d * d
+		if d == 0 {
+			bound = 0
+		}
+		if c > bound {
+			t.Fatalf("n=%d: C=%d > deg^4=%d", n, c, bound)
+		}
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	chi := Indicator(3, []uint32{0b001, 0b110})
+	if chi.At(0b001) != 1 || chi.At(0b110) != 1 {
+		t.Error("members not indicated")
+	}
+	if chi.At(0b000) != 0 || chi.At(0b111) != 0 {
+		t.Error("non-members indicated")
+	}
+	if !chi.IsBoolean() {
+		t.Error("indicator must be Boolean")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th := Threshold(4, 2)
+	for m := uint32(0); m < 16; m++ {
+		want := int64(0)
+		if bits.OnesCount32(m) >= 2 {
+			want = 1
+		}
+		if th.At(m) != want {
+			t.Errorf("Th2(%04b) = %d, want %d", m, th.At(m), want)
+		}
+	}
+}
+
+// Property: degree of a random single monomial indicator equals its popcount.
+func TestMonomialDegreeProperty(t *testing.T) {
+	f := func(sRaw uint8) bool {
+		s := uint32(sRaw) & 0x3f // 6 variables
+		coef := make([]int64, 64)
+		coef[s] = 1
+		fn, err := FromCoefficients(6, coef)
+		if err != nil {
+			return false
+		}
+		return fn.Degree() == bits.OnesCount32(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

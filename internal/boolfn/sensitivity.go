@@ -1,0 +1,54 @@
+package boolfn
+
+import "fmt"
+
+// SensitivityAt returns the sensitivity of f at input a: the number of
+// coordinates whose flip changes f(a). Parity has sensitivity n at every
+// input — the combinatorial cousin of its full degree.
+func (f *Fn) SensitivityAt(a uint32) int {
+	s := 0
+	v := f.table[a]
+	for i := 0; i < f.n; i++ {
+		if f.table[a^(1<<uint(i))] != v {
+			s++
+		}
+	}
+	return s
+}
+
+// Sensitivity returns s(f) = max over inputs of SensitivityAt.
+func (f *Fn) Sensitivity() int {
+	s := 0
+	for a := uint32(0); a < 1<<uint(f.n); a++ {
+		if k := f.SensitivityAt(a); k > s {
+			s = k
+		}
+	}
+	return s
+}
+
+// InfluenceOf returns the influence of variable i: the fraction of inputs
+// at which flipping x_i changes f.
+func (f *Fn) InfluenceOf(i int) (float64, error) {
+	if i < 0 || i >= f.n {
+		return 0, fmt.Errorf("boolfn: variable %d of %d", i, f.n)
+	}
+	cnt := 0
+	total := 1 << uint(f.n)
+	for a := 0; a < total; a++ {
+		if f.table[a] != f.table[a^(1<<uint(i))] {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(total), nil
+}
+
+// TotalInfluence returns Σ_i InfluenceOf(i) — the average sensitivity.
+func (f *Fn) TotalInfluence() float64 {
+	var t float64
+	for i := 0; i < f.n; i++ {
+		v, _ := f.InfluenceOf(i)
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,87 @@
+package boolfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSensitivityKnownValues(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		if s := Parity(n).Sensitivity(); s != n {
+			t.Errorf("s(Parity_%d) = %d, want %d", n, s, n)
+		}
+		if s := OR(n).Sensitivity(); s != n {
+			t.Errorf("s(OR_%d) = %d, want %d (the all-zero input)", n, s, n)
+		}
+	}
+	// Parity is fully sensitive at *every* input.
+	p := Parity(5)
+	for a := uint32(0); a < 32; a++ {
+		if p.SensitivityAt(a) != 5 {
+			t.Fatalf("parity sensitivity at %05b = %d", a, p.SensitivityAt(a))
+		}
+	}
+	// OR's sensitivity at a weight-1 input is 1.
+	if s := OR(5).SensitivityAt(0b00100); s != 1 {
+		t.Errorf("OR sensitivity at e3 = %d, want 1", s)
+	}
+	zero := MustNew(4, func(uint32) int64 { return 0 })
+	if zero.Sensitivity() != 0 {
+		t.Error("constant sensitivity must be 0")
+	}
+}
+
+func TestInfluence(t *testing.T) {
+	// Parity: every variable has influence 1.
+	p := Parity(4)
+	for i := 0; i < 4; i++ {
+		v, err := p.InfluenceOf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1 {
+			t.Errorf("Inf_%d(Parity) = %v, want 1", i, v)
+		}
+	}
+	if ti := p.TotalInfluence(); ti != 4 {
+		t.Errorf("total influence = %v, want 4", ti)
+	}
+	// Dictator x0: influence 1 on x0, 0 elsewhere.
+	dict := MustNew(3, func(m uint32) int64 { return int64(m & 1) })
+	if v, _ := dict.InfluenceOf(0); v != 1 {
+		t.Errorf("Inf_0(dictator) = %v", v)
+	}
+	if v, _ := dict.InfluenceOf(2); v != 0 {
+		t.Errorf("Inf_2(dictator) = %v", v)
+	}
+	if _, err := dict.InfluenceOf(7); err == nil {
+		t.Error("want range error")
+	}
+	// OR_n: each variable flips f only when all others are 0: 2/2^n.
+	or := OR(4)
+	if v, _ := or.InfluenceOf(1); math.Abs(v-2.0/16) > 1e-12 {
+		t.Errorf("Inf(OR_4) = %v, want 1/8", v)
+	}
+}
+
+// Sensitivity never exceeds certificate complexity, which never exceeds
+// deg^4 (the chain the paper's Claim 5.2 rides on).
+func TestSensitivityChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		f := MustNew(n, func(uint32) int64 { return int64(rng.Intn(2)) })
+		s, c, d := f.Sensitivity(), f.Certificate(), f.Degree()
+		if s > c {
+			t.Errorf("s(f)=%d > C(f)=%d", s, c)
+		}
+		bound := d * d * d * d
+		if d == 0 {
+			bound = 0
+		}
+		if c > bound {
+			t.Errorf("C(f)=%d > deg⁴=%d", c, bound)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package bounds encodes, as executable formulas, every lower- and
+// upper-bound expression of MacKenzie & Ramachandran (SPAA 1998): the four
+// sub-tables of Table 1 (time bounds on QSM, s-QSM and BSP, and round
+// bounds for p-processor algorithms) together with the Section 8 upper
+// bounds and the GSM theorems they descend from.
+//
+// Each formula evaluates the Θ/Ω expression with all hidden constants set to
+// one. Benchmarks compare measured simulator costs against these shapes:
+// for a Θ row the measured/formula ratio must stabilise; for an Ω row the
+// formula is a floor whose growth the measurement must dominate.
+//
+// All logarithms are base 2 and guarded so the formulas are total: log x is
+// evaluated as log₂(max(x,2)) and every denominator is clamped to ≥ 1. The
+// iterated logarithm Log2Star(x) counts applications of log₂ until the
+// value drops to ≤ 1.
+package bounds
+
+import "math"
+
+// Args carries the parameters a bound formula may consult.
+type Args struct {
+	// N is the input size.
+	N int
+	// P is the processor count (BSP components).
+	P int
+	// G is the gap parameter.
+	G int64
+	// L is the BSP latency.
+	L int64
+}
+
+// Lg returns log₂(max(x, 2)) — the guarded logarithm used by every formula.
+func Lg(x float64) float64 {
+	if x < 2 {
+		x = 2
+	}
+	return math.Log2(x)
+}
+
+// LgLg returns log₂ log₂ with the same guards.
+func LgLg(x float64) float64 { return Lg(Lg(x)) }
+
+// Log2Star returns the iterated logarithm log₂* x: the number of times log₂
+// must be applied to x before the result is ≤ 1.
+func Log2Star(x float64) float64 {
+	s := 0
+	for x > 1 {
+		x = math.Log2(x)
+		s++
+		if s > 64 { // unreachable for finite inputs; safety net
+			break
+		}
+	}
+	return float64(s)
+}
+
+// pos clamps to ≥ 1, used for denominators.
+func pos(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// nonneg clamps to ≥ 0.
+func nonneg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func q(a Args) float64 {
+	n, p := float64(a.N), float64(a.P)
+	if p < n && p > 0 {
+		return p
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Table 1a — Time lower bounds for QSM.
+// ---------------------------------------------------------------------------
+
+// QSMLACDet is Ω(g·√(log n / (log log n + log g))).
+func QSMLACDet(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * math.Sqrt(Lg(n)/pos(LgLg(n)+Lg(g)))
+}
+
+// QSMLACRand is Ω(g·log log n / log g).
+func QSMLACRand(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * LgLg(n) / pos(Lg(g))
+}
+
+// QSMLACRandNProcs is the n-processor strengthening Ω(g·log* n).
+func QSMLACRandNProcs(a Args) float64 {
+	return float64(a.G) * Log2Star(float64(a.N))
+}
+
+// QSMORDet is Ω(g·log n / (log log n + log g)).
+func QSMORDet(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(LgLg(n)+Lg(g))
+}
+
+// QSMORRand is Ω(g·(log* n − log* g)).
+func QSMORRand(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * nonneg(Log2Star(n)-Log2Star(g))
+}
+
+// QSMParityDet is Ω(g·log n / log g); with unit-time concurrent reads this
+// bound is tight (Θ).
+func QSMParityDet(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(Lg(g))
+}
+
+// QSMParityRand is Ω(g·log n / (log log n + min(log log g, log log p))).
+func QSMParityRand(a Args) float64 {
+	n, g, p := float64(a.N), float64(a.G), float64(a.P)
+	return g * Lg(n) / pos(LgLg(n)+math.Min(LgLg(g), LgLg(p)))
+}
+
+// ---------------------------------------------------------------------------
+// Table 1b — Time lower bounds for s-QSM.
+// ---------------------------------------------------------------------------
+
+// SQSMLACDet is Ω(g·√(log n / log log n)).
+func SQSMLACDet(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * math.Sqrt(Lg(n)/pos(LgLg(n)))
+}
+
+// SQSMLACRand is Ω(g·log log n).
+func SQSMLACRand(a Args) float64 {
+	return float64(a.G) * LgLg(float64(a.N))
+}
+
+// SQSMORDet is Ω(g·log n / log log n).
+func SQSMORDet(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(LgLg(n))
+}
+
+// SQSMORRand is Ω(g·log* n).
+func SQSMORRand(a Args) float64 {
+	return float64(a.G) * Log2Star(float64(a.N))
+}
+
+// SQSMParityDet is Θ(g·log n) — tight.
+func SQSMParityDet(a Args) float64 {
+	return float64(a.G) * Lg(float64(a.N))
+}
+
+// SQSMParityRand is Ω(g·log n / log log n).
+func SQSMParityRand(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(LgLg(n))
+}
+
+// ---------------------------------------------------------------------------
+// Table 1c — Time lower bounds for BSP with p processors (q = min{n,p}).
+// ---------------------------------------------------------------------------
+
+// BSPLACDet is Ω(L·√(log q / (log log q + log(L/g)))).
+func BSPLACDet(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	qq := q(a)
+	return L * math.Sqrt(Lg(qq)/pos(LgLg(qq)+Lg(lg)))
+}
+
+// BSPLACRand is Ω(L·log log n / log(L/g)) for p = Ω(n/polylog n).
+func BSPLACRand(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	return L * LgLg(float64(a.N)) / pos(Lg(lg))
+}
+
+// BSPORDet is Ω(L·log q / (log log q + log(L/g))).
+func BSPORDet(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	qq := q(a)
+	return L * Lg(qq) / pos(LgLg(qq)+Lg(lg))
+}
+
+// BSPORRand is Ω(L·(log* q − log*(L/g))).
+func BSPORRand(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	return L * nonneg(Log2Star(q(a))-Log2Star(lg))
+}
+
+// BSPParityDet is Θ(L·log q / log(L/g)) — tight.
+func BSPParityDet(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	return L * Lg(q(a)) / pos(Lg(lg))
+}
+
+// BSPParityRand is Ω(L·√(log q / (log log q + log(L/g)))).
+func BSPParityRand(a Args) float64 {
+	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	qq := q(a)
+	return L * math.Sqrt(Lg(qq)/pos(LgLg(qq)+Lg(lg)))
+}
+
+// ---------------------------------------------------------------------------
+// Table 1d — Rounds for p-processor algorithms (p ≤ n).
+// ---------------------------------------------------------------------------
+
+// RoundsQSMLAC is Ω((log* n − log*(n/p)) + √(log n / log(gn/p))).
+func RoundsQSMLAC(a Args) float64 {
+	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	return nonneg(Log2Star(n)-Log2Star(n/p)) + math.Sqrt(Lg(n)/pos(Lg(g*n/p)))
+}
+
+// RoundsSQSMLAC is Ω(√(log n / log(n/p))) — the same formula serves the BSP
+// column.
+func RoundsSQSMLAC(a Args) float64 {
+	n, p := float64(a.N), float64(a.P)
+	return math.Sqrt(Lg(n) / pos(Lg(n/p)))
+}
+
+// RoundsBSPLAC is Ω(√(log n / log(n/p))).
+func RoundsBSPLAC(a Args) float64 { return RoundsSQSMLAC(a) }
+
+// RoundsQSMOR is Θ(log n / log(ng/p)) — tight.
+func RoundsQSMOR(a Args) float64 {
+	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	return Lg(n) / pos(Lg(n*g/p))
+}
+
+// RoundsSQSMOR is Θ(log n / log(n/p)) — tight; same formula for BSP.
+func RoundsSQSMOR(a Args) float64 {
+	n, p := float64(a.N), float64(a.P)
+	return Lg(n) / pos(Lg(n/p))
+}
+
+// RoundsBSPOR is Θ(log n / log(n/p)).
+func RoundsBSPOR(a Args) float64 { return RoundsSQSMOR(a) }
+
+// RoundsQSMParity is Ω(log n / (log(n/p) + min{log g, log log p})).
+func RoundsQSMParity(a Args) float64 {
+	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	return Lg(n) / pos(Lg(n/p)+math.Min(Lg(g), LgLg(p)))
+}
+
+// RoundsSQSMParity is Θ(log n / log(n/p)) — tight; same formula for BSP.
+func RoundsSQSMParity(a Args) float64 { return RoundsSQSMOR(a) }
+
+// RoundsBSPParity is Θ(log n / log(n/p)).
+func RoundsBSPParity(a Args) float64 { return RoundsSQSMOR(a) }
+
+// ---------------------------------------------------------------------------
+// Section 8 — upper bounds.
+// ---------------------------------------------------------------------------
+
+// UpperQSMParity is O(g·log n / log log g) (depth-2 circuit emulation).
+func UpperQSMParity(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(LgLg(g))
+}
+
+// UpperCRQWParity is O(g·log n / log g) with unit-time concurrent reads —
+// matches the Theorem 3.1 lower bound, making the row Θ.
+func UpperCRQWParity(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(Lg(g))
+}
+
+// UpperSQSMParity is O(g·log n) — tight against SQSMParityDet.
+func UpperSQSMParity(a Args) float64 { return SQSMParityDet(a) }
+
+// UpperBSPParity is O(L·log n / log(L/g)).
+func UpperBSPParity(a Args) float64 {
+	n, L, lg := float64(a.N), float64(a.L), float64(a.L)/float64(a.G)
+	return L * Lg(n) / pos(Lg(lg))
+}
+
+// UpperQSMLAC is O(√(g·log n) + g·log log n) w.h.p.
+func UpperQSMLAC(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return math.Sqrt(g*Lg(n)) + g*LgLg(n)
+}
+
+// UpperSQSMLAC is O(g·√(log n)) w.h.p.
+func UpperSQSMLAC(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * math.Sqrt(Lg(n))
+}
+
+// UpperBSPLAC is O(√(L·g·log n)/log(L/g) + L·log log n/log(L/g)) w.h.p.
+func UpperBSPLAC(a Args) float64 {
+	n, g, L := float64(a.N), float64(a.G), float64(a.L)
+	lg := L / g
+	return math.Sqrt(L*g*Lg(n))/pos(Lg(lg)) + L*LgLg(n)/pos(Lg(lg))
+}
+
+// UpperQSMOR is O((g/log g)·log n).
+func UpperQSMOR(a Args) float64 {
+	n, g := float64(a.N), float64(a.G)
+	return g * Lg(n) / pos(Lg(g))
+}
+
+// UpperSQSMOR is O(g·log n).
+func UpperSQSMOR(a Args) float64 { return SQSMParityDet(a) }
+
+// UpperBSPOR is O(L·log n / log(L/g)) [Juurlink & Wijshoff].
+func UpperBSPOR(a Args) float64 { return UpperBSPParity(a) }
+
+// ---------------------------------------------------------------------------
+// GSM theorems (the sources of the table rows).
+// ---------------------------------------------------------------------------
+
+// GSMArgs carries GSM parameters for the Section 3–7 theorems.
+type GSMArgs struct {
+	N                  int
+	Alpha, Beta, Gamma int64
+	P                  int
+	// H is the relaxed round budget of Section 6.3 (GSM(h)).
+	H int64
+}
+
+func (g GSMArgs) mu() float64 {
+	a, b := float64(g.Alpha), float64(g.Beta)
+	return math.Max(a, b)
+}
+
+func (g GSMArgs) lambda() float64 {
+	a, b := float64(g.Alpha), float64(g.Beta)
+	return math.Min(math.Max(a, 1), math.Max(b, 1))
+}
+
+func (g GSMArgs) r() float64 {
+	return float64(g.N) / math.Max(float64(g.Gamma), 1)
+}
+
+// GSMParityDet is Theorem 3.1: Ω(μ·log(n/γ)/log μ).
+func GSMParityDet(g GSMArgs) float64 {
+	return g.mu() * Lg(g.r()) / pos(Lg(g.mu()))
+}
+
+// GSMParityRand is Theorem 3.2: Ω(μ·√(log r/(log log r + log μ))), r = n/γ.
+func GSMParityRand(g GSMArgs) float64 {
+	r := g.r()
+	return g.mu() * math.Sqrt(Lg(r)/pos(LgLg(r)+Lg(g.mu())))
+}
+
+// GSMLACDet is Lemma 6.3: Ω(μ·√(log r/(log log r + log μ))).
+func GSMLACDet(g GSMArgs) float64 { return GSMParityRand(g) }
+
+// GSMLACRand is Theorem 6.1: μ·((1/8)·log log n − log γ)/(2·log μ) − O(m)
+// with m = log log log log n; evaluated without the additive slack.
+func GSMLACRand(g GSMArgs) float64 {
+	n := float64(g.N)
+	v := g.mu() * nonneg(LgLg(n)/8-Lg(float64(g.Gamma))) / pos(2*Lg(g.mu()))
+	return v
+}
+
+// GSMORDet is Theorem 7.2: Ω(μ·log r/(log log r + log μ)).
+func GSMORDet(g GSMArgs) float64 {
+	r := g.r()
+	return g.mu() * Lg(r) / pos(LgLg(r)+Lg(g.mu()))
+}
+
+// GSMORRand is Theorem 7.1: Ω(μ·(log* (n/γ) − log* μ)).
+func GSMORRand(g GSMArgs) float64 {
+	return g.mu() * nonneg(Log2Star(g.r())-Log2Star(g.mu()))
+}
+
+// GSMORRounds is Theorem 7.3: Ω(log(n/γ) / log(μn/(λp))).
+func GSMORRounds(g GSMArgs) float64 {
+	n, p := float64(g.N), float64(g.P)
+	return Lg(g.r()) / pos(Lg(g.mu()*n/(g.lambda()*p)))
+}
+
+// GSMLACRoundsRelaxed is Theorem 6.3: Ω(√(log(n/(dγ)) / log(μh/λ))) rounds
+// for ((μh/λ)+1)-LAC into a destination array of size d.
+func GSMLACRoundsRelaxed(g GSMArgs, d int64) float64 {
+	n := float64(g.N)
+	mh := g.mu() * float64(g.H) / g.lambda()
+	return math.Sqrt(Lg(n/(float64(d)*math.Max(float64(g.Gamma), 1))) / pos(Lg(mh)))
+}

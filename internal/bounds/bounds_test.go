@@ -1,0 +1,239 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLgGuards(t *testing.T) {
+	if Lg(0) != 1 || Lg(1) != 1 || Lg(2) != 1 {
+		t.Errorf("Lg guard: Lg(0)=%v Lg(1)=%v Lg(2)=%v, want 1,1,1", Lg(0), Lg(1), Lg(2))
+	}
+	if Lg(1024) != 10 {
+		t.Errorf("Lg(1024) = %v, want 10", Lg(1024))
+	}
+	if LgLg(1<<16) != 4 {
+		t.Errorf("LgLg(2^16) = %v, want 4", LgLg(1<<16))
+	}
+}
+
+func TestLog2Star(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1e30, 5},
+	}
+	for _, c := range cases {
+		if got := Log2Star(c.x); got != c.want {
+			t.Errorf("Log2Star(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLog2StarMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return Log2Star(x) <= Log2Star(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every registry formula must be finite, non-negative and monotone
+// non-decreasing in n over a broad parameter grid — the basic sanity the
+// bench harness depends on.
+func TestRegistryFormulasTotalAndMonotone(t *testing.T) {
+	grid := []Args{
+		{N: 1 << 8, P: 16, G: 2, L: 8},
+		{N: 1 << 12, P: 64, G: 4, L: 16},
+		{N: 1 << 16, P: 256, G: 8, L: 64},
+		{N: 1 << 20, P: 1024, G: 16, L: 256},
+	}
+	for _, e := range Registry {
+		prev := -math.MaxFloat64
+		for _, a := range grid {
+			v := e.Eval(a)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: Eval(%+v) = %v", e.ID, a, v)
+			}
+			if v < 0 {
+				t.Errorf("%s: negative bound %v at %+v", e.ID, v, a)
+			}
+			// The grid scales n, p, g, L together; the time bounds of
+			// tables 1–3 are non-decreasing along it. (The rounds formulas
+			// of table 4 legitimately shrink when n/p grows with n.)
+			if e.Table != 4 && v < prev-1e-9 {
+				t.Errorf("%s: bound decreased along grid: %v after %v", e.ID, v, prev)
+			}
+			prev = v
+			if e.Upper != nil {
+				u := e.Upper(a)
+				if math.IsNaN(u) || u < 0 {
+					t.Errorf("%s: bad upper %v", e.ID, u)
+				}
+			}
+		}
+	}
+}
+
+// For every Θ (tight) entry the Section 8 upper bound must be within a
+// constant factor of the lower bound across a wide sweep — that is what
+// "tight" means.
+func TestTightEntriesUpperMatchesLower(t *testing.T) {
+	for _, e := range Registry {
+		if !e.Tight || e.Upper == nil || e.Table == 4 {
+			continue
+		}
+		var worst float64
+		for exp := 8; exp <= 24; exp += 2 {
+			a := Args{N: 1 << exp, P: 1 << exp, G: 4, L: 16}
+			lo, up := e.Eval(a), e.Upper(a)
+			if lo <= 0 {
+				t.Fatalf("%s: non-positive lower bound", e.ID)
+			}
+			r := up / lo
+			if r > worst {
+				worst = r
+			}
+		}
+		if worst > 4 {
+			t.Errorf("%s: upper/lower ratio %v grows beyond constant", e.ID, worst)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e := ByID("T2.Parity.det")
+	if e == nil || e.Model != "s-QSM" || !e.Tight {
+		t.Fatalf("ByID returned %+v", e)
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID(nope) should be nil")
+	}
+}
+
+func TestByTable(t *testing.T) {
+	counts := map[int]int{}
+	for tbl := 1; tbl <= 4; tbl++ {
+		counts[tbl] = len(ByTable(tbl))
+	}
+	// 3 problems × 2 kinds (+1 extra n-procs LAC row in table 1);
+	// table 4 has 3 problems × 3 models.
+	if counts[1] != 7 {
+		t.Errorf("table 1 rows = %d, want 7", counts[1])
+	}
+	if counts[2] != 6 || counts[3] != 6 {
+		t.Errorf("tables 2,3 rows = %d,%d, want 6,6", counts[2], counts[3])
+	}
+	if counts[4] != 9 {
+		t.Errorf("table 4 rows = %d, want 9", counts[4])
+	}
+	if len(ByTable(5)) != 0 {
+		t.Error("table 5 should be empty")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate registry ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Eval == nil {
+			t.Errorf("%s: nil Eval", e.ID)
+		}
+		if e.Source == "" || e.Formula == "" {
+			t.Errorf("%s: missing provenance", e.ID)
+		}
+	}
+}
+
+// Spot values pinned against hand evaluation.
+func TestSpotValues(t *testing.T) {
+	a := Args{N: 1 << 16, P: 1 << 10, G: 4, L: 16}
+	// s-QSM parity: g·log n = 4·16 = 64.
+	if got := SQSMParityDet(a); got != 64 {
+		t.Errorf("SQSMParityDet = %v, want 64", got)
+	}
+	// QSM parity det: g·log n/log g = 4·16/2 = 32.
+	if got := QSMParityDet(a); got != 32 {
+		t.Errorf("QSMParityDet = %v, want 32", got)
+	}
+	// BSP parity det with q = min(n,p) = 1024: L·log q/log(L/g) = 16·10/2 = 80.
+	if got := BSPParityDet(a); got != 80 {
+		t.Errorf("BSPParityDet = %v, want 80", got)
+	}
+	// Rounds OR s-QSM: log n/log(n/p) = 16/6.
+	if got := RoundsSQSMOR(a); math.Abs(got-16.0/6) > 1e-12 {
+		t.Errorf("RoundsSQSMOR = %v, want %v", got, 16.0/6)
+	}
+	// QSM OR rand: g·(log* n − log* g) = 4·(4−2) = 8.
+	if got := QSMORRand(a); got != 8 {
+		t.Errorf("QSMORRand = %v, want 8", got)
+	}
+}
+
+func TestGSMTheoremFormulas(t *testing.T) {
+	g := GSMArgs{N: 1 << 16, Alpha: 2, Beta: 8, Gamma: 4, P: 256, H: 64}
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"GSMParityDet", GSMParityDet(g)},
+		{"GSMParityRand", GSMParityRand(g)},
+		{"GSMLACDet", GSMLACDet(g)},
+		{"GSMLACRand", GSMLACRand(g)},
+		{"GSMORDet", GSMORDet(g)},
+		{"GSMORRand", GSMORRand(g)},
+		{"GSMORRounds", GSMORRounds(g)},
+		{"GSMLACRoundsRelaxed", GSMLACRoundsRelaxed(g, 8)},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			t.Errorf("%s = %v", c.name, c.v)
+		}
+	}
+	// μ·log r/log μ with μ=8, r=n/γ=2^14: 8·14/3.
+	if got := GSMParityDet(g); math.Abs(got-8*14.0/3) > 1e-9 {
+		t.Errorf("GSMParityDet = %v, want %v", got, 8*14.0/3)
+	}
+	// Randomized GSM parity is always ≤ deterministic (weaker bound).
+	if GSMParityRand(g) > GSMParityDet(g) {
+		t.Error("randomized parity bound exceeds deterministic")
+	}
+}
+
+// The paper's qualitative orderings, checked numerically at scale:
+// s-QSM lower bounds dominate QSM lower bounds (s-QSM charges g·κ ≥ κ), and
+// randomized bounds never exceed deterministic ones for the same cell.
+func TestQualitativeOrderings(t *testing.T) {
+	for exp := 10; exp <= 24; exp += 2 {
+		a := Args{N: 1 << exp, P: 1 << (exp - 4), G: 8, L: 32}
+		if SQSMParityDet(a) < QSMParityDet(a)-1e-9 {
+			t.Errorf("n=2^%d: s-QSM parity bound below QSM bound", exp)
+		}
+		if SQSMORDet(a) < QSMORDet(a)-1e-9 {
+			t.Errorf("n=2^%d: s-QSM OR bound below QSM bound", exp)
+		}
+		// Randomized parity bounds are weaker (never exceed) deterministic
+		// ones at these scales. (OR and LAC rand bounds use log*, which can
+		// sit above log/loglog at small n, so no ordering is asserted.)
+		pairs := [][2]float64{
+			{QSMParityRand(a), QSMParityDet(a)},
+			{SQSMParityRand(a), SQSMParityDet(a)},
+		}
+		for i, pr := range pairs {
+			if pr[0] > pr[1]+1e-9 {
+				t.Errorf("n=2^%d pair %d: randomized bound %v above deterministic %v",
+					exp, i, pr[0], pr[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package bounds
+
+// Claim 2.2 of the paper maps GSM lower bounds to the QSM(g,d) model — the
+// generalization of the QSM (d = 1) and s-QSM (d = g) with a separate gap
+// parameter d for processing each access at memory. These helpers evaluate
+// the Claim 2.2 transfer expressions given a GSM bound evaluator.
+
+// GDArgs parameterises a QSM(g,d) bound.
+type GDArgs struct {
+	N    int
+	P    int
+	G, D int64
+}
+
+// GSMEval is a GSM bound as a function of (n, α, β, γ).
+type GSMEval func(n int, alpha, beta, gamma float64) float64
+
+// QSMGDTime evaluates Claim 2.2's time transfer: for g > d the bound is
+// d·T_GSM(n, 1, g/d, 1); for d ≥ g it is g·T_GSM(n, d/g, 1, 1).
+func QSMGDTime(a GDArgs, t GSMEval) float64 {
+	g, d := float64(a.G), float64(a.D)
+	if d < 1 {
+		d = 1
+	}
+	if g > d {
+		return d * t(a.N, 1, g/d, 1)
+	}
+	return g * t(a.N, d/g, 1, 1)
+}
+
+// QSMGDRounds evaluates Claim 2.2's rounds transfer: for g > d it is
+// R_GSM(n, 1, g/d, 1, p); for d ≥ g it is R_GSM(n, d/g, 1, 1, p).
+func QSMGDRounds(a GDArgs, r func(n, p int, alpha, beta, gamma float64) float64) float64 {
+	g, d := float64(a.G), float64(a.D)
+	if d < 1 {
+		d = 1
+	}
+	if g > d {
+		return r(a.N, a.P, 1, g/d, 1)
+	}
+	return r(a.N, a.P, d/g, 1, 1)
+}
+
+// GSMParityDetEval is Theorem 3.1 in the GSMEval shape (real-valued
+// parameters, since Claim 2.2 passes fractional g/d ratios):
+// μ·log(n/γ)/log μ with μ = max(α, β).
+func GSMParityDetEval(n int, alpha, beta, gamma float64) float64 {
+	mu := alpha
+	if beta > mu {
+		mu = beta
+	}
+	if mu < 1 {
+		mu = 1
+	}
+	if gamma < 1 {
+		gamma = 1
+	}
+	return mu * Lg(float64(n)/gamma) / pos(Lg(mu))
+}
+
+// QSMGDParityDet is the Claim 2.2 deterministic Parity time bound on the
+// QSM(g,d).
+func QSMGDParityDet(a GDArgs) float64 {
+	return QSMGDTime(a, GSMParityDetEval)
+}

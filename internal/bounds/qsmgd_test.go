@@ -1,0 +1,88 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQSMGDTimeEndpoints(t *testing.T) {
+	// d = 1 recovers the Claim 2.1 QSM transfer; d = g the s-QSM transfer.
+	n := 1 << 16
+	g := int64(8)
+
+	qsmLike := QSMGDTime(GDArgs{N: n, G: g, D: 1}, GSMParityDetEval)
+	// Claim 2.1(1): T_GSM(n, 1, g, 1) = g·log n/log g.
+	want := float64(g) * Lg(float64(n)) / Lg(float64(g))
+	if math.Abs(qsmLike-want) > 1e-9 {
+		t.Errorf("QSM(g,1) parity bound = %v, want %v", qsmLike, want)
+	}
+
+	sqsmLike := QSMGDTime(GDArgs{N: n, G: g, D: g}, GSMParityDetEval)
+	// Claim 2.1(2): g·T_GSM(n,1,1,1) = g·log n (μ = 1 ⇒ log μ guard = 1).
+	want = float64(g) * Lg(float64(n))
+	if math.Abs(sqsmLike-want) > 1e-9 {
+		t.Errorf("QSM(g,g) parity bound = %v, want %v", sqsmLike, want)
+	}
+
+	// Interior point g > d: d·T_GSM(n, 1, g/d, 1).
+	mid := QSMGDTime(GDArgs{N: n, G: 8, D: 2}, GSMParityDetEval)
+	want = 2 * (4 * Lg(float64(n)) / Lg(4))
+	if math.Abs(mid-want) > 1e-9 {
+		t.Errorf("QSM(8,2) parity bound = %v, want %v", mid, want)
+	}
+	// Interior point d > g: g·T_GSM(n, d/g, 1, 1).
+	mid2 := QSMGDTime(GDArgs{N: n, G: 2, D: 8}, GSMParityDetEval)
+	want = 2 * (4 * Lg(float64(n)) / Lg(4))
+	if math.Abs(mid2-want) > 1e-9 {
+		t.Errorf("QSM(2,8) parity bound = %v, want %v", mid2, want)
+	}
+	// d = 0 is clamped to 1.
+	if QSMGDTime(GDArgs{N: n, G: 4, D: 0}, GSMParityDetEval) !=
+		QSMGDTime(GDArgs{N: n, G: 4, D: 1}, GSMParityDetEval) {
+		t.Error("d=0 must clamp to d=1")
+	}
+}
+
+func TestQSMGDParityDetMonotoneInD(t *testing.T) {
+	// For fixed g, the parity bound is non-decreasing in d (more memory
+	// gap can only slow the model down).
+	n := 1 << 14
+	prev := 0.0
+	for _, d := range []int64{1, 2, 4, 8, 16} {
+		v := QSMGDParityDet(GDArgs{N: n, G: 8, D: d})
+		if v < prev-1e-9 {
+			t.Errorf("bound decreased at d=%d: %v after %v", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQSMGDRounds(t *testing.T) {
+	rounds := func(n, p int, alpha, beta, gamma float64) float64 {
+		// Theorem 7.3's OR rounds shape with real parameters:
+		// log(n/γ)/log(μn/(λp)).
+		mu, lam := alpha, beta
+		if beta > alpha {
+			mu, lam = beta, alpha
+		}
+		if lam < 1 {
+			lam = 1
+		}
+		return Lg(float64(n)/math.Max(gamma, 1)) / pos(Lg(mu*float64(n)/(lam*float64(p))))
+	}
+	a := GDArgs{N: 1 << 12, P: 1 << 8, G: 8, D: 2}
+	v := QSMGDRounds(a, rounds)
+	if math.IsNaN(v) || v <= 0 {
+		t.Errorf("QSMGDRounds = %v", v)
+	}
+	// g > d uses β = g/d; d ≥ g uses α = d/g — both reduce to the plain
+	// formula when g = d.
+	eq := QSMGDRounds(GDArgs{N: 1 << 12, P: 1 << 8, G: 4, D: 4}, rounds)
+	plain := rounds(1<<12, 1<<8, 1, 1, 1)
+	if math.Abs(eq-plain) > 1e-9 {
+		t.Errorf("g=d rounds = %v, want %v", eq, plain)
+	}
+	if QSMGDRounds(GDArgs{N: 1 << 12, P: 1 << 8, G: 4, D: 0}, rounds) != QSMGDRounds(GDArgs{N: 1 << 12, P: 1 << 8, G: 4, D: 1}, rounds) {
+		t.Error("d=0 must clamp")
+	}
+}

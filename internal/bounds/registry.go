@@ -1,0 +1,153 @@
+package bounds
+
+// Kind distinguishes deterministic from randomized bounds.
+type Kind string
+
+const (
+	// Det marks a bound on deterministic algorithms.
+	Det Kind = "det"
+	// Rand marks a bound on randomized algorithms.
+	Rand Kind = "rand"
+)
+
+// Entry describes one cell of Table 1: its formula, its provenance and
+// whether the paper proves it tight.
+type Entry struct {
+	// ID is a stable identifier, e.g. "T1.LAC.det".
+	ID string
+	// Table is 1–4 for the four sub-tables of Table 1.
+	Table int
+	// Problem is "LAC", "OR" or "Parity".
+	Problem string
+	// Model is "QSM", "s-QSM", "BSP" or "CRQW-QSM".
+	Model string
+	// Kind is Det or Rand.
+	Kind Kind
+	// Tight reports a Θ entry (lower bound matched by an upper bound).
+	Tight bool
+	// Formula is the human-readable bound.
+	Formula string
+	// Source cites the theorem/corollary in the paper.
+	Source string
+	// Eval computes the bound's value with hidden constants set to 1.
+	Eval func(Args) float64
+	// Upper computes the matching Section 8 upper-bound formula if the
+	// paper gives one (nil otherwise).
+	Upper func(Args) float64
+}
+
+// Registry lists every cell of Table 1 in paper order.
+var Registry = []Entry{
+	// --- Table 1a: time lower bounds, QSM ---
+	{ID: "T1.LAC.det", Table: 1, Problem: "LAC", Model: "QSM", Kind: Det,
+		Formula: "g·sqrt(log n/(log log n + log g))", Source: "Cor 6.4",
+		Eval: QSMLACDet, Upper: UpperQSMLAC},
+	{ID: "T1.LAC.rand", Table: 1, Problem: "LAC", Model: "QSM", Kind: Rand,
+		Formula: "g·log log n/log g", Source: "Cor 6.1",
+		Eval: QSMLACRand, Upper: UpperQSMLAC},
+	{ID: "T1.LAC.rand.nprocs", Table: 1, Problem: "LAC", Model: "QSM", Kind: Rand,
+		Formula: "g·log* n (n processors)", Source: "Thm 6.2 / [15]",
+		Eval: QSMLACRandNProcs, Upper: UpperQSMLAC},
+	{ID: "T1.OR.det", Table: 1, Problem: "OR", Model: "QSM", Kind: Det,
+		Formula: "g·log n/(log log n + log g)", Source: "Cor 7.2",
+		Eval: QSMORDet, Upper: UpperQSMOR},
+	{ID: "T1.OR.rand", Table: 1, Problem: "OR", Model: "QSM", Kind: Rand,
+		Formula: "g·(log* n − log* g)", Source: "Cor 7.1",
+		Eval: QSMORRand, Upper: UpperQSMOR},
+	{ID: "T1.Parity.det", Table: 1, Problem: "Parity", Model: "QSM", Kind: Det,
+		Formula: "g·log n/log g (Θ with concurrent reads)", Source: "Cor 3.1 / §8",
+		Tight: true, Eval: QSMParityDet, Upper: UpperCRQWParity},
+	{ID: "T1.Parity.rand", Table: 1, Problem: "Parity", Model: "QSM", Kind: Rand,
+		Formula: "g·log n/(log log n + min(log log g, log log p))", Source: "Thm 3.3",
+		Eval: QSMParityRand, Upper: UpperQSMParity},
+
+	// --- Table 1b: time lower bounds, s-QSM ---
+	{ID: "T2.LAC.det", Table: 2, Problem: "LAC", Model: "s-QSM", Kind: Det,
+		Formula: "g·sqrt(log n/log log n)", Source: "Cor 6.4",
+		Eval: SQSMLACDet, Upper: UpperSQSMLAC},
+	{ID: "T2.LAC.rand", Table: 2, Problem: "LAC", Model: "s-QSM", Kind: Rand,
+		Formula: "g·log log n", Source: "Cor 6.1",
+		Eval: SQSMLACRand, Upper: UpperSQSMLAC},
+	{ID: "T2.OR.det", Table: 2, Problem: "OR", Model: "s-QSM", Kind: Det,
+		Formula: "g·log n/log log n", Source: "Cor 7.2",
+		Eval: SQSMORDet, Upper: UpperSQSMOR},
+	{ID: "T2.OR.rand", Table: 2, Problem: "OR", Model: "s-QSM", Kind: Rand,
+		Formula: "g·log* n", Source: "Cor 7.1",
+		Eval: SQSMORRand, Upper: UpperSQSMOR},
+	{ID: "T2.Parity.det", Table: 2, Problem: "Parity", Model: "s-QSM", Kind: Det,
+		Formula: "g·log n (Θ)", Source: "Cor 3.1 / §8", Tight: true,
+		Eval: SQSMParityDet, Upper: UpperSQSMParity},
+	{ID: "T2.Parity.rand", Table: 2, Problem: "Parity", Model: "s-QSM", Kind: Rand,
+		Formula: "g·log n/log log n", Source: "Cor 3.3",
+		Eval: SQSMParityRand, Upper: UpperSQSMParity},
+
+	// --- Table 1c: time lower bounds, BSP ---
+	{ID: "T3.LAC.det", Table: 3, Problem: "LAC", Model: "BSP", Kind: Det,
+		Formula: "L·sqrt(log q/(log log q + log(L/g)))", Source: "Cor 6.4",
+		Eval: BSPLACDet, Upper: UpperBSPLAC},
+	{ID: "T3.LAC.rand", Table: 3, Problem: "LAC", Model: "BSP", Kind: Rand,
+		Formula: "L·log log n/log(L/g), p=Ω(n/polylog)", Source: "Cor 6.1",
+		Eval: BSPLACRand, Upper: UpperBSPLAC},
+	{ID: "T3.OR.det", Table: 3, Problem: "OR", Model: "BSP", Kind: Det,
+		Formula: "L·log q/(log log q + log(L/g))", Source: "Cor 7.2",
+		Eval: BSPORDet, Upper: UpperBSPOR},
+	{ID: "T3.OR.rand", Table: 3, Problem: "OR", Model: "BSP", Kind: Rand,
+		Formula: "L·(log* q − log*(L/g))", Source: "Cor 7.1",
+		Eval: BSPORRand, Upper: UpperBSPOR},
+	{ID: "T3.Parity.det", Table: 3, Problem: "Parity", Model: "BSP", Kind: Det,
+		Formula: "L·log q/log(L/g) (Θ)", Source: "Cor 3.1 / §8", Tight: true,
+		Eval: BSPParityDet, Upper: UpperBSPParity},
+	{ID: "T3.Parity.rand", Table: 3, Problem: "Parity", Model: "BSP", Kind: Rand,
+		Formula: "L·sqrt(log q/(log log q + log(L/g)))", Source: "Cor 3.2",
+		Eval: BSPParityRand, Upper: UpperBSPParity},
+
+	// --- Table 1d: rounds for p-processor algorithms ---
+	{ID: "T4.LAC.qsm", Table: 4, Problem: "LAC", Model: "QSM", Kind: Rand,
+		Formula: "(log* n − log*(n/p)) + sqrt(log n/log(gn/p))", Source: "Thm 6.2 / Cor 6.3",
+		Eval: RoundsQSMLAC},
+	{ID: "T4.LAC.sqsm", Table: 4, Problem: "LAC", Model: "s-QSM", Kind: Rand,
+		Formula: "sqrt(log n/log(n/p))", Source: "Thm 6.2 / Cor 6.3",
+		Eval: RoundsSQSMLAC},
+	{ID: "T4.LAC.bsp", Table: 4, Problem: "LAC", Model: "BSP", Kind: Rand,
+		Formula: "sqrt(log n/log(n/p))", Source: "Thm 6.2 / Cor 6.3",
+		Eval: RoundsBSPLAC},
+	{ID: "T4.OR.qsm", Table: 4, Problem: "OR", Model: "QSM", Kind: Rand,
+		Formula: "log n/log(ng/p) (Θ)", Source: "Cor 7.3 / §8", Tight: true,
+		Eval: RoundsQSMOR},
+	{ID: "T4.OR.sqsm", Table: 4, Problem: "OR", Model: "s-QSM", Kind: Rand,
+		Formula: "log n/log(n/p) (Θ)", Source: "Cor 7.3 / §8", Tight: true,
+		Eval: RoundsSQSMOR},
+	{ID: "T4.OR.bsp", Table: 4, Problem: "OR", Model: "BSP", Kind: Rand,
+		Formula: "log n/log(n/p) (Θ)", Source: "Cor 7.3 / §8", Tight: true,
+		Eval: RoundsBSPOR},
+	{ID: "T4.Parity.qsm", Table: 4, Problem: "Parity", Model: "QSM", Kind: Det,
+		Formula: "log n/(log(n/p) + min{log g, log log p})", Source: "Thm 3.4",
+		Eval: RoundsQSMParity},
+	{ID: "T4.Parity.sqsm", Table: 4, Problem: "Parity", Model: "s-QSM", Kind: Rand,
+		Formula: "log n/log(n/p) (Θ)", Source: "Cor 3.4 / §8", Tight: true,
+		Eval: RoundsSQSMParity},
+	{ID: "T4.Parity.bsp", Table: 4, Problem: "Parity", Model: "BSP", Kind: Rand,
+		Formula: "log n/log(n/p) (Θ)", Source: "Cor 3.4 / §8", Tight: true,
+		Eval: RoundsBSPParity},
+}
+
+// ByID returns the registry entry with the given ID, or nil.
+func ByID(id string) *Entry {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// ByTable returns the registry entries of one sub-table, in paper order.
+func ByTable(table int) []Entry {
+	var out []Entry
+	for _, e := range Registry {
+		if e.Table == table {
+			out = append(out, e)
+		}
+	}
+	return out
+}

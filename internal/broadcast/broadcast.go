@@ -1,0 +1,116 @@
+// Package broadcast implements broadcasting — the primitive whose tight
+// QSM/BSP bounds (Adler, Gibbons, Matias & Ramachandran, cited as [1] by
+// the paper) anchor the related-work discussion of Section 1.
+//
+// On the QSM the fast broadcast exploits queued concurrent reads: in one
+// phase up to g readers share a holder cell at contention cost κ ≤ g
+// (charged max(g·m_rw, κ) = g), so the holder count multiplies by g+1 per
+// O(g)-cost phase: Θ(g·log n / log g) total — tight by [1]. On the s-QSM
+// the same phase costs g·κ, forcing fan-out 1 and Θ(g·log n). On the BSP a
+// component sends L/g copies per superstep of cost max(g·(L/g), L) = L:
+// Θ(L·log p / log(L/g)).
+package broadcast
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/qsm"
+)
+
+// RunQSM broadcasts the value in cell src to n fresh cells (returned base).
+// fanout readers share each holder cell per phase; fanout = g is optimal on
+// the QSM, fanout = 1 on the s-QSM. Needs ≥ n processors.
+func RunQSM(m *qsm.Machine, src, n, fanout int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("broadcast: n must be ≥ 1, got %d", n)
+	}
+	if fanout < 1 {
+		return 0, fmt.Errorf("broadcast: fan-out must be ≥ 1, got %d", fanout)
+	}
+	if src < 0 || src >= m.MemSize() {
+		return 0, fmt.Errorf("broadcast: source cell %d outside memory", src)
+	}
+	if m.P() < n {
+		return 0, fmt.Errorf("broadcast: needs ≥ n=%d processors, have %d", n, m.P())
+	}
+
+	out := m.MemSize()
+	m.Grow(out + n)
+
+	// Copy the source into out[0] (one phase), then double out of the
+	// growing prefix: in each phase, reader r ∈ [0, new) reads holder cell
+	// out[r % have] (contention ≤ ⌈new/have⌉ ≤ fanout) and writes out[have+r].
+	m.ForAll(1, func(c *qsm.Ctx) {
+		v := c.Read(src)
+		c.Write(out, v)
+	})
+	have := 1
+	for have < n {
+		newCells := have * fanout
+		if have+newCells > n {
+			newCells = n - have
+		}
+		h := have
+		m.ForAll(newCells, func(c *qsm.Ctx) {
+			r := c.Proc()
+			v := c.Read(out + r%h)
+			c.Write(out+h+r, v)
+		})
+		have += newCells
+		if m.Err() != nil {
+			return 0, m.Err()
+		}
+	}
+	return out, m.Err()
+}
+
+// RunBSP broadcasts component 0's private cell 0 to every component's
+// private cell 1. Each holder sends fanout copies per superstep; fanout =
+// L/g is optimal. Returns the number of supersteps used.
+func RunBSP(m *bsp.Machine, fanout int) (int, error) {
+	if fanout < 1 {
+		return 0, fmt.Errorf("broadcast: fan-out must be ≥ 1, got %d", fanout)
+	}
+	p := m.P()
+	start := m.Report().NumPhases()
+
+	m.Superstep(func(c *bsp.Ctx) {
+		if c.Comp() == 0 {
+			c.Priv()[1] = c.Priv()[0]
+		}
+	})
+	have := 1
+	for have < p {
+		newComps := have * fanout
+		if have+newComps > p {
+			newComps = p - have
+		}
+		h := have
+		nc := newComps
+		m.Superstep(func(c *bsp.Ctx) {
+			j := c.Comp()
+			if j >= h {
+				return
+			}
+			// Holder j feeds components h + j, h + j + h·1, … (≤ fanout).
+			for k := 0; ; k++ {
+				dst := h + j + k*h
+				if dst >= h+nc {
+					break
+				}
+				c.Send(dst, 0, c.Priv()[1])
+			}
+		})
+		m.Superstep(func(c *bsp.Ctx) {
+			for _, msg := range c.Incoming() {
+				c.Priv()[1] = msg.Val
+			}
+		})
+		have += newComps
+		if m.Err() != nil {
+			return 0, m.Err()
+		}
+	}
+	return m.Report().NumPhases() - start, m.Err()
+}

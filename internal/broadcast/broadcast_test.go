@@ -1,0 +1,155 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/cost"
+	"repro/internal/qsm"
+)
+
+func TestRunQSMCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100} {
+		for _, fanout := range []int{1, 2, 8} {
+			m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: n, G: 2, N: n, MemCells: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Load(0, []int64{42}); err != nil {
+				t.Fatal(err)
+			}
+			out, err := RunQSM(m, 0, n, fanout)
+			if err != nil {
+				t.Fatalf("n=%d fanout=%d: %v", n, fanout, err)
+			}
+			for i := 0; i < n; i++ {
+				if got := m.Peek(out + i); got != 42 {
+					t.Fatalf("n=%d fanout=%d: cell %d = %d, want 42", n, fanout, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunQSMValidation(t *testing.T) {
+	m, _ := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: 4, G: 1, N: 4, MemCells: 1})
+	if _, err := RunQSM(m, 0, 0, 1); err == nil {
+		t.Error("want n error")
+	}
+	if _, err := RunQSM(m, 0, 4, 0); err == nil {
+		t.Error("want fanout error")
+	}
+	if _, err := RunQSM(m, 9, 4, 1); err == nil {
+		t.Error("want source range error")
+	}
+	if _, err := RunQSM(m, 0, 100, 1); err == nil {
+		t.Error("want processors error")
+	}
+}
+
+// The [1] mechanism: with fan-out g the contention per phase is ≤ g (cost
+// max(g, κ) = g on the QSM) and the phase count is Θ(log n / log g).
+func TestRunQSMCostShape(t *testing.T) {
+	n := 1 << 12
+	g := int64(8)
+	m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: n, G: g, N: n, MemCells: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(0, []int64{1})
+	if _, err := RunQSM(m, 0, n, int(g)); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	for _, ph := range r.Phases {
+		if ph.Time > cost.Time(g) {
+			t.Fatalf("phase %d time %d > g=%d", ph.Index, ph.Time, g)
+		}
+	}
+	// Holders grow ×(g+1)=9 per phase: ⌈log₉ 4096⌉ = 4 phases + seed.
+	if r.NumPhases() > 6 {
+		t.Errorf("phases = %d, want ≤ 6 for fan-out 8", r.NumPhases())
+	}
+	// Binary fan-out for comparison takes ⌈log₂ n⌉ = 12 phases.
+	m2, _ := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: n, G: g, N: n, MemCells: 1})
+	m2.Load(0, []int64{1})
+	if _, err := RunQSM(m2, 0, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Report().NumPhases() <= r.NumPhases() {
+		t.Errorf("fan-out 1 (%d phases) should exceed fan-out g (%d phases)",
+			m2.Report().NumPhases(), r.NumPhases())
+	}
+}
+
+// On the s-QSM the g-fan-out broadcast is penalised g·κ, so total time is
+// no better than the fan-out-1 tree — the Θ(g log n) vs Θ(g log n / log g)
+// model separation.
+func TestSQSMPenalisesFanout(t *testing.T) {
+	n := 1 << 10
+	g := int64(8)
+	run := func(rule cost.Rule, fanout int) cost.Time {
+		m, _ := qsm.New(qsm.Config{Rule: rule, P: n, G: g, N: n, MemCells: 1})
+		m.Load(0, []int64{1})
+		if _, err := RunQSM(m, 0, n, fanout); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().TotalTime
+	}
+	qsmFan := run(cost.RuleQSM, int(g))
+	sqsmFan := run(cost.RuleSQSM, int(g))
+	if sqsmFan <= qsmFan {
+		t.Errorf("s-QSM fan-out broadcast %d not above QSM %d", sqsmFan, qsmFan)
+	}
+}
+
+func TestRunBSPCorrectness(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 16, 33} {
+		for _, fanout := range []int{1, 2, 4} {
+			m, err := bsp.New(bsp.Config{P: p, G: 1, L: 4, N: p, PrivCells: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Superstep(func(c *bsp.Ctx) {
+				if c.Comp() == 0 {
+					c.Priv()[0] = 7
+				}
+			})
+			if _, err := RunBSP(m, fanout); err != nil {
+				t.Fatalf("p=%d fanout=%d: %v", p, fanout, err)
+			}
+			for i := 0; i < p; i++ {
+				if got := m.Peek(i, 1); got != 7 {
+					t.Fatalf("p=%d fanout=%d: component %d = %d, want 7", p, fanout, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBSPValidation(t *testing.T) {
+	m, _ := bsp.New(bsp.Config{P: 2, G: 1, L: 1, N: 2, PrivCells: 2})
+	if _, err := RunBSP(m, 0); err == nil {
+		t.Error("want fanout error")
+	}
+}
+
+func TestRunBSPFewerSuperstepsWithFanout(t *testing.T) {
+	p := 1 << 10
+	steps := func(fanout int) int {
+		m, _ := bsp.New(bsp.Config{P: p, G: 1, L: 8, N: p, PrivCells: 2})
+		m.Superstep(func(c *bsp.Ctx) {
+			if c.Comp() == 0 {
+				c.Priv()[0] = 1
+			}
+		})
+		s, err := RunBSP(m, fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if s8, s1 := steps(8), steps(1); s8 >= s1 {
+		t.Errorf("fan-out 8 (%d steps) should beat fan-out 1 (%d steps)", s8, s1)
+	}
+}

@@ -1,0 +1,81 @@
+package compaction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/workload"
+)
+
+func TestDartLACBSPPlacesEveryItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, tc := range []struct{ n, p, h int }{
+		{16, 2, 0}, {16, 4, 4}, {256, 16, 64}, {512, 8, 512}, {1000, 10, 100},
+	} {
+		in, err := workload.Sparse(rng.Int63(), tc.n, tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := bsp.New(bsp.Config{
+			P: tc.p, G: 1, L: 4, N: tc.n, PrivCells: PrivNeedDartBSP(tc.n, tc.p),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Scatter(in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := DartLACBSP(m, rng, tc.n)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(res.Placed) != tc.h {
+			t.Fatalf("%+v: placed %d, want %d", tc, len(res.Placed), tc.h)
+		}
+		// Distinct slots.
+		seen := map[int]bool{}
+		for _, loc := range res.Placed {
+			if seen[loc[1]] {
+				t.Fatalf("%+v: slot %d claimed twice", tc, loc[1])
+			}
+			seen[loc[1]] = true
+		}
+		// Linear output space.
+		if tc.h > 0 && res.OutSize > 2*DartFactor*tc.h+DartFactor {
+			t.Errorf("%+v: output %d not linear in h=%d", tc, res.OutSize, tc.h)
+		}
+	}
+}
+
+func TestDartLACBSPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, _ := bsp.New(bsp.Config{P: 2, G: 1, L: 1, N: 4, PrivCells: 4})
+	if _, err := DartLACBSP(m, rng, 0); err == nil {
+		t.Error("want n error")
+	}
+}
+
+func TestDartLACBSPHRelationTracksContention(t *testing.T) {
+	// The throw superstep's h-relation is bounded by the worst slot
+	// collision + per-component send volume; with 4× oversizing it stays
+	// near n/p, not n.
+	rng := rand.New(rand.NewSource(33))
+	n, p := 1<<10, 16
+	in, _ := workload.Sparse(3, n, n/2)
+	m, err := bsp.New(bsp.Config{P: p, G: 1, L: 4, N: n, PrivCells: PrivNeedDartBSP(n, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scatter(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DartLACBSP(m, rng, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range m.Report().Phases {
+		if ph.MaxRW > int64(4*n/p) {
+			t.Errorf("superstep %d routes h=%d > 4n/p=%d", ph.Index, ph.MaxRW, 4*n/p)
+		}
+	}
+}

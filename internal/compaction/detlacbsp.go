@@ -1,0 +1,102 @@
+package compaction
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/prefix"
+)
+
+// DetLACBSP is the deterministic prefix-sums compaction on the BSP — the
+// Section 8 rounds algorithm for LAC on distributed memory. The items
+// (nonzero cells) of the block-distributed input are ranked by a prefix
+// sum over their indicators and routed, in one O(n/p)-relation superstep,
+// to the components owning their output slots (blocks of ⌈h/p⌉ slots per
+// component, h = item count).
+//
+// On return, component i holds its slice of the compacted array at private
+// offset outOff (returned), with its length at outOff−1. With tree fan-in
+// ⌈n/p⌉ every superstep is a round, so the round count is
+// Θ(log n / log(n/p)) — the LAC row of the rounds table.
+//
+// The input at private [0, blk) is replaced by the item indicators during
+// the run. Components need PrivNeedDetLACBSP(n, p, fanin) private cells.
+func DetLACBSP(m *bsp.Machine, n, fanin int) (outOff, h int, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("compaction: n must be ≥ 1, got %d", n)
+	}
+	if fanin < 2 {
+		return 0, 0, fmt.Errorf("compaction: fan-in must be ≥ 2, got %d", fanin)
+	}
+	p := m.P()
+	maxBlk := (n + p - 1) / p
+
+	// Keep the original items; overwrite [0, blk) with indicators so the
+	// prefix substrate can rank them. Items are staged at itemOff.
+	itemOff := prefix.PrivNeedBSP(n, p, fanin)
+	m.Superstep(func(c *bsp.Ctx) {
+		lo, hi := bsp.BlockRange(n, p, c.Comp())
+		for i := 0; i < hi-lo; i++ {
+			v := c.Priv()[i]
+			c.Priv()[itemOff+i] = v
+			if v != 0 {
+				c.Priv()[i] = 1
+			} else {
+				c.Priv()[i] = 0
+			}
+			c.Work(1)
+		}
+	})
+
+	ranksOff, err := prefix.RunBSP(m, n, fanin)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Total item count h is the rank of global index n−1; find its owner
+	// (trailing components can hold empty blocks when p > n).
+	for comp := p - 1; comp >= 0; comp-- {
+		lo, hi := bsp.BlockRange(n, p, comp)
+		if lo < hi {
+			h = int(m.Peek(comp, ranksOff+(hi-lo-1)))
+			break
+		}
+	}
+
+	outOff = itemOff + maxBlk + 1
+	slotBlk := (h + p - 1) / p
+	if slotBlk < 1 {
+		slotBlk = 1
+	}
+
+	// Route items to their rank's owner (an O(n/p)-relation: each
+	// component sends ≤ its block size and receives ≤ ⌈h/p⌉).
+	m.Superstep(func(c *bsp.Ctx) {
+		clo, chi := bsp.BlockRange(n, p, c.Comp())
+		for i := 0; i < chi-clo; i++ {
+			it := c.Priv()[itemOff+i]
+			if it == 0 {
+				continue
+			}
+			r := int(c.Priv()[ranksOff+i]) - 1
+			c.Send(r/slotBlk, int64(r%slotBlk), it)
+			c.Work(1)
+		}
+	})
+	m.Superstep(func(c *bsp.Ctx) {
+		cnt := int64(0)
+		for _, msg := range c.Incoming() {
+			c.Priv()[outOff+int(msg.Tag)] = msg.Val
+			cnt++
+			c.Work(1)
+		}
+		c.Priv()[outOff-1] = cnt
+	})
+	return outOff, h, m.Err()
+}
+
+// PrivNeedDetLACBSP returns the private memory DetLACBSP needs.
+func PrivNeedDetLACBSP(n, p, fanin int) int {
+	maxBlk := (n + p - 1) / p
+	return prefix.PrivNeedBSP(n, p, fanin) + maxBlk + 1 + maxBlk
+}

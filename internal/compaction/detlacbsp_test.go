@@ -1,0 +1,81 @@
+package compaction
+
+import (
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/workload"
+)
+
+func runDetLACBSP(t *testing.T, n, p, hWant, fanin int, seed int64) (*bsp.Machine, int, int) {
+	t.Helper()
+	in, err := workload.Sparse(seed, n, hWant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := bsp.New(bsp.Config{
+		P: p, G: 1, L: 2, N: n,
+		PrivCells: PrivNeedDetLACBSP(n, p, fanin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scatter(in); err != nil {
+		t.Fatal(err)
+	}
+	outOff, h, err := DetLACBSP(m, n, fanin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, outOff, h
+}
+
+func TestDetLACBSPCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, p, h, fanin int }{
+		{16, 2, 0, 2}, {16, 4, 4, 2}, {100, 7, 30, 3}, {256, 16, 64, 4}, {512, 8, 512, 2},
+	} {
+		m, outOff, h := runDetLACBSP(t, tc.n, tc.p, tc.h, tc.fanin, int64(tc.n))
+		if h != tc.h {
+			t.Fatalf("%+v: h = %d, want %d", tc, h, tc.h)
+		}
+		// Gather the compacted output in component order: it must be the
+		// items in stable input order (tags are origin+1, increasing).
+		var items []int64
+		for comp := 0; comp < tc.p; comp++ {
+			ln := int(m.Peek(comp, outOff-1))
+			for i := 0; i < ln; i++ {
+				// Slots fill by tag order within a component's block.
+				items = append(items, m.Peek(comp, outOff+i))
+			}
+		}
+		if len(items) != tc.h {
+			t.Fatalf("%+v: output holds %d items, want %d", tc, len(items), tc.h)
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i] <= items[i-1] {
+				t.Fatalf("%+v: not stable: %d after %d", tc, items[i], items[i-1])
+			}
+		}
+	}
+}
+
+func TestDetLACBSPAllRounds(t *testing.T) {
+	n, p := 1<<12, 1<<9 // n/p = 8
+	m, _, h := runDetLACBSP(t, n, p, n/4, 8, 9)
+	if h != n/4 {
+		t.Fatalf("h = %d", h)
+	}
+	if !m.Report().AllRounds {
+		t.Error("DetLACBSP with fan-in n/p must compute in rounds")
+	}
+}
+
+func TestDetLACBSPValidation(t *testing.T) {
+	m, _ := bsp.New(bsp.Config{P: 2, G: 1, L: 1, N: 4, PrivCells: 64})
+	if _, _, err := DetLACBSP(m, 0, 2); err == nil {
+		t.Error("want n error")
+	}
+	if _, _, err := DetLACBSP(m, 4, 1); err == nil {
+		t.Error("want fan-in error (propagated from prefix)")
+	}
+}

@@ -1,0 +1,116 @@
+package compaction
+
+import (
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/workload"
+)
+
+// The third reduction of Theorem 6.1: Chromatic Load Balancing reduces to
+// Padded Sort. Groups of color i are assigned uniform numbers from the
+// sub-interval (i/8m, (i+1)/8m]; after a padded sort, each color's groups
+// occupy a contiguous run of the output, so assigning consecutive output
+// positions to destination rows solves CLB for the densest-fitting color.
+// This test executes the whole pipeline on the BSP padded sort.
+func TestCLBViaPaddedSortReduction(t *testing.T) {
+	inst, err := workload.NewCLB(7, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m8 := inst.N, 8*inst.M
+
+	// Encode each group as a number in its color's sub-interval. A group's
+	// identity rides in the low bits so the mapping is invertible: value =
+	// (color·span + 1 + group) scaled into (0, Denom01).
+	span := int64(workload.Denom01) / int64(m8)
+	vals := make([]int64, n)
+	for g, col := range inst.Colors {
+		vals[g] = int64(col)*span + 1 + int64(g)
+	}
+
+	p := 16
+	mach, err := bsp.New(bsp.Config{
+		P: p, G: 1, L: 4, N: n,
+		PrivCells: PrivNeedPaddedSortBSP(n, p, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Scatter(vals); err != nil {
+		t.Fatal(err)
+	}
+	outOff, err := PaddedSortBSP(mach, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the padded output and decode (group, color) per position.
+	maxBlk := (n + p - 1) / p
+	seg := 2 * maxBlk
+	type slot struct{ pos, group, color int }
+	var got []slot
+	pos := 0
+	for comp := 0; comp < p; comp++ {
+		for i := 0; i < seg; i++ {
+			v := mach.Peek(comp, outOff+i)
+			pos++
+			if v == 0 {
+				continue
+			}
+			col := int((v - 1) / span)
+			grp := int(v - int64(col)*span - 1)
+			got = append(got, slot{pos: pos, group: grp, color: col})
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("padded output holds %d groups, want %d", len(got), n)
+	}
+
+	// Colors must be contiguous runs in output order (disjoint intervals +
+	// sortedness), and every group must appear exactly once.
+	seenGroups := make([]bool, n)
+	prevColor := -1
+	closed := map[int]bool{}
+	for _, s := range got {
+		if seenGroups[s.group] {
+			t.Fatalf("group %d appears twice", s.group)
+		}
+		seenGroups[s.group] = true
+		if inst.Colors[s.group] != s.color {
+			t.Fatalf("group %d decoded color %d, want %d", s.group, s.color, inst.Colors[s.group])
+		}
+		if s.color != prevColor {
+			if closed[s.color] {
+				t.Fatalf("color %d appears in two separate runs", s.color)
+			}
+			closed[prevColor] = true
+			prevColor = s.color
+		}
+	}
+
+	// Solve CLB from the sorted order: the groups of color 0 occupy a run
+	// of consecutive output ranks; assign ranks r within the run to
+	// destination rows 4·r..4·r+3 (each destination row gets m objects).
+	rank := 0
+	rows := map[int]bool{}
+	for _, s := range got {
+		if s.color != 0 {
+			continue
+		}
+		for j := 0; j < 4; j++ {
+			row := 4*rank + j
+			if row >= n {
+				t.Fatalf("CLB overflow at rank %d", rank)
+			}
+			if rows[row] {
+				t.Fatalf("row %d assigned twice", row)
+			}
+			rows[row] = true
+		}
+		rank++
+	}
+	if want := len(inst.GroupsOfColor(0)); rank != want {
+		t.Fatalf("placed %d groups of color 0, want %d", rank, want)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core is the experiment engine of the reproduction: it wires the
+// Section 8 upper-bound algorithms (running on the cost simulators) to the
+// Table 1 bound formulas, sweeps input sizes, and renders the
+// measured-vs-predicted tables that stand in for the paper's evaluation.
+//
+// For a Θ (tight) row, the measured model time divided by the bound
+// formula must stay within a constant band across the sweep (RatioSpread
+// close to 1). For an Ω row, the bound is a floor: the measured cost of
+// the best known algorithm sits above it and the ratio may drift upward —
+// the gap the paper leaves open.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/cost"
+)
+
+// Experiment binds one Table 1 row to a measurement procedure.
+type Experiment struct {
+	// ID matches the bounds registry entry that predicts this row.
+	ID string
+	// Title is a human-readable row label.
+	Title string
+	// Quantity is "time" (model time units) or "rounds" (phase count of a
+	// computing-in-rounds algorithm).
+	Quantity string
+	// Ns is the sweep of input sizes.
+	Ns []int
+	// Args yields the machine parameters used at size n (these feed the
+	// bound formula too).
+	Args func(n int) bounds.Args
+	// Measure runs the algorithm at size n and returns the measured
+	// quantity plus the cost report it came from.
+	Measure func(n int, seed int64) (float64, *cost.Report, error)
+	// Algorithm names the §8 algorithm being measured.
+	Algorithm string
+}
+
+// Row is one sweep point of a completed experiment.
+type Row struct {
+	N        int
+	Bound    float64
+	Upper    float64
+	Measured float64
+	// Ratio is Measured/Bound.
+	Ratio float64
+	// AllRounds reports whether every phase of the run met the round
+	// budget (only meaningful for rounds experiments).
+	AllRounds bool
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Exp   *Experiment
+	Entry *bounds.Entry
+	Rows  []Row
+	// RatioSpread is max(Ratio)/min(Ratio) across the sweep: ≈ 1 means the
+	// measured quantity tracks the bound's shape exactly.
+	RatioSpread float64
+}
+
+// Run executes the sweep.
+func (e *Experiment) Run(seed int64) (*Result, error) {
+	entry := bounds.ByID(e.ID)
+	if entry == nil {
+		return nil, fmt.Errorf("core: experiment %q has no bounds entry", e.ID)
+	}
+	if len(e.Ns) == 0 {
+		return nil, fmt.Errorf("core: experiment %q has an empty sweep", e.ID)
+	}
+	res := &Result{Exp: e, Entry: entry}
+	minR, maxR := math.MaxFloat64, 0.0
+	for _, n := range e.Ns {
+		a := e.Args(n)
+		measured, rep, err := e.Measure(n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at n=%d: %w", e.ID, n, err)
+		}
+		row := Row{
+			N:        n,
+			Bound:    entry.Eval(a),
+			Measured: measured,
+		}
+		if entry.Upper != nil {
+			row.Upper = entry.Upper(a)
+		}
+		if rep != nil {
+			row.AllRounds = rep.AllRounds
+		}
+		if row.Bound > 0 {
+			row.Ratio = row.Measured / row.Bound
+			if row.Ratio < minR {
+				minR = row.Ratio
+			}
+			if row.Ratio > maxR {
+				maxR = row.Ratio
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if minR > 0 && minR != math.MaxFloat64 {
+		res.RatioSpread = maxR / minR
+	}
+	return res, nil
+}
+
+// Tight reports whether the result empirically supports a Θ claim: the
+// ratio band stays within the given spread.
+func (r *Result) Tight(maxSpread float64) bool {
+	return r.RatioSpread > 0 && r.RatioSpread <= maxSpread
+}
+
+// DominatesBound reports whether every measured point sits at or above
+// slack·bound — the Ω direction (the lower bound really is below the
+// algorithm's cost).
+func (r *Result) DominatesBound(slack float64) bool {
+	for _, row := range r.Rows {
+		if row.Measured < slack*row.Bound {
+			return false
+		}
+	}
+	return true
+}

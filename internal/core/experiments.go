@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/boolor"
+	"repro/internal/bounds"
+	"repro/internal/bsp"
+	"repro/internal/compaction"
+	"repro/internal/cost"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+	"repro/internal/workload"
+)
+
+// Default sweep parameters. The shapes in Table 1 are functions of n (and
+// n/p); the sweeps hold g, L and n/p fixed while n grows, which is the
+// regime the ratio analysis needs.
+const (
+	sweepG      = 8  // QSM/s-QSM gap
+	sweepBSPG   = 2  // BSP gap
+	sweepBSPL   = 16 // BSP latency (L/g = 8)
+	sweepNP     = 8  // n/p for the rounds table
+	sweepBSPDiv = 4  // BSP components = n/4 for the time table
+	gadgetBits  = 4  // gadget group width (2^4 = 16 checkers/assignment set)
+)
+
+// DefaultNs is the standard input-size sweep.
+func DefaultNs() []int { return []int{1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13} }
+
+func qsmArgs(n int) bounds.Args {
+	return bounds.Args{N: n, P: n, G: sweepG, L: 0}
+}
+
+func bspArgs(n int) bounds.Args {
+	return bounds.Args{N: n, P: n / sweepBSPDiv, G: sweepBSPG, L: sweepBSPL}
+}
+
+func roundsArgs(n int) bounds.Args {
+	return bounds.Args{N: n, P: n / sweepNP, G: sweepG, L: sweepBSPL}
+}
+
+// --- shared measurement helpers ------------------------------------------------
+
+func newQSM(rule cost.Rule, n, p int, g int64) (*qsm.Machine, error) {
+	return qsm.New(qsm.Config{Rule: rule, P: p, G: g, N: n, MemCells: n})
+}
+
+func measureGadgetParity(rule cost.Rule, g int64, gb int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		perGroup := gb << uint(gb)
+		procs := ((n + gb - 1) / gb) * perGroup
+		m, err := newQSM(rule, n, procs, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		out, err := parity.GadgetQSM(m, 0, n, gb)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Parity(in) {
+			return 0, nil, fmt.Errorf("core: gadget parity wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureTreeParity(rule cost.Rule, g int64, fanin int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		out, err := parity.TreeQSM(m, 0, n, fanin)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Parity(in) {
+			return 0, nil, fmt.Errorf("core: tree parity wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureContentionOR(rule cost.Rule, g int64) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		out, err := boolor.ContentionTree(m, 0, n, int(g))
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Or(in) {
+			return 0, nil, fmt.Errorf("core: contention OR wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureReadTreeOR(rule cost.Rule, g int64, fanin int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		out, err := boolor.ReadTree(m, 0, n, fanin)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Or(in) {
+			return 0, nil, fmt.Errorf("core: read-tree OR wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureDartLAC(rule cost.Rule, g int64) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		in, err := workload.Sparse(seed, n, n/4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		res, err := compaction.DartLAC(m, rng, 0, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(res.Placed) != n/4 {
+			return 0, nil, fmt.Errorf("core: dart LAC lost items")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureBSPParity(fanin int, pFor func(int) int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := pFor(n)
+		m, err := bsp.New(bsp.Config{
+			P: p, G: sweepBSPG, L: sweepBSPL, N: n,
+			PrivCells: parity.PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		got, err := parity.RunBSP(m, n, fanin)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got != workload.Parity(in) {
+			return 0, nil, fmt.Errorf("core: BSP parity wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureBSPOR(fanin int, pFor func(int) int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := pFor(n)
+		m, err := bsp.New(bsp.Config{
+			P: p, G: sweepBSPG, L: sweepBSPL, N: n,
+			PrivCells: boolor.PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		got, err := boolor.RunBSP(m, n, fanin)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got != workload.Or(in) {
+			return 0, nil, fmt.Errorf("core: BSP OR wrong answer")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+func measureBSPDartLAC(pFor func(int) int) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := pFor(n)
+		m, err := bsp.New(bsp.Config{
+			P: p, G: sweepBSPG, L: sweepBSPL, N: n,
+			PrivCells: compaction.PrivNeedDartBSP(n, p),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in, err := workload.Sparse(seed, n, n/4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		res, err := compaction.DartLACBSP(m, rng, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(res.Placed) != n/4 {
+			return 0, nil, fmt.Errorf("core: BSP dart LAC lost items")
+		}
+		return float64(m.Report().TotalTime), m.Report(), nil
+	}
+}
+
+// rounds measurements return the phase count and require every phase to be
+// a round.
+
+func measureRoundsParityQSM(rule cost.Rule) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n/sweepNP, sweepG)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		out, err := parity.TreeQSMRounds(m, 0, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Parity(in) {
+			return 0, nil, fmt.Errorf("core: rounds parity wrong answer")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: parity rounds algorithm broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+func measureRoundsOR(rule cost.Rule, qsmVariant bool) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n/sweepNP, sweepG)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		var out int
+		if qsmVariant {
+			out, err = boolor.RoundsQSM(m, 0, n)
+		} else {
+			out, err = boolor.RoundsSQSM(m, 0, n)
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		if got := m.Peek(out); got != workload.Or(in) {
+			return 0, nil, fmt.Errorf("core: rounds OR wrong answer")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: OR rounds algorithm broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+func measureRoundsLACQSM(rule cost.Rule) func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		m, err := newQSM(rule, n, n/sweepNP, sweepG)
+		if err != nil {
+			return 0, nil, err
+		}
+		in, err := workload.Sparse(seed, n, n/4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := m.Load(0, in); err != nil {
+			return 0, nil, err
+		}
+		_, k, err := compaction.DetLAC(m, 0, n, sweepNP)
+		if err != nil {
+			return 0, nil, err
+		}
+		if k != n/4 {
+			return 0, nil, fmt.Errorf("core: rounds LAC lost items")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: LAC rounds algorithm broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+func measureRoundsParityBSP() func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := n / sweepNP
+		m, err := bsp.New(bsp.Config{
+			P: p, G: 1, L: 2, N: n, PrivCells: parity.PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		got, err := parity.RunBSP(m, n, sweepNP)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got != workload.Parity(in) {
+			return 0, nil, fmt.Errorf("core: BSP rounds parity wrong answer")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: BSP parity broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+func measureRoundsORBSP() func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := n / sweepNP
+		m, err := bsp.New(bsp.Config{
+			P: p, G: 1, L: 2, N: n, PrivCells: boolor.PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in := workload.Bits(seed, n)
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		got, err := boolor.RunBSP(m, n, sweepNP)
+		if err != nil {
+			return 0, nil, err
+		}
+		if got != workload.Or(in) {
+			return 0, nil, fmt.Errorf("core: BSP rounds OR wrong answer")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: BSP OR broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+func measureRoundsLACBSP() func(int, int64) (float64, *cost.Report, error) {
+	return func(n int, seed int64) (float64, *cost.Report, error) {
+		p := n / sweepNP
+		m, err := bsp.New(bsp.Config{
+			P: p, G: 1, L: 2, N: n,
+			PrivCells: compaction.PrivNeedDetLACBSP(n, p, sweepNP),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		in, err := workload.Sparse(seed, n, n/4)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := m.Scatter(in); err != nil {
+			return 0, nil, err
+		}
+		_, h, err := compaction.DetLACBSP(m, n, sweepNP)
+		if err != nil {
+			return 0, nil, err
+		}
+		if h != n/4 {
+			return 0, nil, fmt.Errorf("core: BSP LAC lost items")
+		}
+		if !m.Report().AllRounds {
+			return 0, nil, fmt.Errorf("core: BSP LAC broke the round budget")
+		}
+		return float64(m.Report().NumPhases()), m.Report(), nil
+	}
+}
+
+// Experiments returns the full registry: one experiment per Table 1 row,
+// in paper order (DESIGN.md's per-experiment index).
+func Experiments() []*Experiment {
+	ns := DefaultNs()
+	return []*Experiment{
+		// --- Table 1a: QSM time ---
+		{ID: "T1.LAC.det", Title: "QSM LAC (det bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "DartLAC",
+			Measure: measureDartLAC(cost.RuleQSM, sweepG)},
+		{ID: "T1.LAC.rand", Title: "QSM LAC (rand bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "DartLAC",
+			Measure: measureDartLAC(cost.RuleQSM, sweepG)},
+		{ID: "T1.LAC.rand.nprocs", Title: "QSM LAC (n-procs rand bound)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "DartLAC",
+			Measure: measureDartLAC(cost.RuleQSM, sweepG)},
+		{ID: "T1.OR.det", Title: "QSM OR (det bound vs contention tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "ContentionTree(g)",
+			Measure: measureContentionOR(cost.RuleQSM, sweepG)},
+		{ID: "T1.OR.rand", Title: "QSM OR (rand bound vs contention tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "ContentionTree(g)",
+			Measure: measureContentionOR(cost.RuleQSM, sweepG)},
+		{ID: "T1.Parity.det", Title: "QSM Parity Θ w/ concurrent reads (gadget)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "GadgetQSM on CRQW",
+			Measure: measureGadgetParity(cost.RuleCRQW, sweepG, gadgetBits)},
+		{ID: "T1.Parity.rand", Title: "QSM Parity (rand bound vs gadget)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "GadgetQSM",
+			Measure: measureGadgetParity(cost.RuleQSM, sweepG, 3)},
+
+		// --- Table 1b: s-QSM time ---
+		{ID: "T2.LAC.det", Title: "s-QSM LAC (det bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "DartLAC",
+			Measure: measureDartLAC(cost.RuleSQSM, sweepG)},
+		{ID: "T2.LAC.rand", Title: "s-QSM LAC (rand bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "DartLAC",
+			Measure: measureDartLAC(cost.RuleSQSM, sweepG)},
+		{ID: "T2.OR.det", Title: "s-QSM OR (det bound vs read tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "ReadTree(2)",
+			Measure: measureReadTreeOR(cost.RuleSQSM, sweepG, 2)},
+		{ID: "T2.OR.rand", Title: "s-QSM OR (rand bound vs read tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "ReadTree(2)",
+			Measure: measureReadTreeOR(cost.RuleSQSM, sweepG, 2)},
+		{ID: "T2.Parity.det", Title: "s-QSM Parity Θ (binary XOR tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "TreeQSM(2)",
+			Measure: measureTreeParity(cost.RuleSQSM, sweepG, 2)},
+		{ID: "T2.Parity.rand", Title: "s-QSM Parity (rand bound vs tree)", Quantity: "time",
+			Ns: ns, Args: qsmArgs, Algorithm: "TreeQSM(2)",
+			Measure: measureTreeParity(cost.RuleSQSM, sweepG, 2)},
+
+		// --- Table 1c: BSP time ---
+		{ID: "T3.LAC.det", Title: "BSP LAC (det bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "DartLACBSP",
+			Measure: measureBSPDartLAC(func(n int) int { return n / sweepBSPDiv })},
+		{ID: "T3.LAC.rand", Title: "BSP LAC (rand bound vs dart LAC)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "DartLACBSP",
+			Measure: measureBSPDartLAC(func(n int) int { return n / sweepBSPDiv })},
+		{ID: "T3.OR.det", Title: "BSP OR (det bound vs L/g tree)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "RunBSP(L/g)",
+			Measure: measureBSPOR(sweepBSPL/sweepBSPG, func(n int) int { return n / sweepBSPDiv })},
+		{ID: "T3.OR.rand", Title: "BSP OR (rand bound vs L/g tree)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "RunBSP(L/g)",
+			Measure: measureBSPOR(sweepBSPL/sweepBSPG, func(n int) int { return n / sweepBSPDiv })},
+		{ID: "T3.Parity.det", Title: "BSP Parity Θ (L/g tree)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "RunBSP(L/g)",
+			Measure: measureBSPParity(sweepBSPL/sweepBSPG, func(n int) int { return n / sweepBSPDiv })},
+		{ID: "T3.Parity.rand", Title: "BSP Parity (rand bound vs L/g tree)", Quantity: "time",
+			Ns: ns, Args: bspArgs, Algorithm: "RunBSP(L/g)",
+			Measure: measureBSPParity(sweepBSPL/sweepBSPG, func(n int) int { return n / sweepBSPDiv })},
+
+		// --- Table 1d: rounds ---
+		{ID: "T4.LAC.qsm", Title: "QSM LAC rounds (prefix compaction)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "DetLAC(n/p)",
+			Measure: measureRoundsLACQSM(cost.RuleQSM)},
+		{ID: "T4.LAC.sqsm", Title: "s-QSM LAC rounds (prefix compaction)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "DetLAC(n/p)",
+			Measure: measureRoundsLACQSM(cost.RuleSQSM)},
+		{ID: "T4.LAC.bsp", Title: "BSP LAC rounds (prefix + route)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "prefix.RunBSP + route",
+			Measure: measureRoundsLACBSP()},
+		{ID: "T4.OR.qsm", Title: "QSM OR rounds Θ (block + contention tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "RoundsQSM",
+			Measure: measureRoundsOR(cost.RuleQSM, true)},
+		{ID: "T4.OR.sqsm", Title: "s-QSM OR rounds Θ (n/p tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "RoundsSQSM",
+			Measure: measureRoundsOR(cost.RuleSQSM, false)},
+		{ID: "T4.OR.bsp", Title: "BSP OR rounds Θ (n/p tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "RunBSP(n/p)",
+			Measure: measureRoundsORBSP()},
+		{ID: "T4.Parity.qsm", Title: "QSM Parity rounds (n/p XOR tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "TreeQSMRounds",
+			Measure: measureRoundsParityQSM(cost.RuleQSM)},
+		{ID: "T4.Parity.sqsm", Title: "s-QSM Parity rounds Θ (n/p XOR tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "TreeQSMRounds",
+			Measure: measureRoundsParityQSM(cost.RuleSQSM)},
+		{ID: "T4.Parity.bsp", Title: "BSP Parity rounds Θ (n/p tree)", Quantity: "rounds",
+			Ns: ns, Args: roundsArgs, Algorithm: "RunBSP(n/p)",
+			Measure: measureRoundsParityBSP()},
+	}
+}
+
+// ExperimentByID finds a registered experiment.
+func ExperimentByID(id string) *Experiment {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Shape summarises how a result grows with n, via least-squares fits on
+// the log₂ n axis: SlopeMeasured ≈ c for measured ≈ c·log n (the natural
+// axis for the paper's Θ(g·log n)-family bounds), and the same for the
+// bound column. For a Θ row the two coefficients agree up to the hidden
+// constant; the ratio of slopes is reported as ShapeRatio.
+type Shape struct {
+	SlopeMeasured float64 `json:"slopeMeasured"`
+	SlopeBound    float64 `json:"slopeBound"`
+	ShapeRatio    float64 `json:"shapeRatio"`
+	R2Measured    float64 `json:"r2Measured"`
+}
+
+// ShapeOf fits the sweep. Sweeps with fewer than two points return an
+// error.
+func ShapeOf(r *Result) (Shape, error) {
+	xs := make([]float64, len(r.Rows))
+	meas := make([]float64, len(r.Rows))
+	bnd := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = float64(row.N)
+		meas[i] = row.Measured
+		bnd[i] = row.Bound
+	}
+	fm, err := stats.LogXFit(xs, meas)
+	if err != nil {
+		return Shape{}, fmt.Errorf("core: measured fit: %w", err)
+	}
+	fb, err := stats.LogXFit(xs, bnd)
+	if err != nil {
+		return Shape{}, fmt.Errorf("core: bound fit: %w", err)
+	}
+	s := Shape{SlopeMeasured: fm.Slope, SlopeBound: fb.Slope, R2Measured: fm.R2}
+	if fb.Slope != 0 {
+		s.ShapeRatio = fm.Slope / fb.Slope
+	}
+	return s, nil
+}
+
+// exportRow is the machine-readable form of one sweep point.
+type exportRow struct {
+	ID        string  `json:"id"`
+	Model     string  `json:"model"`
+	Problem   string  `json:"problem"`
+	Kind      string  `json:"kind"`
+	Tight     bool    `json:"tight"`
+	Quantity  string  `json:"quantity"`
+	N         int     `json:"n"`
+	Bound     float64 `json:"bound"`
+	Upper     float64 `json:"upper,omitempty"`
+	Measured  float64 `json:"measured"`
+	Ratio     float64 `json:"ratio"`
+	AllRounds bool    `json:"allRounds,omitempty"`
+}
+
+func exportRows(results []*Result) []exportRow {
+	var out []exportRow
+	for _, r := range results {
+		for _, row := range r.Rows {
+			out = append(out, exportRow{
+				ID:        r.Exp.ID,
+				Model:     r.Entry.Model,
+				Problem:   r.Entry.Problem,
+				Kind:      string(r.Entry.Kind),
+				Tight:     r.Entry.Tight,
+				Quantity:  r.Exp.Quantity,
+				N:         row.N,
+				Bound:     row.Bound,
+				Upper:     row.Upper,
+				Measured:  row.Measured,
+				Ratio:     row.Ratio,
+				AllRounds: row.AllRounds,
+			})
+		}
+	}
+	return out
+}
+
+// ExportJSON renders completed experiments as a JSON array of sweep points.
+func ExportJSON(results []*Result) (string, error) {
+	b, err := json.MarshalIndent(exportRows(results), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ExportCSV renders completed experiments as CSV with a header row.
+func ExportCSV(results []*Result) (string, error) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write([]string{
+		"id", "model", "problem", "kind", "tight", "quantity",
+		"n", "bound", "upper", "measured", "ratio", "allRounds",
+	}); err != nil {
+		return "", err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, row := range exportRows(results) {
+		if err := w.Write([]string{
+			row.ID, row.Model, row.Problem, row.Kind,
+			strconv.FormatBool(row.Tight), row.Quantity,
+			strconv.Itoa(row.N), f(row.Bound), f(row.Upper),
+			f(row.Measured), f(row.Ratio), strconv.FormatBool(row.AllRounds),
+		}); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return sb.String(), w.Error()
+}
+
+// RunAll executes every registered experiment and returns the results in
+// registry order.
+func RunAll(seed int64) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Experiments() {
+		r, err := e.Run(seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallResult(t *testing.T, id string) *Result {
+	t.Helper()
+	e := ExperimentByID(id)
+	if e == nil {
+		t.Fatalf("missing experiment %s", id)
+	}
+	e.Ns = []int{1 << 8, 1 << 9, 1 << 10}
+	r, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestShapeOfTightRow(t *testing.T) {
+	r := smallResult(t, "T2.Parity.det")
+	s, err := ShapeOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured = 2g·log n, bound = g·log n ⇒ slopes 2g and g, ratio 2.
+	if math.Abs(s.SlopeBound-sweepG) > 1e-9 {
+		t.Errorf("bound slope = %v, want g=%d", s.SlopeBound, sweepG)
+	}
+	if math.Abs(s.SlopeMeasured-2*sweepG) > 1e-9 {
+		t.Errorf("measured slope = %v, want 2g=%d", s.SlopeMeasured, 2*sweepG)
+	}
+	if math.Abs(s.ShapeRatio-2) > 1e-9 {
+		t.Errorf("shape ratio = %v, want 2", s.ShapeRatio)
+	}
+	if s.R2Measured < 0.999 {
+		t.Errorf("R² = %v, want ≈ 1 for an exact log shape", s.R2Measured)
+	}
+}
+
+func TestShapeOfErrors(t *testing.T) {
+	r := &Result{Rows: []Row{{N: 8, Measured: 1, Bound: 1}}}
+	if _, err := ShapeOf(r); err == nil {
+		t.Error("want too-few-points error")
+	}
+}
+
+func TestExportJSONAndCSV(t *testing.T) {
+	results := []*Result{
+		smallResult(t, "T2.Parity.det"),
+		smallResult(t, "T4.OR.sqsm"),
+	}
+	js, err := ExportJSON(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(js), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("JSON rows = %d, want 6", len(rows))
+	}
+	if rows[0]["id"] != "T2.Parity.det" || rows[0]["tight"] != true {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+
+	cs, err := ExportCSV(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(cs)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(recs) != 7 { // header + 6
+		t.Fatalf("CSV rows = %d, want 7", len(recs))
+	}
+	if recs[0][0] != "id" || recs[1][0] != "T2.Parity.det" {
+		t.Errorf("CSV head = %v / %v", recs[0], recs[1])
+	}
+	// Rounds rows carry allRounds=true.
+	found := false
+	for _, rec := range recs[1:] {
+		if rec[0] == "T4.OR.sqsm" && rec[11] == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rounds row missing allRounds=true")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	results, err := RunAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Experiments()) {
+		t.Fatalf("results = %d, want %d", len(results), len(Experiments()))
+	}
+	// Every result supports a shape fit and the Θ rows' shape ratios are
+	// bounded constants.
+	for _, r := range results {
+		s, err := ShapeOf(r)
+		if err != nil {
+			t.Errorf("%s: %v", r.Exp.ID, err)
+			continue
+		}
+		// Tightness means the slope ratio is a constant (the hidden Θ
+		// constant of the implementation), not that it is 1; the gadget
+		// parity's four-phase levels put it at ≈ 6.5.
+		if r.Entry.Tight && (s.ShapeRatio < 0.1 || s.ShapeRatio > 8) {
+			t.Errorf("%s: Θ row shape ratio %v outside [0.1, 8]", r.Exp.ID, s.ShapeRatio)
+		}
+	}
+}

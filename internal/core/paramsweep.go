@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/boolor"
+	"repro/internal/bounds"
+	"repro/internal/bsp"
+	"repro/internal/cost"
+	"repro/internal/parity"
+	"repro/internal/workload"
+)
+
+// ParamSweeps renders the bound-parameter sweeps orthogonal to the n
+// sweeps of the main tables: the g axis of the QSM/s-QSM rows and the L/g
+// axis of the BSP rows — the denominators (log g, log(L/g)) that
+// distinguish the models in Table 1.
+func ParamSweeps(seed int64) (string, error) {
+	var b strings.Builder
+	n := 1 << 12
+
+	fmt.Fprintf(&b, "g-sweep at n=%d — s-QSM Parity Θ(g·log n) and QSM OR vs fan-in-g contention tree\n", n)
+	fmt.Fprintf(&b, "  %4s %16s %16s %16s %16s\n",
+		"g", "sQSM par bound", "sQSM par meas", "QSM OR bound", "QSM OR meas")
+	for _, g := range []int64{1, 2, 4, 8, 16, 32} {
+		in := workload.Bits(seed, n)
+
+		ms, err := newQSM(cost.RuleSQSM, n, n, g)
+		if err != nil {
+			return "", err
+		}
+		if err := ms.Load(0, in); err != nil {
+			return "", err
+		}
+		out, err := parity.TreeQSM(ms, 0, n, 2)
+		if err != nil {
+			return "", err
+		}
+		if ms.Peek(out) != workload.Parity(in) {
+			return "", fmt.Errorf("core: g-sweep parity wrong at g=%d", g)
+		}
+
+		mo, err := newQSM(cost.RuleQSM, n, n, g)
+		if err != nil {
+			return "", err
+		}
+		if err := mo.Load(0, in); err != nil {
+			return "", err
+		}
+		fan := int(g)
+		if fan < 2 {
+			fan = 2
+		}
+		outOr, err := boolor.ContentionTree(mo, 0, n, fan)
+		if err != nil {
+			return "", err
+		}
+		if mo.Peek(outOr) != workload.Or(in) {
+			return "", fmt.Errorf("core: g-sweep OR wrong at g=%d", g)
+		}
+
+		a := bounds.Args{N: n, P: n, G: g}
+		fmt.Fprintf(&b, "  %4d %16.1f %16d %16.1f %16d\n",
+			g, bounds.SQSMParityDet(a), ms.Report().TotalTime,
+			bounds.QSMORDet(a), mo.Report().TotalTime)
+	}
+
+	fmt.Fprintf(&b, "\nL/g-sweep at n=%d, g=2 — BSP Parity Θ(L·log q/log(L/g))\n", n)
+	fmt.Fprintf(&b, "  %4s %6s %16s %16s %10s\n", "L/g", "L", "bound", "measured", "steps")
+	for _, lg := range []int64{2, 4, 8, 16, 32} {
+		g := int64(2)
+		L := g * lg
+		p := n / sweepBSPDiv
+		in := workload.Bits(seed+lg, n)
+		m, err := bsp.New(bsp.Config{
+			P: p, G: g, L: L, N: n, PrivCells: parity.PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := m.Scatter(in); err != nil {
+			return "", err
+		}
+		got, err := parity.RunBSP(m, n, int(lg))
+		if err != nil {
+			return "", err
+		}
+		if got != workload.Parity(in) {
+			return "", fmt.Errorf("core: L/g-sweep parity wrong at L/g=%d", lg)
+		}
+		a := bounds.Args{N: n, P: p, G: g, L: L}
+		fmt.Fprintf(&b, "  %4d %6d %16.1f %16d %10d\n",
+			lg, L, bounds.BSPParityDet(a), m.Report().TotalTime, m.Report().NumPhases())
+	}
+	return b.String(), nil
+}

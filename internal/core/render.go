@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderResult formats one experiment's sweep as a fixed-width table.
+func RenderResult(r *Result) string {
+	var b strings.Builder
+	tight := ""
+	if r.Entry.Tight {
+		tight = " [Θ — ratio must flatten]"
+	}
+	fmt.Fprintf(&b, "%s — %s%s\n", r.Exp.ID, r.Exp.Title, tight)
+	fmt.Fprintf(&b, "  bound: %s   (%s)   algorithm: %s\n",
+		r.Entry.Formula, r.Entry.Source, r.Exp.Algorithm)
+	fmt.Fprintf(&b, "  %10s %14s %14s %14s %10s\n",
+		"n", "lower bound", "upper bound", "measured "+r.Exp.Quantity, "ratio")
+	for _, row := range r.Rows {
+		up := "-"
+		if row.Upper > 0 {
+			up = fmt.Sprintf("%14.1f", row.Upper)
+		}
+		fmt.Fprintf(&b, "  %10d %14.1f %14s %14.1f %10.2f\n",
+			row.N, row.Bound, up, row.Measured, row.Ratio)
+	}
+	fmt.Fprintf(&b, "  ratio spread across sweep: %.2f\n", r.RatioSpread)
+	return b.String()
+}
+
+// TableTitles names the four sub-tables of Table 1, by table number.
+var TableTitles = map[int]string{
+	1: "Table 1a — Time lower bounds for QSM",
+	2: "Table 1b — Time lower bounds for s-QSM",
+	3: "Table 1c — Time lower bounds for BSP",
+	4: "Table 1d — Number of rounds for p-processor algorithms (p ≤ n)",
+}
+
+// RenderAll runs every registered experiment and renders the four
+// sub-tables in paper order. Errors abort (the harness treats any failed
+// row as a reproduction failure).
+func RenderAll(seed int64) (string, error) {
+	results := make(map[string]*Result)
+	for _, e := range Experiments() {
+		r, err := e.Run(seed)
+		if err != nil {
+			return "", err
+		}
+		results[e.ID] = r
+	}
+
+	var ids []string
+	for id := range results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var b strings.Builder
+	for table := 1; table <= 4; table++ {
+		fmt.Fprintf(&b, "%s\n%s\n\n", TableTitles[table], strings.Repeat("=", len(TableTitles[table])))
+		prefix := fmt.Sprintf("T%d.", table)
+		for _, id := range ids {
+			if strings.HasPrefix(id, prefix) {
+				b.WriteString(RenderResult(results[id]))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String(), nil
+}

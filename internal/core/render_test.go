@@ -1,0 +1,31 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table regeneration in -short mode")
+	}
+	out, err := RenderAll(1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four sub-table headers and all experiment ids appear.
+	for table := 1; table <= 4; table++ {
+		if !strings.Contains(out, TableTitles[table]) {
+			t.Errorf("missing header for table %d", table)
+		}
+	}
+	for _, e := range Experiments() {
+		if !strings.Contains(out, e.ID+" — ") {
+			t.Errorf("missing row %s", e.ID)
+		}
+	}
+	if strings.Count(out, "ratio spread") != len(Experiments()) {
+		t.Errorf("spread lines = %d, want %d",
+			strings.Count(out, "ratio spread"), len(Experiments()))
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+	"repro/internal/workload"
+)
+
+func TestTheoremSweeps(t *testing.T) {
+	out, err := TheoremSweeps(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Theorem 3.1") || !strings.Contains(out, "Theorem 6.3") {
+		t.Fatalf("sweep output incomplete:\n%s", out)
+	}
+	// The Theorem 3.1 section must contain near-unit ratios: every ratio
+	// line ends with a value ≤ 2.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && fields[0] != "n" {
+			if ratio, err := strconv.ParseFloat(fields[5], 64); err == nil && ratio > 2 {
+				t.Errorf("gather ratio %v > 2 in line %q", ratio, line)
+			}
+		}
+	}
+}
+
+// Section 2.3: an r-round computation on input size n performs at most
+// O(r·g·n) work on the QSM family — verify the accounting on the rounds
+// parity algorithm.
+func TestRoundsWorkBound(t *testing.T) {
+	n := 1 << 12
+	p := n / sweepNP
+	m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: p, G: sweepG, N: n, MemCells: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Bits(3, n)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parity.TreeQSMRounds(m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if !rep.AllRounds {
+		t.Fatal("not computing in rounds")
+	}
+	r := int64(rep.NumPhases())
+	// Work ≤ RoundSlack·r·g·n (the O(rgn) bound of Section 2.3).
+	if rep.Work > cost.RoundSlack*r*sweepG*int64(n) {
+		t.Errorf("work %d exceeds O(r·g·n) = %d·%d·%d·%d",
+			rep.Work, cost.RoundSlack, r, sweepG, n)
+	}
+	// And the processor-time product is within a constant of linear work
+	// O(g·n) per round.
+	perRound := float64(rep.Work) / float64(r)
+	if perRound > float64(cost.RoundSlack*sweepG*int64(n)) {
+		t.Errorf("per-round work %v exceeds the linear-work budget", perRound)
+	}
+}
+
+func TestParamSweeps(t *testing.T) {
+	out, err := ParamSweeps(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "g-sweep") || !strings.Contains(out, "L/g-sweep") {
+		t.Fatalf("param sweeps incomplete:\n%s", out)
+	}
+	// The s-QSM parity column must scale exactly 2× the bound at every g —
+	// check only the g-sweep section (before the L/g header).
+	gSection := strings.SplitN(out, "L/g-sweep", 2)[0]
+	checked := 0
+	for _, line := range strings.Split(gSection, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 5 || f[0] == "g" || strings.Contains(line, "sweep") {
+			continue
+		}
+		bound, err1 := strconv.ParseFloat(f[1], 64)
+		meas, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if meas != 2*bound {
+			t.Errorf("g-sweep row %q: measured %v ≠ 2×bound %v", line, meas, bound)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Errorf("only %d g-sweep rows checked", checked)
+	}
+}

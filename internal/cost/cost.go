@@ -1,0 +1,261 @@
+// Package cost defines the shared cost vocabulary used by all machine-model
+// simulators in this repository: time units, machine parameters, per-phase
+// cost records, round classification and work accounting.
+//
+// The vocabulary follows MacKenzie & Ramachandran, "Computational Bounds for
+// Fundamental Problems on General-Purpose Parallel Models" (SPAA 1998),
+// Section 2. A QSM/s-QSM computation is a sequence of bulk-synchronous
+// phases; a BSP computation is a sequence of supersteps; a GSM computation is
+// a sequence of phases measured in big-steps. Each simulator produces a
+// sequence of PhaseCost records, and the aggregate Report summarises total
+// model time, work, and how many of the phases qualified as "rounds" in the
+// sense of Section 2.3 of the paper.
+package cost
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Time is model time in abstract machine units. All cost formulas in the
+// paper (max(m_op, g·m_rw, κ) and friends) produce integral values given
+// integral parameters, so Time is an integer type.
+type Time int64
+
+// Params carries the machine parameters of the four models.
+//
+//   - G is the bandwidth gap parameter of QSM, s-QSM and BSP.
+//   - L is the BSP latency/synchronisation parameter (unused by QSM/s-QSM).
+//   - P is the number of processors (or BSP components).
+//   - Alpha, Beta, Gamma are the GSM parameters: a GSM big-step can handle
+//     Alpha reads+writes per processor and Beta contention per cell, and each
+//     cell initially holds information about up to Gamma inputs.
+type Params struct {
+	G     int64
+	L     int64
+	P     int
+	Alpha int64
+	Beta  int64
+	Gamma int64
+	// D is the memory gap of the QSM(g,d) model (RuleQSMGD); zero
+	// elsewhere.
+	D int64
+}
+
+// Validate reports whether the parameters are admissible for the given model
+// family. The paper assumes g ≥ 1, L ≥ g (Section 2.1) and α, β, γ ≥ 1 for
+// the GSM (Section 2.2).
+func (p Params) Validate() error {
+	if p.P < 1 {
+		return fmt.Errorf("cost: need at least one processor, got %d", p.P)
+	}
+	if p.G < 1 {
+		return fmt.Errorf("cost: gap parameter g must be ≥ 1, got %d", p.G)
+	}
+	if p.L != 0 && p.L < p.G {
+		return fmt.Errorf("cost: BSP requires L ≥ g, got L=%d g=%d", p.L, p.G)
+	}
+	if p.Alpha < 0 || p.Beta < 0 || p.Gamma < 0 {
+		return fmt.Errorf("cost: GSM parameters must be non-negative: α=%d β=%d γ=%d",
+			p.Alpha, p.Beta, p.Gamma)
+	}
+	return nil
+}
+
+// Mu returns μ = max(α, β), the duration of one GSM big-step.
+func (p Params) Mu() int64 { return max64(p.Alpha, p.Beta) }
+
+// Lambda returns λ = min(α, β).
+func (p Params) Lambda() int64 { return min64(p.Alpha, p.Beta) }
+
+// PhaseCost records the accounting of one phase (or BSP superstep, or GSM
+// phase) of a simulated computation.
+type PhaseCost struct {
+	// Index is the zero-based phase number.
+	Index int
+	// MaxOps is m_op: the maximum local (RAM) operations by any processor.
+	MaxOps int64
+	// MaxRW is m_rw: the maximum number of shared-memory reads or writes
+	// issued by any processor (BSP: the h-relation h).
+	MaxRW int64
+	// Contention is κ: the maximum, over all cells, of the number of
+	// processors reading the cell or the number writing it. For phases with
+	// no reads or writes the paper defines κ = 1.
+	Contention int64
+	// ReadContention and WriteContention split κ by direction; CRQW-style
+	// cost rules need the write side alone.
+	ReadContention  int64
+	WriteContention int64
+	// BigSteps is the GSM b = max(⌈m_rw/α⌉, ⌈κ/β⌉); zero for non-GSM models.
+	BigSteps int64
+	// Time is the charged cost of the phase under the model's cost rule.
+	Time Time
+	// IsRound reports whether this phase qualified as a "round" under the
+	// Section 2.3 definition for the model and the machine's (n, p).
+	IsRound bool
+}
+
+// Report aggregates the cost of a full simulated computation.
+type Report struct {
+	// Model is a human-readable model name ("QSM", "s-QSM", "BSP", "GSM", …).
+	Model string
+	// N is the input size the round definition was evaluated against.
+	N int
+	// Params echoes the machine parameters.
+	Params Params
+	// Phases holds one record per executed phase, in order.
+	Phases []PhaseCost
+	// TotalTime is the sum of phase times (the paper's "time of an
+	// algorithm").
+	TotalTime Time
+	// Work is the processor-time product p·TotalTime.
+	Work int64
+	// Rounds is the number of phases that met the round definition.
+	Rounds int
+	// AllRounds reports whether every phase was a round, i.e. whether the
+	// computation "computes in rounds" (Section 2.3).
+	AllRounds bool
+}
+
+// Add appends one phase record and updates the aggregates.
+func (r *Report) Add(pc PhaseCost) {
+	pc.Index = len(r.Phases)
+	r.Phases = append(r.Phases, pc)
+	r.TotalTime += pc.Time
+	r.Work = int64(r.Params.P) * int64(r.TotalTime)
+	if pc.IsRound {
+		r.Rounds++
+	}
+	r.AllRounds = r.Rounds == len(r.Phases)
+}
+
+// NumPhases returns the number of executed phases.
+func (r *Report) NumPhases() int { return len(r.Phases) }
+
+// String renders a compact one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s[n=%d p=%d g=%d L=%d]: time=%d phases=%d rounds=%d allRounds=%v work=%d",
+		r.Model, r.N, r.Params.P, r.Params.G, r.Params.L,
+		r.TotalTime, r.NumPhases(), r.Rounds, r.AllRounds, r.Work)
+}
+
+// Table renders a per-phase cost table, useful for cmd/parsim traces.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %8s %10s %10s %8s %6s\n",
+		"phase", "m_op", "m_rw", "κ(read)", "κ(write)", "time", "round")
+	for _, pc := range r.Phases {
+		fmt.Fprintf(&b, "%-6d %8d %8d %10d %10d %8d %6v\n",
+			pc.Index, pc.MaxOps, pc.MaxRW, pc.ReadContention, pc.WriteContention,
+			pc.Time, pc.IsRound)
+	}
+	fmt.Fprintf(&b, "total time %d over %d phases (%d rounds)\n",
+		r.TotalTime, r.NumPhases(), r.Rounds)
+	return b.String()
+}
+
+// Rule identifies the cost rule a shared-memory phase is charged under.
+type Rule int
+
+const (
+	// RuleQSM charges max(m_op, g·m_rw, κ): the QSM of Gibbons, Matias &
+	// Ramachandran. With g = 1 this is the QRQW PRAM.
+	RuleQSM Rule = iota
+	// RuleSQSM charges max(m_op, g·m_rw, g·κ): the s-QSM.
+	RuleSQSM
+	// RuleCRQW charges max(m_op, g·m_rw, κ_write): unit-time concurrent
+	// reads (read contention is free), queued writes. Used for the
+	// "with concurrent reads" rows of Table 1.
+	RuleCRQW
+	// RuleQSMGD charges max(m_op, g·m_rw, d·κ): the QSM(g,d) of [10, 21],
+	// with a separate gap parameter d at memory. QSM is QSM(g,1) and the
+	// s-QSM is QSM(g,g). The d value comes from Params.D.
+	RuleQSMGD
+)
+
+// String returns the conventional model name for the rule.
+func (r Rule) String() string {
+	switch r {
+	case RuleQSM:
+		return "QSM"
+	case RuleSQSM:
+		return "s-QSM"
+	case RuleCRQW:
+		return "CRQW-QSM"
+	case RuleQSMGD:
+		return "QSM(g,d)"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// PhaseTime applies the rule's cost formula. d is the QSM(g,d) memory gap
+// (ignored by the other rules; a d of 0 is treated as 1).
+func (r Rule) PhaseTime(g, d, mOp, mRW, kappaRead, kappaWrite int64) Time {
+	kappa := max64(kappaRead, kappaWrite)
+	switch r {
+	case RuleQSM:
+		return Time(max64(mOp, max64(g*mRW, kappa)))
+	case RuleSQSM:
+		return Time(max64(mOp, max64(g*mRW, g*kappa)))
+	case RuleCRQW:
+		return Time(max64(mOp, max64(g*mRW, kappaWrite)))
+	case RuleQSMGD:
+		if d < 1 {
+			d = 1
+		}
+		return Time(max64(mOp, max64(g*mRW, d*kappa)))
+	default:
+		panic("cost: unknown rule")
+	}
+}
+
+// RoundBudget returns the phase-time budget below which a phase counts as a
+// round for the shared-memory models: c·g·n/p (Section 2.3). The slack
+// constant c absorbs the O(); we use c = RoundSlack throughout.
+func RoundBudget(g int64, n, p int) Time {
+	t := RoundSlack * g * int64(n) / int64(maxInt(p, 1))
+	if t < 1 {
+		t = 1
+	}
+	return Time(t)
+}
+
+// GSMRoundBudget returns the GSM round budget c·μn/(λp).
+func GSMRoundBudget(pr Params, n int) Time {
+	lam := pr.Lambda()
+	if lam < 1 {
+		lam = 1
+	}
+	t := RoundSlack * pr.Mu() * int64(n) / (lam * int64(maxInt(pr.P, 1)))
+	if t < 1 {
+		t = 1
+	}
+	return Time(t)
+}
+
+// RoundSlack is the constant hidden in the O() of the round definitions. The
+// paper's bounds are insensitive to it; 4 keeps the natural fan-in-(n/p)
+// algorithms classified as computing in rounds.
+const RoundSlack = 4
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

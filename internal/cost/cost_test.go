@@ -1,0 +1,191 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"basic qsm", Params{G: 2, P: 4}, true},
+		{"g zero", Params{G: 0, P: 4}, false},
+		{"no procs", Params{G: 1, P: 0}, false},
+		{"bsp ok", Params{G: 2, L: 8, P: 4}, true},
+		{"bsp L below g", Params{G: 4, L: 2, P: 4}, false},
+		{"gsm ok", Params{G: 1, P: 2, Alpha: 1, Beta: 3, Gamma: 1}, true},
+		{"gsm negative", Params{G: 1, P: 2, Alpha: -1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.p.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestMuLambda(t *testing.T) {
+	p := Params{Alpha: 3, Beta: 7}
+	if p.Mu() != 7 {
+		t.Errorf("Mu = %d, want 7", p.Mu())
+	}
+	if p.Lambda() != 3 {
+		t.Errorf("Lambda = %d, want 3", p.Lambda())
+	}
+	q := Params{Alpha: 9, Beta: 2}
+	if q.Mu() != 9 || q.Lambda() != 2 {
+		t.Errorf("Mu/Lambda = %d/%d, want 9/2", q.Mu(), q.Lambda())
+	}
+}
+
+func TestRulePhaseTime(t *testing.T) {
+	// QSM: max(m_op, g·m_rw, κ)
+	if got := RuleQSM.PhaseTime(3, 0, 5, 2, 4, 9); got != 9 {
+		t.Errorf("QSM time = %d, want 9 (κ dominates)", got)
+	}
+	if got := RuleQSM.PhaseTime(3, 0, 5, 4, 1, 1); got != 12 {
+		t.Errorf("QSM time = %d, want 12 (g·m_rw dominates)", got)
+	}
+	if got := RuleQSM.PhaseTime(3, 0, 50, 4, 1, 1); got != 50 {
+		t.Errorf("QSM time = %d, want 50 (m_op dominates)", got)
+	}
+	// s-QSM: κ is multiplied by g.
+	if got := RuleSQSM.PhaseTime(3, 0, 5, 2, 4, 9); got != 27 {
+		t.Errorf("s-QSM time = %d, want 27 (g·κ dominates)", got)
+	}
+	// CRQW: read contention free.
+	if got := RuleCRQW.PhaseTime(1, 0, 1, 1, 100, 2); got != 2 {
+		t.Errorf("CRQW time = %d, want 2 (read contention ignored)", got)
+	}
+	// QSM(g,d): κ multiplied by d.
+	if got := RuleQSMGD.PhaseTime(3, 5, 1, 2, 4, 9); got != 45 {
+		t.Errorf("QSM(g,d) time = %d, want 45 (d·κ dominates)", got)
+	}
+	// d=0 falls back to 1 (plain QSM).
+	if got := RuleQSMGD.PhaseTime(3, 0, 5, 2, 4, 9); got != 9 {
+		t.Errorf("QSM(g,0) time = %d, want 9", got)
+	}
+}
+
+func TestQSMGDInterpolates(t *testing.T) {
+	// QSM(g,1) = QSM and QSM(g,g) = s-QSM — the paper's observation that
+	// QSM and s-QSM are the endpoints of the QSM(g,d) family.
+	f := func(mOp, mRW, kr, kw uint16, gRaw uint8) bool {
+		g := int64(gRaw%7) + 1
+		o, w, r, ww := int64(mOp), int64(mRW), int64(kr), int64(kw)
+		if RuleQSMGD.PhaseTime(g, 1, o, w, r, ww) != RuleQSM.PhaseTime(g, 0, o, w, r, ww) {
+			return false
+		}
+		return RuleQSMGD.PhaseTime(g, g, o, w, r, ww) == RuleSQSM.PhaseTime(g, 0, o, w, r, ww)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRulePhaseTimeProperties(t *testing.T) {
+	// Property: for all inputs, s-QSM cost ≥ QSM cost ≥ CRQW cost, and the
+	// QRQW special case (g = 1) makes QSM and s-QSM coincide.
+	f := func(mOp, mRW, kr, kw uint16, gRaw uint8) bool {
+		g := int64(gRaw%7) + 1
+		o, w, r, ww := int64(mOp), int64(mRW), int64(kr), int64(kw)
+		q := RuleQSM.PhaseTime(g, 0, o, w, r, ww)
+		s := RuleSQSM.PhaseTime(g, 0, o, w, r, ww)
+		c := RuleCRQW.PhaseTime(g, 0, o, w, r, ww)
+		if !(s >= q && q >= c) {
+			return false
+		}
+		return RuleQSM.PhaseTime(1, 0, o, w, r, ww) == RuleSQSM.PhaseTime(1, 0, o, w, r, ww)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if RuleQSM.String() != "QSM" || RuleSQSM.String() != "s-QSM" || RuleCRQW.String() != "CRQW-QSM" {
+		t.Errorf("unexpected rule names: %s %s %s", RuleQSM, RuleSQSM, RuleCRQW)
+	}
+	if got := Rule(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown rule string = %q", got)
+	}
+}
+
+func TestReportAdd(t *testing.T) {
+	r := &Report{Model: "QSM", N: 16, Params: Params{G: 2, P: 4}}
+	r.Add(PhaseCost{Time: 10, IsRound: true})
+	r.Add(PhaseCost{Time: 7, IsRound: false})
+	r.Add(PhaseCost{Time: 3, IsRound: true})
+	if r.TotalTime != 20 {
+		t.Errorf("TotalTime = %d, want 20", r.TotalTime)
+	}
+	if r.Work != 80 {
+		t.Errorf("Work = %d, want 80", r.Work)
+	}
+	if r.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", r.Rounds)
+	}
+	if r.AllRounds {
+		t.Error("AllRounds = true, want false")
+	}
+	if r.Phases[2].Index != 2 {
+		t.Errorf("phase index = %d, want 2", r.Phases[2].Index)
+	}
+	if !strings.Contains(r.String(), "time=20") {
+		t.Errorf("String() = %q missing total", r.String())
+	}
+	if !strings.Contains(r.Table(), "total time 20") {
+		t.Errorf("Table() missing total:\n%s", r.Table())
+	}
+}
+
+func TestReportAllRounds(t *testing.T) {
+	r := &Report{Model: "QSM", N: 8, Params: Params{G: 1, P: 2}}
+	r.Add(PhaseCost{Time: 1, IsRound: true})
+	r.Add(PhaseCost{Time: 1, IsRound: true})
+	if !r.AllRounds {
+		t.Error("AllRounds = false for all-round computation")
+	}
+}
+
+func TestRoundBudget(t *testing.T) {
+	// c·g·n/p with c = RoundSlack.
+	if got := RoundBudget(2, 64, 8); got != Time(RoundSlack*2*64/8) {
+		t.Errorf("RoundBudget = %d", got)
+	}
+	// Degenerate cases clamp to ≥ 1.
+	if got := RoundBudget(1, 1, 1000); got != 1 {
+		t.Errorf("RoundBudget small = %d, want 1", got)
+	}
+	if got := RoundBudget(1, 10, 0); got <= 0 {
+		t.Errorf("RoundBudget with p=0 = %d, want positive", got)
+	}
+}
+
+func TestGSMRoundBudget(t *testing.T) {
+	p := Params{P: 4, Alpha: 2, Beta: 8}
+	// c·μ·n/(λ·p) = 4·8·64/(2·4) = 256
+	if got := GSMRoundBudget(p, 64); got != 256 {
+		t.Errorf("GSMRoundBudget = %d, want 256", got)
+	}
+	// λ = 0 clamps to 1.
+	q := Params{P: 1, Alpha: 0, Beta: 3}
+	if got := GSMRoundBudget(q, 4); got != Time(RoundSlack*3*4) {
+		t.Errorf("GSMRoundBudget λ=0 = %d", got)
+	}
+}
+
+func TestRulePhaseTimeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown rule")
+		}
+	}()
+	Rule(99).PhaseTime(1, 0, 1, 1, 1, 1)
+}

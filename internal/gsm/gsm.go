@@ -1,0 +1,448 @@
+// Package gsm implements the Generalized Shared Memory (GSM) model of
+// MacKenzie & Ramachandran (SPAA 1998), Section 2.2 — the strengthened
+// lower-bound model from which the paper derives its QSM, s-QSM and BSP
+// bounds.
+//
+// The GSM differs from the QSM in three ways that make it strictly stronger:
+//
+//  1. Strong queuing: shared-memory cells hold arbitrarily large information
+//     sets. When several processors write to one cell in a phase, ALL of the
+//     written information is merged into the cell (nothing is lost).
+//  2. Local computation is free: a phase consists only of reads and writes.
+//  3. Cost is measured in big-steps of duration μ = max(α, β). A phase with
+//     maximum per-processor reads/writes m_rw and maximum contention κ takes
+//     b = max(⌈m_rw/α⌉, ⌈κ/β⌉) big-steps, i.e. time μ·b. A single big-step
+//     "handles" α reads/writes per processor and β contention per cell.
+//
+// At the start of an algorithm each cell contains information about up to γ
+// inputs (disjoint across cells).
+//
+// The package also provides the Claim 2.1 emulation adapters: given the cost
+// report of a QSM, s-QSM or BSP run, they compute the cost of executing the
+// same computation on an appropriately-parameterised GSM, making the paper's
+// lower-bound transfer argument an executable (and tested) statement.
+package gsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Info is the information content of a GSM cell: a sorted set of abstract
+// information atoms (int64 tokens). The zero value is the empty set.
+type Info []int64
+
+// Contains reports whether the atom is in the set.
+func (in Info) Contains(a int64) bool {
+	i := sort.Search(len(in), func(i int) bool { return in[i] >= a })
+	return i < len(in) && in[i] == a
+}
+
+// Merge returns the union of the two sets (strong queuing write rule).
+func (in Info) Merge(other Info) Info {
+	if len(other) == 0 {
+		return in
+	}
+	if len(in) == 0 {
+		return append(Info(nil), other...)
+	}
+	out := make(Info, 0, len(in)+len(other))
+	i, j := 0, 0
+	for i < len(in) && j < len(other) {
+		switch {
+		case in[i] < other[j]:
+			out = append(out, in[i])
+			i++
+		case in[i] > other[j]:
+			out = append(out, other[j])
+			j++
+		default:
+			out = append(out, in[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, in[i:]...)
+	out = append(out, other[j:]...)
+	return out
+}
+
+// NewInfo builds a normalised (sorted, deduplicated) information set.
+func NewInfo(atoms ...int64) Info {
+	if len(atoms) == 0 {
+		return nil
+	}
+	s := append([]int64(nil), atoms...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, a := range s[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return Info(out)
+}
+
+// Machine is a GSM instance.
+type Machine struct {
+	params cost.Params
+	n      int
+	cells  []Info
+	report cost.Report
+	err    error
+	trace  *Trace
+}
+
+// Config parameterises a GSM machine.
+type Config struct {
+	// P is the number of processors.
+	P int
+	// Alpha, Beta, Gamma are the GSM parameters (all ≥ 1).
+	Alpha, Beta, Gamma int64
+	// N is the input size, for round classification (a round is a phase of
+	// time O(μn/(λp))).
+	N int
+	// Cells is the shared-memory size.
+	Cells int
+}
+
+// New constructs a GSM machine with empty cells.
+func New(c Config) (*Machine, error) {
+	if c.Alpha < 1 || c.Beta < 1 || c.Gamma < 1 {
+		return nil, fmt.Errorf("gsm: parameters must be ≥ 1: α=%d β=%d γ=%d",
+			c.Alpha, c.Beta, c.Gamma)
+	}
+	p := cost.Params{G: 1, P: c.P, Alpha: c.Alpha, Beta: c.Beta, Gamma: c.Gamma}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if c.N < 1 {
+		return nil, fmt.Errorf("gsm: input size N must be ≥ 1, got %d", c.N)
+	}
+	if c.Cells < 0 {
+		return nil, fmt.Errorf("gsm: negative cell count %d", c.Cells)
+	}
+	m := &Machine{params: p, n: c.N, cells: make([]Info, c.Cells)}
+	m.report = cost.Report{Model: "GSM", N: c.N, Params: p}
+	return m, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(c Config) *Machine {
+	m, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// P returns the processor count; Mu and Lambda the derived step parameters.
+func (m *Machine) P() int        { return m.params.P }
+func (m *Machine) Mu() int64     { return m.params.Mu() }
+func (m *Machine) Lambda() int64 { return m.params.Lambda() }
+
+// Gamma returns the initial inputs-per-cell parameter.
+func (m *Machine) Gamma() int64 { return m.params.Gamma }
+
+// Err returns the first model violation, if any.
+func (m *Machine) Err() error { return m.err }
+
+// Report returns the accumulated cost report.
+func (m *Machine) Report() *cost.Report { return &m.report }
+
+// LoadInputs places n input atoms into cells under the γ-per-cell initial
+// distribution: cell i receives atoms for inputs [iγ, (i+1)γ). Atom encoding
+// is inputAtom(index, value). Not charged.
+func (m *Machine) LoadInputs(values []int64) error {
+	if len(values) != m.n {
+		return fmt.Errorf("gsm: LoadInputs got %d values, want N=%d", len(values), m.n)
+	}
+	g := int(m.params.Gamma)
+	need := (m.n + g - 1) / g
+	if need > len(m.cells) {
+		return fmt.Errorf("gsm: %d cells needed for n=%d γ=%d, have %d",
+			need, m.n, g, len(m.cells))
+	}
+	for i, v := range values {
+		c := i / g
+		m.cells[c] = m.cells[c].Merge(NewInfo(InputAtom(i, v)))
+	}
+	return nil
+}
+
+// InputAtom encodes "input i has value v" as an information atom.
+func InputAtom(i int, v int64) int64 { return int64(i)<<8 | (v & 0xff) }
+
+// AtomInput decodes an input atom.
+func AtomInput(a int64) (i int, v int64) { return int(a >> 8), a & 0xff }
+
+// Grow extends the shared memory to at least size cells (empty). Address
+// space is free in the model.
+func (m *Machine) Grow(size int) {
+	for len(m.cells) < size {
+		m.cells = append(m.cells, nil)
+	}
+}
+
+// MemSize returns the current cell count.
+func (m *Machine) MemSize() int { return len(m.cells) }
+
+// Peek returns the information set of a cell (host-side, not charged).
+func (m *Machine) Peek(addr int) Info {
+	if addr < 0 || addr >= len(m.cells) {
+		return nil
+	}
+	return m.cells[addr]
+}
+
+// Ctx is the per-processor handle inside a GSM phase.
+type Ctx struct {
+	proc  int
+	m     *Machine
+	reads int64
+	wrs   int64
+
+	readAddrs  []int32
+	writeAddrs []int32
+	writeInfo  []Info
+	fail       error
+}
+
+// Proc returns the processor index.
+func (c *Ctx) Proc() int { return c.proc }
+
+// Read returns the information set of the cell as of the start of the phase
+// and charges one read.
+func (c *Ctx) Read(addr int) Info {
+	if addr < 0 || addr >= len(c.m.cells) {
+		c.failf("read out of range: cell %d of %d", addr, len(c.m.cells))
+		return nil
+	}
+	c.reads++
+	c.readAddrs = append(c.readAddrs, int32(addr))
+	return c.m.cells[addr]
+}
+
+// Write merges info into the cell at the phase barrier (strong queuing: no
+// written information is ever lost) and charges one write.
+func (c *Ctx) Write(addr int, info Info) {
+	if addr < 0 || addr >= len(c.m.cells) {
+		c.failf("write out of range: cell %d of %d", addr, len(c.m.cells))
+		return
+	}
+	c.wrs++
+	c.writeAddrs = append(c.writeAddrs, int32(addr))
+	c.writeInfo = append(c.writeInfo, info)
+}
+
+func (c *Ctx) failf(format string, args ...any) {
+	if c.fail == nil {
+		c.fail = fmt.Errorf("gsm: proc %d: "+format, append([]any{c.proc}, args...)...)
+	}
+}
+
+// ErrViolation wraps GSM memory-access-rule violations.
+var ErrViolation = errors.New("gsm: memory access rule violation")
+
+// Phase runs one GSM phase sequentially over processors (GSM runs are used
+// for small-n proof-machinery experiments, so the simple loop keeps traces
+// exactly reproducible). The phase is charged μ · max(⌈m_rw/α⌉, ⌈κ/β⌉)
+// big-steps (at least one, since computation is free but a phase is a unit).
+func (m *Machine) Phase(body func(c *Ctx)) {
+	if m.err != nil {
+		return
+	}
+	ctxs := make([]*Ctx, m.params.P)
+	for i := range ctxs {
+		c := &Ctx{proc: i, m: m}
+		body(c)
+		ctxs[i] = c
+	}
+	m.commit(ctxs)
+}
+
+func (m *Machine) commit(ctxs []*Ctx) {
+	var mRW int64
+	readCount := make(map[int32]int64)
+	writeCount := make(map[int32]int64)
+	pending := make(map[int32]Info)
+
+	// κ counts processors per cell (paper definition): duplicate requests
+	// by one processor to one cell dedupe for contention, not for m_rw.
+	for _, c := range ctxs {
+		if c.fail != nil && m.err == nil {
+			m.err = c.fail
+		}
+		rw := c.reads
+		if c.wrs > rw {
+			rw = c.wrs
+		}
+		if rw > mRW {
+			mRW = rw
+		}
+		var seen map[int32]bool
+		if len(c.readAddrs)+len(c.writeAddrs) > 1 {
+			seen = make(map[int32]bool, len(c.readAddrs)+len(c.writeAddrs))
+		}
+		for _, a := range c.readAddrs {
+			if seen != nil {
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+			}
+			readCount[a]++
+		}
+		for j, a := range c.writeAddrs {
+			pending[a] = pending[a].Merge(c.writeInfo[j])
+			if seen != nil {
+				if seen[^a] {
+					continue
+				}
+				seen[^a] = true
+			}
+			writeCount[a]++
+		}
+	}
+	if m.err != nil {
+		return
+	}
+	var kappa int64
+	for a, n := range readCount {
+		if n > kappa {
+			kappa = n
+		}
+		if _, clash := writeCount[a]; clash {
+			m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
+				ErrViolation, a, m.report.NumPhases())
+			return
+		}
+	}
+	for _, n := range writeCount {
+		if n > kappa {
+			kappa = n
+		}
+	}
+
+	b := maxI64(ceilDiv(mRW, m.params.Alpha), ceilDiv(kappa, m.params.Beta))
+	if b < 1 {
+		b = 1
+	}
+	t := cost.Time(m.params.Mu() * b)
+	m.report.Add(cost.PhaseCost{
+		MaxRW:      mRW,
+		Contention: kappa,
+		BigSteps:   b,
+		Time:       t,
+		IsRound:    t <= cost.GSMRoundBudget(m.params, m.n),
+	})
+	if m.trace != nil {
+		m.trace.recordReads(m, ctxs)
+	}
+	for a, info := range pending {
+		m.cells[a] = m.cells[a].Merge(info)
+	}
+	if m.trace != nil {
+		m.trace.recordCells(m)
+	}
+}
+
+// --- Claim 2.1 emulation adapters -----------------------------------------
+//
+// Each adapter takes the per-phase accounting of a run on a weaker model and
+// computes the time the same computation would take on the GSM with the
+// parameters named in Claim 2.1. The paper's claim is that the GSM time is
+// at most a constant times the source-model time; tests assert it on real
+// runs.
+
+// EmulateQSM returns the GSM(n, α=1, β=g, γ=1) time of executing the phases
+// of a QSM report. A QSM phase costing max(m_op, g·m_rw, κ) becomes a GSM
+// phase of max(⌈m_rw/1⌉, ⌈κ/g⌉) big-steps of μ = g time.
+func EmulateQSM(r *cost.Report) cost.Time {
+	g := r.Params.G
+	var total cost.Time
+	for _, ph := range r.Phases {
+		b := maxI64(ph.MaxRW, ceilDiv(ph.Contention, g))
+		if b < 1 {
+			b = 1
+		}
+		total += cost.Time(g * b)
+	}
+	return total
+}
+
+// EmulateSQSM returns the GSM(n, α=1, β=1, γ=1) time of executing the phases
+// of an s-QSM report; Claim 2.1(2) states T_s-QSM = Ω(g · T_GSM(n,1,1,1)).
+func EmulateSQSM(r *cost.Report) cost.Time {
+	var total cost.Time
+	for _, ph := range r.Phases {
+		b := maxI64(ph.MaxRW, ph.Contention)
+		if b < 1 {
+			b = 1
+		}
+		total += cost.Time(b)
+	}
+	return total
+}
+
+// EmulateBSP returns the GSM(n, α=L/g, β=L/g, γ=n/p) time of executing the
+// supersteps of a BSP report; Claim 2.1(3) states
+// T_BSP = Ω(g · T_GSM(n, L/g, L/g, n/p)). Each superstep routing an
+// h-relation becomes a phase with m_rw = κ = h.
+func EmulateBSP(r *cost.Report) cost.Time {
+	lg := r.Params.L / r.Params.G
+	if lg < 1 {
+		lg = 1
+	}
+	var total cost.Time
+	for _, ph := range r.Phases {
+		b := ceilDiv(ph.MaxRW, lg)
+		if b < 1 {
+			b = 1
+		}
+		total += cost.Time(lg * b)
+	}
+	return total
+}
+
+// RoundsPreserved checks the rounds half of Claim 2.1 (items 5–7) on a
+// concrete run: every round of the source-model report, emulated on the
+// GSM with the given parameters, still fits the GSM round budget (so the
+// GSM round count is at most a constant times the source's). The per-phase
+// emulated time is μ·max(⌈m_rw/α⌉, ⌈κ/β⌉); slack absorbs the claim's
+// constant (a BSP round becomes ≤ 2 GSM rounds).
+func RoundsPreserved(r *cost.Report, alpha, beta, gamma int64, slack int64) bool {
+	pr := cost.Params{G: 1, P: r.Params.P, Alpha: alpha, Beta: beta, Gamma: gamma}
+	budget := cost.Time(slack) * cost.GSMRoundBudget(pr, r.N)
+	mu := pr.Mu()
+	for _, ph := range r.Phases {
+		if !ph.IsRound {
+			continue // only rounds of the source must map to rounds
+		}
+		b := maxI64(ceilDiv(ph.MaxRW, alpha), ceilDiv(ph.Contention, beta))
+		if b < 1 {
+			b = 1
+		}
+		if cost.Time(mu*b) > budget {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package gsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records, for a traced run, the Section 5 trace objects:
+// Trace(p, t, f) for processors (the sequence of (cell, contents) pairs
+// read, per phase) and Trace(c, t, f) for cells (their contents at each
+// phase boundary).
+type Trace struct {
+	// reads[t][p] is the sorted list of "(cell:contents)" strings processor
+	// p read in phase t (contents as of the start of the phase).
+	reads [][][]string
+	// cells[t][c] is the contents key of cell c at the END of phase t.
+	cells [][]string
+}
+
+// EnableTracing switches on trace recording; it must be called before the
+// first phase. Tracing snapshots every cell at each phase boundary, so it
+// is intended for the small-n proof-machinery experiments.
+func (m *Machine) EnableTracing() {
+	m.trace = &Trace{}
+}
+
+// TraceLog returns the recorded trace, or nil if tracing was not enabled.
+func (m *Machine) TraceLog() *Trace { return m.trace }
+
+func infoKey(in Info) string {
+	if len(in) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, a := range in {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	return b.String()
+}
+
+// recordReads captures per-processor reads with the contents they observed.
+// It must run before the phase's writes are applied: during a phase the
+// memory still holds the start-of-phase contents the readers saw.
+func (tr *Trace) recordReads(m *Machine, ctxs []*Ctx) {
+	p := len(ctxs)
+	phaseReads := make([][]string, p)
+	for i, c := range ctxs {
+		rs := make([]string, 0, len(c.readAddrs))
+		for _, a := range c.readAddrs {
+			rs = append(rs, fmt.Sprintf("%d:%s", a, infoKey(m.cells[a])))
+		}
+		phaseReads[i] = rs
+	}
+	tr.reads = append(tr.reads, phaseReads)
+}
+
+// recordCells snapshots all cell contents; it must run after the phase's
+// writes are applied, giving the end-of-phase state.
+func (tr *Trace) recordCells(m *Machine) {
+	snap := make([]string, len(m.cells))
+	for i, info := range m.cells {
+		snap[i] = infoKey(info)
+	}
+	tr.cells = append(tr.cells, snap)
+}
+
+// NumPhases returns the number of recorded phases.
+func (tr *Trace) NumPhases() int { return len(tr.reads) }
+
+// ProcKey returns a canonical key for Trace(p, t, f): everything processor
+// p observed through phase t (inclusive). Two runs whose ProcKeys agree
+// are indistinguishable to the processor.
+func (tr *Trace) ProcKey(p, t int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d", p)
+	for ph := 0; ph <= t && ph < len(tr.reads); ph++ {
+		b.WriteByte('|')
+		b.WriteString(strings.Join(tr.reads[ph][p], ";"))
+	}
+	return b.String()
+}
+
+// CellKey returns a canonical key for Trace(c, t, f): the cell's contents
+// at the end of phase t.
+func (tr *Trace) CellKey(c, t int) string {
+	if t < 0 || t >= len(tr.cells) || c >= len(tr.cells[t]) {
+		return "∅"
+	}
+	return tr.cells[t][c]
+}

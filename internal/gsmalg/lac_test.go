@@ -1,0 +1,148 @@
+package gsmalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gsm"
+	"repro/internal/workload"
+)
+
+func lacMachine(t *testing.T, n int, gamma int64, items []int64) *gsm.Machine {
+	t.Helper()
+	r := (n + int(gamma) - 1) / int(gamma)
+	m, err := gsm.New(gsm.Config{
+		P: r, Alpha: 1, Beta: 1, Gamma: gamma, N: n, Cells: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadInputs(items); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDartLACGSMPlacesEveryItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n, h  int
+		gamma int64
+	}{
+		{16, 0, 1}, {16, 4, 1}, {64, 16, 2}, {256, 64, 4}, {128, 128, 1},
+	} {
+		// Item values must fit the atom encoding (0..255); use 1 markers.
+		in, err := workload.Sparse(rng.Int63(), tc.n, tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marks := make([]int64, tc.n)
+		for i, v := range in {
+			if v != 0 {
+				marks[i] = 1
+			}
+		}
+		m := lacMachine(t, tc.n, tc.gamma, marks)
+		res, err := DartLACGSM(m, rng, tc.n)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(res.Placed) != tc.h {
+			t.Fatalf("%+v: placed %d, want %d", tc, len(res.Placed), tc.h)
+		}
+		// Distinct cells, linear space.
+		seen := map[int]bool{}
+		for tag, cell := range res.Placed {
+			if seen[cell] {
+				t.Fatalf("%+v: cell %d double-claimed", tc, cell)
+			}
+			seen[cell] = true
+			// The claimed cell's minimum atom must be the claimant's tag.
+			info := m.Peek(cell)
+			if len(info) == 0 || info[0] != tag {
+				t.Fatalf("%+v: cell %d min = %v, want tag %d", tc, cell, info, tag)
+			}
+		}
+		if tc.h > 0 && res.OutSize > 2*DartFactor*tc.h+DartFactor {
+			t.Errorf("%+v: out size %d not linear in h", tc, res.OutSize)
+		}
+	}
+}
+
+func TestDartLACGSMPointers(t *testing.T) {
+	// The ECLB requirement (Claim 6.1): every input cell with items ends up
+	// pointing at their destinations.
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	gamma := int64(4)
+	marks := make([]int64, n)
+	for i := 0; i < n; i += 3 {
+		marks[i] = 1
+	}
+	m := lacMachine(t, n, gamma, marks)
+	res, err := DartLACGSM(m, rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := (n + int(gamma) - 1) / int(gamma)
+	for i := 0; i < r; i++ {
+		ptrs := m.Peek(res.PointerBase + i)
+		// Collect the expected destinations of the items in input cell i.
+		want := map[int64]bool{}
+		for j := i * int(gamma); j < (i+1)*int(gamma) && j < n; j++ {
+			if marks[j] != 0 {
+				want[int64(res.Placed[int64(j)+1])] = true
+			}
+		}
+		if len(ptrs) != len(want) {
+			t.Fatalf("cell %d: %d pointers, want %d", i, len(ptrs), len(want))
+		}
+		for _, p := range ptrs {
+			if !want[p] {
+				t.Fatalf("cell %d: unexpected pointer %d", i, p)
+			}
+		}
+	}
+}
+
+func TestDartLACGSMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := lacMachine(t, 8, 1, workload.ZeroBits(8))
+	if _, err := DartLACGSM(m, rng, 0); err == nil {
+		t.Error("want n error")
+	}
+	small, err := gsm.New(gsm.Config{P: 2, Alpha: 1, Beta: 1, Gamma: 1, N: 8, Cells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.LoadInputs(workload.ZeroBits(8)); err == nil {
+		// LoadInputs needs 8 cells which it has; processors are the issue.
+		if _, err := DartLACGSM(small, rng, 8); err == nil {
+			t.Error("want processors error")
+		}
+	}
+}
+
+// Strong queuing keeps dart rounds low: no information is lost, so the
+// minimum-tag rule retires at least one item per occupied slot per round.
+func TestDartLACGSMRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 1 << 10
+	marks := make([]int64, n)
+	for i := range marks {
+		if i%2 == 0 {
+			marks[i] = 1
+		}
+	}
+	m := lacMachine(t, n, 1, marks)
+	res, err := DartLACGSM(m, rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 8 {
+		t.Errorf("GSM dart rounds = %d, want ≤ 8", res.Rounds)
+	}
+	if len(res.Placed) != n/2 {
+		t.Errorf("placed %d, want %d", len(res.Placed), n/2)
+	}
+}

@@ -1,0 +1,327 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bsp"
+	"repro/internal/cost"
+	"repro/internal/qsm"
+	"repro/internal/workload"
+)
+
+func qsmFor(t *testing.T, rule cost.Rule, n, p int, g int64) *qsm.Machine {
+	t.Helper()
+	m, err := qsm.New(qsm.Config{Rule: rule, P: p, G: g, N: n, MemCells: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTreeQSMCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 31, 100, 256} {
+		for _, fanin := range []int{2, 3, 8} {
+			in := workload.Bits(int64(n*fanin), n)
+			m := qsmFor(t, cost.RuleQSM, n, n, 1)
+			if err := m.Load(0, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := TreeQSM(m, 0, n, fanin)
+			if err != nil {
+				t.Fatalf("n=%d fanin=%d: %v", n, fanin, err)
+			}
+			if got, want := m.Peek(out), workload.Parity(in); got != want {
+				t.Fatalf("n=%d fanin=%d: parity = %d, want %d", n, fanin, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeQSMValidation(t *testing.T) {
+	m := qsmFor(t, cost.RuleQSM, 8, 8, 1)
+	if _, err := TreeQSM(m, 0, 0, 2); err == nil {
+		t.Error("want n error")
+	}
+	if _, err := TreeQSM(m, 0, 8, 1); err == nil {
+		t.Error("want fanin error")
+	}
+	if _, err := TreeQSM(m, 0, 8, MaxFanin+1); err == nil {
+		t.Error("want fanin error")
+	}
+	if _, err := TreeQSM(m, 4, 8, 2); err == nil {
+		t.Error("want range error")
+	}
+}
+
+// The tight s-QSM bound: the binary tree costs Θ(g·log n) — check the exact
+// phase count and per-phase cost.
+func TestTreeSQSMTightCost(t *testing.T) {
+	n, g := 1<<10, int64(4)
+	in := workload.Bits(3, n)
+	m := qsmFor(t, cost.RuleSQSM, n, n, g)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TreeQSM(m, 0, n, 2); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	if r.NumPhases() != 10 {
+		t.Errorf("phases = %d, want log₂ n = 10", r.NumPhases())
+	}
+	// Each phase: m_rw = 2 reads, contention 1 ⇒ cost max(2, g·2, g) = 2g.
+	if r.TotalTime != cost.Time(10*2*g) {
+		t.Errorf("total time = %d, want %d (= 2g·log n)", r.TotalTime, 10*2*g)
+	}
+}
+
+func TestTreeQSMRoundsAllRounds(t *testing.T) {
+	n := 1 << 12
+	p := n / 16
+	in := workload.Bits(9, n)
+	m := qsmFor(t, cost.RuleQSM, n, p, 2)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := TreeQSMRounds(m, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Peek(out), workload.Parity(in); got != want {
+		t.Fatalf("parity = %d, want %d", got, want)
+	}
+	if !m.Report().AllRounds {
+		t.Error("rounds tree exceeded the round budget in some phase")
+	}
+	// Θ(log n / log(n/p)) = 12/4 = 3 rounds.
+	if got := m.Report().NumPhases(); got != 3 {
+		t.Errorf("rounds = %d, want 3", got)
+	}
+}
+
+func TestTreeQSMRoundsFaninCap(t *testing.T) {
+	n := 1 << 10
+	m := qsmFor(t, cost.RuleQSM, n, 4, 1) // n/p = 256 > MaxFanin
+	if _, err := TreeQSMRounds(m, 0, n); err == nil {
+		t.Error("want MaxFanin error")
+	}
+}
+
+func TestGadgetQSMCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 64} {
+		for _, gb := range []int{2, 3, 4} {
+			perGroup := gb << uint(gb)
+			procs := ((n + gb - 1) / gb) * perGroup
+			in := workload.Bits(int64(n+gb), n)
+			m := qsmFor(t, cost.RuleQSM, n, procs, 2)
+			if err := m.Load(0, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := GadgetQSM(m, 0, n, gb)
+			if err != nil {
+				t.Fatalf("n=%d gb=%d: %v", n, gb, err)
+			}
+			if m.Err() != nil {
+				t.Fatalf("n=%d gb=%d: %v", n, gb, m.Err())
+			}
+			if got, want := m.Peek(out), workload.Parity(in); got != want {
+				t.Fatalf("n=%d gb=%d: parity = %d, want %d", n, gb, got, want)
+			}
+		}
+	}
+}
+
+func TestGadgetQSMValidation(t *testing.T) {
+	m := qsmFor(t, cost.RuleQSM, 16, 1000, 2)
+	if _, err := GadgetQSM(m, 0, 16, 1); err == nil {
+		t.Error("want group-bits error (m=1 never shrinks)")
+	}
+	if _, err := GadgetQSM(m, 0, 16, GadgetMaxGroupBits+1); err == nil {
+		t.Error("want group-bits error")
+	}
+	tiny := qsmFor(t, cost.RuleQSM, 64, 4, 2)
+	if _, err := GadgetQSM(tiny, 0, 64, 3); err == nil {
+		t.Error("want too-few-processors error")
+	}
+}
+
+// The gadget's phase costs match the analysis: with m = log₂ g the read
+// contention 2^m = g never exceeds the g·m_rw term, so on the QSM each
+// level costs O(g).
+func TestGadgetQSMContentionShape(t *testing.T) {
+	n, gb := 256, 3 // groups of 3 bits ⇒ read contention 8
+	g := int64(8)   // chosen so 2^m = g
+	perGroup := gb << uint(gb)
+	procs := ((n + gb - 1) / gb) * perGroup
+	in := workload.Bits(21, n)
+	m := qsmFor(t, cost.RuleQSM, n, procs, g)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GadgetQSM(m, 0, n, gb); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range m.Report().Phases {
+		if ph.ReadContention > 1<<uint(gb) {
+			t.Fatalf("phase %d read contention %d > 2^m = %d",
+				ph.Index, ph.ReadContention, 1<<uint(gb))
+		}
+		if ph.WriteContention > int64(gb) {
+			t.Fatalf("phase %d write contention %d > m = %d",
+				ph.Index, ph.WriteContention, gb)
+		}
+		if ph.Time > cost.Time(g) {
+			t.Fatalf("phase %d costs %d > g = %d; gadget level must be O(g)",
+				ph.Index, ph.Time, g)
+		}
+	}
+}
+
+// On the CRQW, the gadget with larger groups (m up to g) beats the QSM
+// configuration: fewer levels at the same per-level cost.
+func TestGadgetCRQWFasterThanQSMConfig(t *testing.T) {
+	n := 512
+	g := int64(16)
+	run := func(rule cost.Rule, gb int) cost.Time {
+		perGroup := gb << uint(gb)
+		procs := ((n + gb - 1) / gb) * perGroup
+		in := workload.Bits(77, n)
+		m := qsmFor(t, rule, n, procs, g)
+		if err := m.Load(0, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := GadgetQSM(m, 0, n, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.Peek(out), workload.Parity(in); got != want {
+			t.Fatalf("parity wrong under %v", rule)
+		}
+		return m.Report().TotalTime
+	}
+	qsmTime := run(cost.RuleQSM, 4)   // m = log₂ g
+	crqwTime := run(cost.RuleCRQW, 8) // m up to g (capped by processors)
+	if crqwTime >= qsmTime {
+		t.Errorf("CRQW gadget (%d) not faster than QSM gadget (%d)", crqwTime, qsmTime)
+	}
+}
+
+func TestRunBSPCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		n, p, fanin int
+	}{
+		{1, 1, 2}, {16, 4, 2}, {100, 7, 3}, {256, 16, 4}, {64, 64, 2},
+	} {
+		in := workload.Bits(int64(tc.n), tc.n)
+		m, err := bsp.New(bsp.Config{
+			P: tc.p, G: 1, L: 4, N: tc.n,
+			PrivCells: PrivNeedBSP(tc.n, tc.p),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Scatter(in); err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunBSP(m, tc.n, tc.fanin)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if want := workload.Parity(in); got != want {
+			t.Fatalf("%+v: parity = %d, want %d", tc, got, want)
+		}
+	}
+}
+
+func TestRunBSPValidation(t *testing.T) {
+	m, _ := bsp.New(bsp.Config{P: 2, G: 1, L: 1, N: 4, PrivCells: 8})
+	if _, err := RunBSP(m, 4, 1); err == nil {
+		t.Error("want fanin error")
+	}
+	if _, err := RunBSP(m, 0, 2); err == nil {
+		t.Error("want n error")
+	}
+}
+
+// BSP supersteps shrink as the fan-in (≈ L/g) grows — the mechanism behind
+// the Θ(L·log q / log(L/g)) bound.
+func TestRunBSPSuperstepsShrinkWithFanin(t *testing.T) {
+	n, p := 1<<12, 1<<10
+	steps := func(fanin int) int {
+		in := workload.Bits(5, n)
+		m, err := bsp.New(bsp.Config{
+			P: p, G: 1, L: int64(fanin), N: n, PrivCells: PrivNeedBSP(n, p),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Scatter(in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunBSP(m, n, fanin); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().NumPhases()
+	}
+	if s16, s2 := steps(16), steps(2); s16 >= s2 {
+		t.Errorf("fan-in 16 took %d supersteps, fan-in 2 took %d", s16, s2)
+	}
+}
+
+func TestParityAgreesAcrossModelsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		in := workload.Bits(seed, n)
+		want := workload.Parity(in)
+
+		mq, err := qsm.New(qsm.Config{Rule: cost.RuleSQSM, P: n, G: 2, N: n, MemCells: n})
+		if err != nil {
+			return false
+		}
+		if err := mq.Load(0, in); err != nil {
+			return false
+		}
+		out, err := TreeQSM(mq, 0, n, 2)
+		if err != nil || mq.Peek(out) != want {
+			return false
+		}
+
+		p := (n + 3) / 4
+		mb, err := bsp.New(bsp.Config{P: p, G: 1, L: 2, N: n, PrivCells: PrivNeedBSP(n, p)})
+		if err != nil {
+			return false
+		}
+		if err := mb.Scatter(in); err != nil {
+			return false
+		}
+		got, err := RunBSP(mb, n, 2)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGadgetMatchesTreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(100)
+		gb := 2 + rng.Intn(3)
+		in := workload.Bits(rng.Int63(), n)
+		perGroup := gb << uint(gb)
+		procs := ((n + gb - 1) / gb) * perGroup
+		m := qsmFor(t, cost.RuleQSM, n, procs, 2)
+		if err := m.Load(0, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := GadgetQSM(m, 0, n, gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.Peek(out), workload.Parity(in); got != want {
+			t.Fatalf("trial %d (n=%d gb=%d): %d ≠ %d", trial, n, gb, got, want)
+		}
+	}
+}

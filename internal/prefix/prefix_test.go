@@ -1,0 +1,283 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bsp"
+	"repro/internal/cost"
+	"repro/internal/qsm"
+)
+
+func reference(in []int64) []int64 {
+	out := make([]int64, len(in))
+	var run int64
+	for i, v := range in {
+		run += v
+		out[i] = run
+	}
+	return out
+}
+
+func qsmMachine(t *testing.T, rule cost.Rule, n int, g int64, p int) *qsm.Machine {
+	t.Helper()
+	m, err := qsm.New(qsm.Config{Rule: rule, P: p, G: g, N: n, MemCells: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunQSMCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 100, 257} {
+		for _, fanin := range []int{2, 3, 4, 8} {
+			in := make([]int64, n)
+			for i := range in {
+				in[i] = int64(rng.Intn(20) - 10)
+			}
+			m := qsmMachine(t, cost.RuleQSM, n, 1, n)
+			if err := m.Load(0, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := RunQSM(m, 0, n, fanin)
+			if err != nil {
+				t.Fatalf("n=%d fanin=%d: %v", n, fanin, err)
+			}
+			want := reference(in)
+			got := m.PeekRange(out, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d fanin=%d: prefix[%d] = %d, want %d",
+						n, fanin, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunQSMValidation(t *testing.T) {
+	m := qsmMachine(t, cost.RuleQSM, 8, 1, 8)
+	if _, err := RunQSM(m, 0, 0, 2); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := RunQSM(m, 0, 8, 1); err == nil {
+		t.Error("want error for fan-in 1")
+	}
+	if _, err := RunQSM(m, 0, 8, MaxFanin+1); err == nil {
+		t.Error("want error for huge fan-in")
+	}
+	if _, err := RunQSM(m, 4, 8, 2); err == nil {
+		t.Error("want error for input beyond memory")
+	}
+}
+
+func TestRunQSMFewProcessors(t *testing.T) {
+	// Fewer processors than leaves: striding must still give the right
+	// answer, with phases charged the larger m_rw.
+	n := 64
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	m := qsmMachine(t, cost.RuleQSM, n, 1, 4)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunQSM(m, 0, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(in)
+	for i := range want {
+		if m.Peek(out+i) != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, m.Peek(out+i), want[i])
+		}
+	}
+	// The first up-sweep phase has 32 parents over 4 procs: m_rw = 8·2.
+	if got := m.Report().Phases[0].MaxRW; got != 16 {
+		t.Errorf("strided phase m_rw = %d, want 16", got)
+	}
+}
+
+func TestRunQSMPhasesScaleWithFanin(t *testing.T) {
+	// Phases ≈ 2·log_k n: doubling the fan-in should at least halve... the
+	// level count must strictly shrink with larger fan-in.
+	n := 1 << 12
+	phases := func(fanin int) int {
+		m := qsmMachine(t, cost.RuleQSM, n, 1, n)
+		if _, err := RunQSM(m, 0, n, fanin); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().NumPhases()
+	}
+	p2, p16 := phases(2), phases(16)
+	if p16 >= p2 {
+		t.Errorf("fan-in 16 used %d phases, fan-in 2 used %d", p16, p2)
+	}
+	// log_2(4096)=12 levels → ~2·12+2 phases; allow slack.
+	if p2 > 30 {
+		t.Errorf("binary tree used %d phases for n=2^12, want ≈26", p2)
+	}
+}
+
+func TestRunQSMContentionIsOne(t *testing.T) {
+	n := 256
+	m := qsmMachine(t, cost.RuleQSM, n, 2, n)
+	if _, err := RunQSM(m, 0, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range m.Report().Phases {
+		if ph.Contention > 1 {
+			t.Fatalf("phase %d has contention %d; prefix tree must be contention-free",
+				ph.Index, ph.Contention)
+		}
+	}
+}
+
+func TestRunQSMRoundsComputesInRounds(t *testing.T) {
+	// p = n/8 processors, fan-in 8: every phase must be a round.
+	n := 1 << 10
+	p := n / 8
+	m := qsmMachine(t, cost.RuleQSM, n, 2, p)
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = 1
+	}
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunQSMRounds(m, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(out + n - 1); got != int64(n) {
+		t.Fatalf("total = %d, want %d", got, n)
+	}
+	if !m.Report().AllRounds {
+		t.Error("rounds algorithm has a phase exceeding the round budget")
+	}
+}
+
+func TestRunQSMRoundsFaninTooLarge(t *testing.T) {
+	n := 1 << 10
+	m := qsmMachine(t, cost.RuleQSM, n, 1, 2) // n/p = 512 > MaxFanin
+	if _, err := RunQSMRounds(m, 0, n); err == nil {
+		t.Error("want MaxFanin error")
+	}
+}
+
+func TestRunQSMProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%120) + 1
+		fanin := int(kRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(rng.Intn(100))
+		}
+		m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: n, G: 1, N: n, MemCells: n})
+		if err != nil {
+			return false
+		}
+		if err := m.Load(0, in); err != nil {
+			return false
+		}
+		out, err := RunQSM(m, 0, n, fanin)
+		if err != nil {
+			return false
+		}
+		want := reference(in)
+		for i := range want {
+			if m.Peek(out+i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- BSP ---------------------------------------------------------------------
+
+func bspMachine(t *testing.T, n, p, fanin int, g, L int64) *bsp.Machine {
+	t.Helper()
+	m, err := bsp.New(bsp.Config{
+		P: p, G: g, L: L, N: n, PrivCells: PrivNeedBSP(n, p, fanin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunBSPCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, p, fanin int }{
+		{1, 1, 2}, {10, 3, 2}, {64, 8, 2}, {100, 7, 3}, {256, 16, 4}, {57, 57, 2},
+	} {
+		in := make([]int64, tc.n)
+		for i := range in {
+			in[i] = int64(rng.Intn(50) - 25)
+		}
+		m := bspMachine(t, tc.n, tc.p, tc.fanin, 1, 2)
+		if err := m.Scatter(in); err != nil {
+			t.Fatal(err)
+		}
+		outOff, err := RunBSP(m, tc.n, tc.fanin)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := reference(in)
+		for comp := 0; comp < tc.p; comp++ {
+			lo, hi := bsp.BlockRange(tc.n, tc.p, comp)
+			for i := lo; i < hi; i++ {
+				if got := m.Peek(comp, outOff+(i-lo)); got != want[i] {
+					t.Fatalf("%+v: prefix[%d] = %d, want %d", tc, i, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunBSPValidation(t *testing.T) {
+	m := bspMachine(t, 8, 2, 2, 1, 1)
+	if _, err := RunBSP(m, 8, 1); err == nil {
+		t.Error("want fan-in error")
+	}
+	if _, err := RunBSP(m, 0, 2); err == nil {
+		t.Error("want n error")
+	}
+}
+
+func TestRunBSPSuperstepsScaleWithFanin(t *testing.T) {
+	n, p := 1<<12, 256
+	steps := func(fanin int) int {
+		m := bspMachine(t, n, p, fanin, 1, 4)
+		if _, err := RunBSP(m, n, fanin); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().NumPhases()
+	}
+	if s16, s2 := steps(16), steps(2); s16 >= s2 {
+		t.Errorf("fan-in 16 used %d supersteps, fan-in 2 used %d", s16, s2)
+	}
+}
+
+func TestRunBSPRelationBounded(t *testing.T) {
+	// No superstep should route more than a fanin-relation (+1 for replies).
+	n, p, fanin := 1<<10, 64, 4
+	m := bspMachine(t, n, p, fanin, 2, 8)
+	if _, err := RunBSP(m, n, fanin); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range m.Report().Phases {
+		if ph.MaxRW > int64(fanin) {
+			t.Fatalf("superstep %d routes an h=%d relation > fan-in %d",
+				ph.Index, ph.MaxRW, fanin)
+		}
+	}
+}

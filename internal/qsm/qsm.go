@@ -1,0 +1,405 @@
+// Package qsm implements a cost-accurate simulator for the shared-memory
+// bulk-synchronous model family of MacKenzie & Ramachandran (SPAA 1998),
+// Section 2.1: the QSM, the s-QSM, the QRQW PRAM (QSM with g = 1) and the
+// CRQW variant with unit-time concurrent reads.
+//
+// A computation is a sequence of synchronised phases. Within a phase every
+// processor may read shared-memory cells, write shared-memory cells and
+// perform local computation. The simulator charges each phase exactly the
+// paper's cost formula:
+//
+//	QSM:   max(m_op, g·m_rw, κ)
+//	s-QSM: max(m_op, g·m_rw, g·κ)
+//	CRQW:  max(m_op, g·m_rw, κ_write)
+//
+// where m_op is the maximum local operations by any processor, m_rw the
+// maximum number of reads/writes by any processor, and κ the maximum
+// contention at any cell.
+//
+// Semantics enforced by the simulator:
+//
+//   - Reads observe the memory contents as of the start of the phase
+//     ("the value returned by a shared-memory read can only be used in a
+//     subsequent phase"); all writes commit atomically at the end of the
+//     phase.
+//   - Multiple writers to one cell are queued and an arbitrary writer wins;
+//     for reproducibility the simulator deterministically commits the write
+//     of the highest-numbered processor.
+//   - A cell that is both read and written within one phase is a model
+//     violation (the QSM permits concurrent reads or concurrent writes to a
+//     location, "but not both") and aborts the run with an error.
+//
+// Phases execute processor programs concurrently on a worker pool; each
+// processor accumulates private request buffers that are merged
+// deterministically at the phase barrier, so simulations are parallel yet
+// reproducible.
+package qsm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+)
+
+// Machine is a QSM-family shared-memory machine.
+type Machine struct {
+	rule   cost.Rule
+	params cost.Params
+	n      int // declared input size, used for round classification
+	mem    []int64
+	report cost.Report
+	err    error
+	trace  *Trace
+
+	// workers bounds phase-execution parallelism; defaults to GOMAXPROCS.
+	workers int
+}
+
+// Config selects the machine variant and parameters.
+type Config struct {
+	// Rule selects QSM, s-QSM or CRQW cost accounting.
+	Rule cost.Rule
+	// P is the number of processors.
+	P int
+	// G is the gap parameter (g = 1 yields the QRQW PRAM under RuleQSM).
+	G int64
+	// D is the memory gap of the QSM(g,d) model; used only by RuleQSMGD.
+	D int64
+	// N is the input size; it only affects round classification (a phase is
+	// a round iff its time is O(g·N/P)).
+	N int
+	// MemCells is the initial shared-memory size in cells.
+	MemCells int
+	// Workers caps simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// New constructs a machine. The shared memory is zero-initialised.
+func New(c Config) (*Machine, error) {
+	p := cost.Params{G: c.G, P: c.P, D: c.D}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Rule == cost.RuleQSMGD && c.D < 1 {
+		return nil, fmt.Errorf("qsm: QSM(g,d) requires d ≥ 1, got %d", c.D)
+	}
+	if c.N < 1 {
+		return nil, fmt.Errorf("qsm: input size N must be ≥ 1, got %d", c.N)
+	}
+	if c.MemCells < 0 {
+		return nil, fmt.Errorf("qsm: negative memory size %d", c.MemCells)
+	}
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	m := &Machine{
+		rule:    c.Rule,
+		params:  p,
+		n:       c.N,
+		mem:     make([]int64, c.MemCells),
+		workers: w,
+	}
+	m.report = cost.Report{Model: c.Rule.String(), N: c.N, Params: p}
+	return m, nil
+}
+
+// MustNew is New for statically-valid configurations; it panics on error.
+func MustNew(c Config) *Machine {
+	m, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.params.P }
+
+// G returns the gap parameter.
+func (m *Machine) G() int64 { return m.params.G }
+
+// N returns the declared input size.
+func (m *Machine) N() int { return m.n }
+
+// Rule returns the machine's cost rule.
+func (m *Machine) Rule() cost.Rule { return m.rule }
+
+// MemSize returns the current shared-memory size in cells.
+func (m *Machine) MemSize() int { return len(m.mem) }
+
+// Grow extends the shared memory to at least size cells (zero filled).
+// Growing memory is free in the model: it allocates address space, not work.
+func (m *Machine) Grow(size int) {
+	if size > len(m.mem) {
+		grown := make([]int64, size)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+}
+
+// Load copies vals into shared memory starting at addr, outside of any
+// phase. It models the initial placement of the input and is not charged.
+func (m *Machine) Load(addr int, vals []int64) error {
+	if addr < 0 || addr+len(vals) > len(m.mem) {
+		return fmt.Errorf("qsm: Load out of range [%d,%d) of %d cells",
+			addr, addr+len(vals), len(m.mem))
+	}
+	copy(m.mem[addr:], vals)
+	return nil
+}
+
+// Peek reads a cell outside of any phase (for output extraction by the
+// host; not charged).
+func (m *Machine) Peek(addr int) int64 {
+	if addr < 0 || addr >= len(m.mem) {
+		return 0
+	}
+	return m.mem[addr]
+}
+
+// PeekRange copies cells [addr, addr+k) for host-side inspection.
+func (m *Machine) PeekRange(addr, k int) []int64 {
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = m.Peek(addr + i)
+	}
+	return out
+}
+
+// Err returns the first model violation or runtime error, if any.
+func (m *Machine) Err() error { return m.err }
+
+// Report returns the accumulated cost report.
+func (m *Machine) Report() *cost.Report { return &m.report }
+
+// Ctx is the per-processor handle available inside a phase. It is not safe
+// to share a Ctx across processors.
+type Ctx struct {
+	proc  int
+	m     *Machine
+	reads int64
+	wrs   int64
+	ops   int64
+
+	readAddrs  []int32
+	writeAddrs []int32
+	writeVals  []int64
+	fail       error
+}
+
+// Proc returns this processor's index in [0, P).
+func (c *Ctx) Proc() int { return c.proc }
+
+// Read returns the contents of the cell as of the start of the phase and
+// charges one shared-memory read.
+//
+// Model discipline: the QSM permits the value to be used only in a
+// subsequent phase. The simulator returns the start-of-phase snapshot, so
+// using the value immediately is observationally identical to buffering it;
+// however, algorithms must not let one read's value choose another address
+// read in the same phase (requests must be a function of start-of-phase
+// state). All algorithms in this repository obey that discipline.
+func (c *Ctx) Read(addr int) int64 {
+	if addr < 0 || addr >= len(c.m.mem) {
+		c.failf("read out of range: cell %d of %d", addr, len(c.m.mem))
+		return 0
+	}
+	c.reads++
+	c.readAddrs = append(c.readAddrs, int32(addr))
+	return c.m.mem[addr]
+}
+
+// Write queues a write of val to the cell, committing at the phase barrier,
+// and charges one shared-memory write.
+func (c *Ctx) Write(addr int, val int64) {
+	if addr < 0 || addr >= len(c.m.mem) {
+		c.failf("write out of range: cell %d of %d", addr, len(c.m.mem))
+		return
+	}
+	c.wrs++
+	c.writeAddrs = append(c.writeAddrs, int32(addr))
+	c.writeVals = append(c.writeVals, val)
+}
+
+// Op charges k units of local computation.
+func (c *Ctx) Op(k int) {
+	if k > 0 {
+		c.ops += int64(k)
+	}
+}
+
+func (c *Ctx) failf(format string, args ...any) {
+	if c.fail == nil {
+		c.fail = fmt.Errorf("qsm: proc %d: "+format, append([]any{c.proc}, args...)...)
+	}
+}
+
+// ErrViolation wraps QSM memory-access-rule violations.
+var ErrViolation = errors.New("qsm: memory access rule violation")
+
+// Phase runs one bulk-synchronous phase: body is invoked once per processor
+// (concurrently), requests are merged at the barrier, the phase is charged
+// under the machine's cost rule, and writes commit. Phase is a no-op once
+// the machine has erred.
+func (m *Machine) Phase(body func(c *Ctx)) {
+	if m.err != nil {
+		return
+	}
+	p := m.params.P
+	ctxs := make([]*Ctx, p)
+
+	// Contiguous chunks per worker: dispatching a few ranges instead of p
+	// channel sends keeps simulations of million-processor machines cheap.
+	workers := m.workers
+	if workers > p {
+		workers = p
+	}
+	chunk := (p + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p {
+			hi = p
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := &Ctx{proc: i, m: m}
+				body(c)
+				ctxs[i] = c
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	m.commitPhase(ctxs)
+}
+
+// commitPhase merges per-processor buffers, validates access rules, charges
+// the phase and applies writes.
+func (m *Machine) commitPhase(ctxs []*Ctx) {
+	var mOp, mRW int64
+	readCount := make(map[int32]int64)
+	writeCount := make(map[int32]int64)
+	// winner[a] = value committed to cell a: deterministic "arbitrary"
+	// winner = the write issued by the highest-numbered processor (last in
+	// processor order; within one processor, its last write to a).
+	winner := make(map[int32]int64)
+
+	// Contention is the number of *processors* accessing a cell (paper
+	// definition), so repeated requests by one processor to one cell are
+	// deduplicated for κ (they still count toward its m_rw).
+	var seen map[int32]bool
+	for _, c := range ctxs {
+		if c.fail != nil && m.err == nil {
+			m.err = c.fail
+		}
+		if c.ops > mOp {
+			mOp = c.ops
+		}
+		rw := c.reads
+		if c.wrs > rw {
+			rw = c.wrs
+		}
+		if rw > mRW {
+			mRW = rw
+		}
+		if len(c.readAddrs)+len(c.writeAddrs) > 1 {
+			seen = make(map[int32]bool, len(c.readAddrs)+len(c.writeAddrs))
+		} else {
+			seen = nil
+		}
+		for _, a := range c.readAddrs {
+			if seen != nil {
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+			}
+			readCount[a]++
+		}
+		for j, a := range c.writeAddrs {
+			winner[a] = c.writeVals[j]
+			if seen != nil {
+				// Writes and reads dedupe separately: offset write marks.
+				if seen[^a] {
+					continue
+				}
+				seen[^a] = true
+			}
+			writeCount[a]++
+		}
+	}
+	if m.err != nil {
+		return
+	}
+
+	var kr, kw int64 = 0, 0
+	for a, n := range readCount {
+		if n > kr {
+			kr = n
+		}
+		if _, clash := writeCount[a]; clash {
+			m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
+				ErrViolation, a, m.report.NumPhases())
+			return
+		}
+	}
+	for _, n := range writeCount {
+		if n > kw {
+			kw = n
+		}
+	}
+	// A phase with no reads or writes has contention one by definition.
+	if kr == 0 && kw == 0 {
+		kr = 1
+	}
+
+	t := m.rule.PhaseTime(m.params.G, m.params.D, mOp, mRW, kr, kw)
+	pc := cost.PhaseCost{
+		MaxOps:          mOp,
+		MaxRW:           mRW,
+		Contention:      max64(kr, kw),
+		ReadContention:  kr,
+		WriteContention: kw,
+		Time:            t,
+		IsRound:         t <= cost.RoundBudget(m.params.G, m.n, m.params.P),
+	}
+	m.report.Add(pc)
+
+	if m.trace != nil {
+		m.trace.recordReads(m, ctxs)
+	}
+	for a, v := range winner {
+		m.mem[a] = v
+	}
+	if m.trace != nil {
+		m.trace.recordCells(m)
+	}
+}
+
+// ForAll is a convenience wrapper: it runs a phase in which only processors
+// with index < active participate; the rest idle.
+func (m *Machine) ForAll(active int, body func(c *Ctx)) {
+	m.Phase(func(c *Ctx) {
+		if c.Proc() < active {
+			body(c)
+		}
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

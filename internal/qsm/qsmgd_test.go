@@ -1,0 +1,55 @@
+package qsm
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestQSMGDValidation(t *testing.T) {
+	if _, err := New(Config{Rule: cost.RuleQSMGD, P: 2, G: 2, D: 0, N: 2, MemCells: 2}); err == nil {
+		t.Error("want d ≥ 1 error for QSM(g,d)")
+	}
+	if _, err := New(Config{Rule: cost.RuleQSMGD, P: 2, G: 2, D: 3, N: 2, MemCells: 2}); err != nil {
+		t.Errorf("valid QSM(g,d) rejected: %v", err)
+	}
+}
+
+// QSM(g,d) interpolates between QSM (d=1) and s-QSM (d=g) on a real
+// contention workload — the paper's framing of the model family.
+func TestQSMGDInterpolatesOnMachine(t *testing.T) {
+	run := func(rule cost.Rule, d int64) cost.Time {
+		m, err := New(Config{Rule: rule, P: 16, G: 4, D: d, N: 16, MemCells: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All 16 processors write one cell: κ = 16 dominates.
+		m.Phase(func(c *Ctx) { c.Write(0, 1) })
+		if m.Err() != nil {
+			t.Fatal(m.Err())
+		}
+		return m.Report().TotalTime
+	}
+	qsmT := run(cost.RuleQSM, 0)
+	sqsmT := run(cost.RuleSQSM, 0)
+	if got := run(cost.RuleQSMGD, 1); got != qsmT {
+		t.Errorf("QSM(g,1) time %d ≠ QSM time %d", got, qsmT)
+	}
+	if got := run(cost.RuleQSMGD, 4); got != sqsmT {
+		t.Errorf("QSM(g,g) time %d ≠ s-QSM time %d", got, sqsmT)
+	}
+	mid := run(cost.RuleQSMGD, 2)
+	if !(qsmT < mid && mid < sqsmT) {
+		t.Errorf("QSM(g,2) time %d not strictly between %d and %d", mid, qsmT, sqsmT)
+	}
+}
+
+func TestQSMGDModelName(t *testing.T) {
+	m, err := New(Config{Rule: cost.RuleQSMGD, P: 1, G: 2, D: 2, N: 1, MemCells: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Report().Model != "QSM(g,d)" {
+		t.Errorf("model name = %q", m.Report().Model)
+	}
+}

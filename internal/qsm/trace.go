@@ -1,0 +1,68 @@
+package qsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records, for a traced run, what each processor observed (the
+// (cell, value) pairs it read, per phase) and each cell's value at every
+// phase boundary. It feeds the influence analysis behind Theorem 3.3: in T
+// phases an input bit can spread to at most fan-in^T processors, which
+// caps how fast any QSM algorithm can gather parity.
+type Trace struct {
+	reads [][][]string // [phase][proc] sorted "(cell:value)" observations
+	cells [][]int64    // [phase][cell] value at end of phase
+}
+
+// EnableTracing switches on trace recording; call before the first phase.
+// Tracing snapshots all cells per phase, so it is intended for small-n
+// proof-machinery experiments.
+func (m *Machine) EnableTracing() {
+	m.trace = &Trace{}
+}
+
+// TraceLog returns the recorded trace, or nil if tracing was off.
+func (m *Machine) TraceLog() *Trace { return m.trace }
+
+func (tr *Trace) recordReads(m *Machine, ctxs []*Ctx) {
+	phase := make([][]string, len(ctxs))
+	for i, c := range ctxs {
+		rs := make([]string, 0, len(c.readAddrs))
+		for _, a := range c.readAddrs {
+			rs = append(rs, fmt.Sprintf("%d:%d", a, m.mem[a]))
+		}
+		phase[i] = rs
+	}
+	tr.reads = append(tr.reads, phase)
+}
+
+func (tr *Trace) recordCells(m *Machine) {
+	snap := make([]int64, len(m.mem))
+	copy(snap, m.mem)
+	tr.cells = append(tr.cells, snap)
+}
+
+// NumPhases returns the number of recorded phases.
+func (tr *Trace) NumPhases() int { return len(tr.reads) }
+
+// ProcKey canonically encodes Trace(p, t, f): everything processor p
+// observed through phase t.
+func (tr *Trace) ProcKey(p, t int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d", p)
+	for ph := 0; ph <= t && ph < len(tr.reads); ph++ {
+		b.WriteByte('|')
+		b.WriteString(strings.Join(tr.reads[ph][p], ";"))
+	}
+	return b.String()
+}
+
+// CellKey canonically encodes Trace(c, t, f): the cell's value at the end
+// of phase t.
+func (tr *Trace) CellKey(c, t int) string {
+	if t < 0 || t >= len(tr.cells) || c < 0 || c >= len(tr.cells[t]) {
+		return "∅"
+	}
+	return fmt.Sprintf("%d", tr.cells[t][c])
+}

@@ -1,0 +1,77 @@
+package qsm
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func tracedRun(t *testing.T, bits []int64) *Machine {
+	t.Helper()
+	n := len(bits)
+	m := mk(t, Config{Rule: cost.RuleQSM, P: n, G: 1, N: n, MemCells: 2 * n})
+	m.EnableTracing()
+	if err := m.Load(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 0: copy own cell to scratch; phase 1: read neighbour's scratch.
+	m.Phase(func(c *Ctx) {
+		v := c.Read(c.Proc())
+		c.Write(n+c.Proc(), v)
+	})
+	m.Phase(func(c *Ctx) {
+		c.Read(n + (c.Proc()+1)%n)
+	})
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	return m
+}
+
+func TestTraceRecording(t *testing.T) {
+	m := tracedRun(t, []int64{1, 0, 1})
+	tr := m.TraceLog()
+	if tr == nil {
+		t.Fatal("trace missing")
+	}
+	if tr.NumPhases() != 2 {
+		t.Fatalf("phases = %d, want 2", tr.NumPhases())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := mk(t, Config{Rule: cost.RuleQSM, P: 1, G: 1, N: 1, MemCells: 1})
+	m.Phase(func(c *Ctx) {})
+	if m.TraceLog() != nil {
+		t.Error("tracing must be opt-in")
+	}
+}
+
+func TestTraceProcKeySensitivity(t *testing.T) {
+	a := tracedRun(t, []int64{1, 0, 1}).TraceLog()
+	b := tracedRun(t, []int64{0, 0, 1}).TraceLog() // bit 0 flipped
+	// Proc 0 read bit 0 in phase 0: keys differ.
+	if a.ProcKey(0, 1) == b.ProcKey(0, 1) {
+		t.Error("proc 0 must see bit 0 flip")
+	}
+	// Proc 1 read bit 1 (same) then proc 2's scratch (bit 2, same): equal.
+	if a.ProcKey(1, 1) != b.ProcKey(1, 1) {
+		t.Error("proc 1 must be invariant under a bit-0 flip")
+	}
+	// But proc 2 reads proc 0's scratch in phase 1 — differs.
+	if a.ProcKey(2, 1) == b.ProcKey(2, 1) {
+		t.Error("proc 2 must see bit 0 through proc 0's scratch")
+	}
+}
+
+func TestTraceCellKey(t *testing.T) {
+	m := tracedRun(t, []int64{1, 0})
+	tr := m.TraceLog()
+	// Scratch cell 2 holds bit 0's value from phase 0 onward.
+	if tr.CellKey(2, 0) != "1" || tr.CellKey(2, 1) != "1" {
+		t.Errorf("cell keys = %q/%q, want 1/1", tr.CellKey(2, 0), tr.CellKey(2, 1))
+	}
+	if tr.CellKey(99, 0) != "∅" || tr.CellKey(0, -1) != "∅" || tr.CellKey(0, 9) != "∅" {
+		t.Error("out-of-range cell keys must be empty")
+	}
+}

@@ -1,0 +1,139 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: least-squares slope fitting on transformed axes (to
+// compare measured growth shapes against the paper's polylog bounds),
+// summary statistics, and a chi-squared-style uniformity score for the
+// adversary's distribution tests.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema (0,0 for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with the coefficient
+// of determination R².
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits y against x. It needs ≥ 2 points with non-constant x.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, fmt.Errorf("stats: need ≥ 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: constant x")
+	}
+	slope := sxy / sxx
+	f := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		f.R2 = 1 // constant y is fit perfectly by slope 0
+	} else {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f, nil
+}
+
+// LogLogFit fits log₂ y against log₂ x: the slope estimates the polynomial
+// exponent of y's growth in x. Inputs must be positive.
+func LogLogFit(x, y []float64) (Fit, error) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || i >= len(y) || y[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit needs positive data")
+		}
+		lx[i] = math.Log2(x[i])
+		ly[i] = math.Log2(y[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// LogXFit fits y against log₂ x: the slope estimates c for y ≈ c·log n —
+// the natural axis for the paper's Θ(g·log n)-type bounds.
+func LogXFit(x, y []float64) (Fit, error) {
+	lx := make([]float64, len(x))
+	for i := range x {
+		if x[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-x fit needs positive x")
+		}
+		lx[i] = math.Log2(x[i])
+	}
+	return LinearFit(lx, y)
+}
+
+// ChiSquareUniform returns the chi-squared statistic of observed counts
+// against the uniform expectation (len(counts)-1 degrees of freedom).
+func ChiSquareUniform(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	expect := float64(total) / float64(len(counts))
+	var chi float64
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi += d * d / expect
+	}
+	return chi
+}

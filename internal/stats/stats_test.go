@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-point stddev must be 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax must be 0,0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("want too-few-points error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	if _, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("want constant-x error")
+	}
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil || f.Slope != 0 || f.R2 != 1 {
+		t.Errorf("constant y: %+v, %v", f, err)
+	}
+}
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	// y = 3·x² ⇒ log-log slope 2.
+	x := []float64{2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 * v * v
+	}
+	f, err := LogLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", f.Slope)
+	}
+	if _, err := LogLogFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("want positivity error")
+	}
+}
+
+func TestLogXFitRecoversLogCoefficient(t *testing.T) {
+	// y = 7·log₂ n ⇒ slope 7 on the log-x axis (the Θ(g log n) shape).
+	x := []float64{256, 512, 1024, 2048}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 7 * math.Log2(v)
+	}
+	f, err := LogXFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-7) > 1e-9 {
+		t.Errorf("coefficient = %v, want 7", f.Slope)
+	}
+	if _, err := LogXFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("want positivity error")
+	}
+}
+
+func TestLinearFitProperty(t *testing.T) {
+	// For any non-degenerate affine data, the fit recovers it exactly.
+	f := func(aRaw, bRaw int8) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		x := []float64{0, 1, 2, 5, 9}
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = a*v + b
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-a) < 1e-9 && math.Abs(fit.Intercept-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if ChiSquareUniform(nil) != 0 || ChiSquareUniform([]int{0, 0}) != 0 {
+		t.Error("degenerate chi-square must be 0")
+	}
+	// Perfectly uniform counts score 0.
+	if got := ChiSquareUniform([]int{10, 10, 10, 10}); got != 0 {
+		t.Errorf("uniform chi² = %v", got)
+	}
+	// Skewed counts score positive; more skew scores higher.
+	mild := ChiSquareUniform([]int{12, 8, 10, 10})
+	severe := ChiSquareUniform([]int{40, 0, 0, 0})
+	if mild <= 0 || severe <= mild {
+		t.Errorf("chi² ordering wrong: %v vs %v", mild, severe)
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload generates the reproducible inputs used throughout the
+// benchmark harness: random bit vectors for Parity/OR, sparse arrays for
+// Linear Approximate Compaction, the Chromatic Load Balancing instances of
+// Section 6, uniform [0,1] draws for Padded Sort, and random linked lists
+// and permutations for the "related problems" (list ranking, sorting).
+//
+// All generators are seeded; identical seeds reproduce identical inputs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bits returns n random bits as int64 0/1 values.
+func Bits(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(2))
+	}
+	return out
+}
+
+// ZeroBits returns the all-zero input of length n (the hard OR instance).
+func ZeroBits(n int) []int64 { return make([]int64, n) }
+
+// OneHot returns n bits with exactly one 1 at a seeded random position.
+func OneHot(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	out[rng.Intn(n)] = 1
+	return out
+}
+
+// Parity returns the parity (0/1) of a bit vector — the reference answer.
+func Parity(bits []int64) int64 {
+	var s int64
+	for _, b := range bits {
+		s ^= b & 1
+	}
+	return s
+}
+
+// Or returns the OR (0/1) of a bit vector — the reference answer.
+func Or(bits []int64) int64 {
+	for _, b := range bits {
+		if b != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Sparse returns an n-cell array holding exactly h items (values ≥ 1 tagged
+// with their origin index) at seeded random positions; empty cells hold 0.
+// This is the h-LAC input of Section 6.2.
+func Sparse(seed int64, n, h int) ([]int64, error) {
+	if h < 0 || h > n {
+		return nil, fmt.Errorf("workload: h=%d items out of range [0,%d]", h, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for _, pos := range rng.Perm(n)[:h] {
+		out[pos] = int64(pos) + 1 // item tagged by origin, nonzero
+	}
+	return out, nil
+}
+
+// CountItems returns the number of nonzero cells (items) in an array.
+func CountItems(a []int64) int {
+	c := 0
+	for _, v := range a {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// CLB is a Chromatic Load Balancing instance (Section 6): an n×4m input
+// array of objects where each of the n groups is assigned one of 8m colors
+// uniformly at random.
+type CLB struct {
+	// N is the number of groups; M the paper's m parameter.
+	N, M int
+	// Colors[i] is the color (in [0, 8m)) of group i.
+	Colors []int
+}
+
+// NewCLB draws a CLB instance.
+func NewCLB(seed int64, n, m int) (*CLB, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("workload: CLB needs n,m ≥ 1, got %d,%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &CLB{N: n, M: m, Colors: make([]int, n)}
+	for i := range c.Colors {
+		c.Colors[i] = rng.Intn(8 * m)
+	}
+	return c, nil
+}
+
+// GroupsOfColor returns the indices of groups bearing the color.
+func (c *CLB) GroupsOfColor(color int) []int {
+	var out []int
+	for i, col := range c.Colors {
+		if col == color {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ColorCounts returns a histogram over the 8m colors.
+func (c *CLB) ColorCounts() []int {
+	h := make([]int, 8*c.M)
+	for _, col := range c.Colors {
+		h[col]++
+	}
+	return h
+}
+
+// Uniform01 returns n draws from U[0,1] scaled to int64 fixed point with
+// denominator Denom01 — the Padded Sort input. Values are strictly positive
+// so 0 can serve as the NULL padding value.
+func Uniform01(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + rng.Int63n(Denom01-1)
+	}
+	return out
+}
+
+// Denom01 is the fixed-point denominator for Uniform01 values.
+const Denom01 = 1 << 30
+
+// RandomList returns a random singly-linked list over n nodes as a successor
+// array: next[i] is the index of i's successor, and the last node points to
+// itself. Used by list ranking.
+func RandomList(seed int64, n int) (next []int64, head int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	next = make([]int64, n)
+	for k := 0; k+1 < n; k++ {
+		next[perm[k]] = int64(perm[k+1])
+	}
+	last := perm[n-1]
+	next[last] = int64(last)
+	return next, perm[0]
+}
+
+// ListRanks returns the reference answer for list ranking: the distance of
+// every node from the end of the list.
+func ListRanks(next []int64, head int) []int64 {
+	n := len(next)
+	order := make([]int, 0, n)
+	for cur := head; ; cur = int(next[cur]) {
+		order = append(order, cur)
+		if int(next[cur]) == cur {
+			break
+		}
+	}
+	ranks := make([]int64, n)
+	for i, node := range order {
+		ranks[node] = int64(len(order) - 1 - i)
+	}
+	return ranks
+}
+
+// Permutation returns a random permutation of 0..n-1 as int64 (a sorting
+// input with distinct keys).
+func Permutation(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Perm(n)
+	out := make([]int64, n)
+	for i, v := range p {
+		out[i] = int64(v)
+	}
+	return out
+}

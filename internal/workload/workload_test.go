@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsReproducible(t *testing.T) {
+	a, b := Bits(42, 100), Bits(42, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different bits")
+		}
+		if a[i] != 0 && a[i] != 1 {
+			t.Fatalf("non-bit value %d", a[i])
+		}
+	}
+	c := Bits(43, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bits (suspicious)")
+	}
+}
+
+func TestParityOrReference(t *testing.T) {
+	if Parity([]int64{1, 0, 1, 1}) != 1 {
+		t.Error("parity of three ones should be 1")
+	}
+	if Parity([]int64{1, 1}) != 0 {
+		t.Error("parity of two ones should be 0")
+	}
+	if Parity(nil) != 0 {
+		t.Error("parity of empty should be 0")
+	}
+	if Or(ZeroBits(16)) != 0 {
+		t.Error("OR of zeros should be 0")
+	}
+	if Or([]int64{0, 0, 5}) != 1 {
+		t.Error("OR with a nonzero should be 1")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(7, 50)
+	if CountItems(v) != 1 {
+		t.Fatalf("OneHot has %d items, want 1", CountItems(v))
+	}
+	if Or(v) != 1 || Parity(v) != 1 {
+		t.Error("OneHot OR/parity should be 1")
+	}
+}
+
+func TestSparse(t *testing.T) {
+	a, err := Sparse(3, 100, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountItems(a) != 17 {
+		t.Fatalf("Sparse items = %d, want 17", CountItems(a))
+	}
+	for i, v := range a {
+		if v != 0 && v != int64(i)+1 {
+			t.Fatalf("item tag at %d = %d, want %d", i, v, i+1)
+		}
+	}
+	if _, err := Sparse(1, 10, 11); err == nil {
+		t.Error("want error for h > n")
+	}
+	if _, err := Sparse(1, 10, -1); err == nil {
+		t.Error("want error for negative h")
+	}
+}
+
+func TestSparseProperty(t *testing.T) {
+	f := func(seed int64, nRaw, hRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		h := int(hRaw) % (n + 1)
+		a, err := Sparse(seed, n, h)
+		if err != nil {
+			return false
+		}
+		return CountItems(a) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLB(t *testing.T) {
+	c, err := NewCLB(11, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Colors) != 1000 {
+		t.Fatalf("groups = %d", len(c.Colors))
+	}
+	hist := c.ColorCounts()
+	if len(hist) != 16 {
+		t.Fatalf("colors = %d, want 8m=16", len(hist))
+	}
+	total := 0
+	for col, cnt := range hist {
+		total += cnt
+		if got := len(c.GroupsOfColor(col)); got != cnt {
+			t.Errorf("color %d: GroupsOfColor=%d hist=%d", col, got, cnt)
+		}
+	}
+	if total != 1000 {
+		t.Errorf("histogram total = %d", total)
+	}
+	// Expected n/8m = 62.5 groups per color; all counts must be sane.
+	for col, cnt := range hist {
+		if cnt > 200 {
+			t.Errorf("color %d has implausible count %d", col, cnt)
+		}
+	}
+	if _, err := NewCLB(1, 0, 1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewCLB(1, 1, 0); err == nil {
+		t.Error("want error for m=0")
+	}
+}
+
+func TestUniform01(t *testing.T) {
+	v := Uniform01(5, 1000)
+	for _, x := range v {
+		if x <= 0 || x >= Denom01 {
+			t.Fatalf("value %d outside (0, %d)", x, int64(Denom01))
+		}
+	}
+	// Rough uniformity: mean near Denom01/2 (within 5%).
+	var sum float64
+	for _, x := range v {
+		sum += float64(x)
+	}
+	mean := sum / 1000
+	if mean < 0.45*Denom01 || mean > 0.55*Denom01 {
+		t.Errorf("mean %v implausible for U[0,1]", mean/Denom01)
+	}
+}
+
+func TestRandomListAndRanks(t *testing.T) {
+	next, head := RandomList(9, 64)
+	// Walk: must visit all 64 nodes exactly once and end at a self-loop.
+	seen := make(map[int]bool)
+	cur := head
+	for {
+		if seen[cur] {
+			t.Fatal("list has a cycle before the tail")
+		}
+		seen[cur] = true
+		nxt := int(next[cur])
+		if nxt == cur {
+			break
+		}
+		cur = nxt
+	}
+	if len(seen) != 64 {
+		t.Fatalf("walk visited %d nodes, want 64", len(seen))
+	}
+	ranks := ListRanks(next, head)
+	if ranks[head] != 63 {
+		t.Errorf("head rank = %d, want 63", ranks[head])
+	}
+	if ranks[cur] != 0 {
+		t.Errorf("tail rank = %d, want 0", ranks[cur])
+	}
+	// Ranks along the list strictly decrease by 1.
+	c, prev := head, int64(64)
+	for {
+		if ranks[c] != prev-1 {
+			t.Fatalf("rank discontinuity at %d: %d after %d", c, ranks[c], prev)
+		}
+		prev = ranks[c]
+		if int(next[c]) == c {
+			break
+		}
+		c = int(next[c])
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	p := Permutation(13, 128)
+	s := append([]int64(nil), p...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, v := range s {
+		if v != int64(i) {
+			t.Fatalf("not a permutation: sorted[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicQSMFlow(t *testing.T) {
+	n := 256
+	bits := RandomBits(1, n)
+	m, err := NewSQSM(n, 4, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParityTree(m, 0, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Peek(out), ReferenceParity(bits); got != want {
+		t.Fatalf("parity = %d, want %d", got, want)
+	}
+	rep := m.Report()
+	// Θ(g·log n) = 4·8 per paper shape; binary tree charges 2g per level.
+	if rep.TotalTime != 64 {
+		t.Errorf("s-QSM parity time = %d, want 2g·log n = 64", rep.TotalTime)
+	}
+}
+
+func TestPublicConstructors(t *testing.T) {
+	if _, err := NewQSM(4, 2, 8, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewQRQW(4, 8, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewCRQW(4, 2, 8, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewBSP(4, 2, 8, 16, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewGSM(4, 1, 1, 1, 8, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewBSP(4, 8, 2, 16, 8); err == nil {
+		t.Error("want L < g rejection")
+	}
+}
+
+func TestPublicORFlow(t *testing.T) {
+	n := 128
+	bits := RandomBits(2, n)
+	m, err := NewQSM(n, 8, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ORContentionTree(m, 0, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Peek(out), ReferenceOr(bits); got != want {
+		t.Fatalf("OR = %d, want %d", got, want)
+	}
+}
+
+func TestPublicBSPFlow(t *testing.T) {
+	n, p := 256, 16
+	bits := RandomBits(3, n)
+	m, err := NewBSP(p, 2, 16, n, ParityBSPPrivCells(n, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scatter(bits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParityBSP(m, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ReferenceParity(bits); got != want {
+		t.Fatalf("BSP parity = %d, want %d", got, want)
+	}
+}
+
+func TestPublicCompaction(t *testing.T) {
+	n, h := 200, 50
+	items, err := SparseItems(5, n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewQSM(n, 2, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(0, items); err != nil {
+		t.Fatal(err)
+	}
+	_, k, err := CompactExact(m, 0, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != h {
+		t.Fatalf("exact compaction k = %d, want %d", k, h)
+	}
+	m2, err := NewQSM(n, 2, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(0, items); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompactDarts(m2, 7, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placed) != h {
+		t.Fatalf("dart compaction placed %d, want %d", len(res.Placed), h)
+	}
+}
+
+func TestPublicListRanking(t *testing.T) {
+	n := 64
+	bits := RandomBits(9, n)
+	m, err := NewQSM(2*(n+1), 1, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(0, bits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParityViaListRanking(m, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ReferenceParity(bits); got != want {
+		t.Fatalf("parity via list ranking = %d, want %d", got, want)
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	if len(Bounds()) != 28 {
+		t.Errorf("Bounds() has %d entries, want 28", len(Bounds()))
+	}
+	e := BoundByID("T2.Parity.det")
+	if e == nil || !e.Tight {
+		t.Fatal("T2.Parity.det must exist and be tight")
+	}
+	v := e.Eval(BoundArgs{N: 1 << 10, P: 1 << 10, G: 4})
+	if v != 40 {
+		t.Errorf("g·log n = %v, want 40", v)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(Experiments()) != len(Bounds()) {
+		t.Errorf("experiments %d ≠ bounds %d", len(Experiments()), len(Bounds()))
+	}
+	if _, err := RunExperiment("bogus", 1); err == nil {
+		t.Error("want unknown experiment error")
+	}
+	r, err := RunExperiment("T2.Parity.det", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderExperiment(r), "T2.Parity.det") {
+		t.Error("render missing experiment id")
+	}
+}
+
+func TestPublicBoolFns(t *testing.T) {
+	if ParityFn(6).Degree() != 6 || ORFn(6).Degree() != 6 || ANDFn(6).Degree() != 6 {
+		t.Error("full-degree anchors broken")
+	}
+}

@@ -1,0 +1,12 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func errUnknownExperiment(id string) error {
+	return fmt.Errorf("repro: unknown experiment %q (see Experiments())", id)
+}
