@@ -17,7 +17,11 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bsp"
 	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gsm"
+	"repro/internal/qsm"
 )
 
 // benchExperiment runs one registered Table 1 experiment at a single
@@ -89,6 +93,109 @@ func BenchmarkT4_Rounds_Parity_SQSM(b *testing.B) { benchExperiment(b, "T4.Parit
 func BenchmarkT4_Rounds_Parity_BSP(b *testing.B)  { benchExperiment(b, "T4.Parity.bsp", 1<<12) }
 
 // --- simulator microbenchmarks -------------------------------------------------
+
+// The BenchmarkPhaseCommit_* family isolates the phase/superstep *commit*
+// stage — contention counting, winner resolution, message routing — which
+// dominates Table 1 sweeps at large p. Bodies are deliberately trivial so
+// ns/op tracks the barrier merge, across contention profiles:
+//
+//	Low   — every processor touches its own cells (κ = 1)
+//	High  — p processors funnel into a handful of cells (κ = Θ(p))
+//	Tree  — fan-in-8 write tree level (κ = 8), the common algorithmic shape
+//
+// Run with -benchmem; before/after numbers are recorded in EXPERIMENTS.md.
+
+func benchQSMCommit(b *testing.B, p, cells int, body func(c *qsm.Ctx)) {
+	b.Helper()
+	m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: p, G: 2, N: p, MemCells: cells})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Phase(body)
+	}
+	b.StopTimer()
+	if m.Err() != nil {
+		b.Fatal(m.Err())
+	}
+}
+
+func BenchmarkPhaseCommit_QSM_LowContention(b *testing.B) {
+	for _, p := range []int{1 << 14, 1 << 17, 1 << 20} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchQSMCommit(b, p, 2*p, func(c *qsm.Ctx) {
+				v := c.Read(c.Proc())
+				c.Write(p+c.Proc(), v+1)
+			})
+		})
+	}
+}
+
+func BenchmarkPhaseCommit_QSM_HighContention(b *testing.B) {
+	for _, p := range []int{1 << 14, 1 << 17, 1 << 20} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchQSMCommit(b, p, 64, func(c *qsm.Ctx) {
+				c.Write(c.Proc()%64, int64(c.Proc()))
+			})
+		})
+	}
+}
+
+func BenchmarkPhaseCommit_QSM_TreeFanin8(b *testing.B) {
+	for _, p := range []int{1 << 14, 1 << 17, 1 << 20} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchQSMCommit(b, p, p+p/8+1, func(c *qsm.Ctx) {
+				v := c.Read(c.Proc())
+				c.Write(p+c.Proc()/8, v|1)
+			})
+		})
+	}
+}
+
+func BenchmarkPhaseCommit_BSP_Shift(b *testing.B) {
+	for _, p := range []int{1 << 14, 1 << 17} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			m, err := bsp.New(bsp.Config{P: p, G: 2, L: 8, N: p, PrivCells: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Superstep(func(c *bsp.Ctx) {
+					for k := 0; k < 4; k++ {
+						c.Send((c.Comp()+k+1)%p, int64(k), int64(c.Comp()))
+					}
+				})
+			}
+			b.StopTimer()
+			if m.Err() != nil {
+				b.Fatal(m.Err())
+			}
+		})
+	}
+}
+
+func BenchmarkPhaseCommit_GSM_Gather(b *testing.B) {
+	const p = 1 << 14
+	m, err := gsm.New(gsm.Config{P: p, Alpha: 4, Beta: 4, Gamma: 1, N: p, Cells: p + p/4 + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Phase(func(c *gsm.Ctx) {
+			c.Write(p+c.Proc()/4, gsm.NewInfo(int64(c.Proc())))
+		})
+	}
+	b.StopTimer()
+	if m.Err() != nil {
+		b.Fatal(m.Err())
+	}
+}
 
 func BenchmarkSimQSMPhase(b *testing.B) {
 	for _, p := range []int{1 << 8, 1 << 12, 1 << 16} {

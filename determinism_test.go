@@ -1,0 +1,257 @@
+package repro
+
+// Determinism regression suite for the parallel phase-commit pipeline: a
+// simulation's observable state — shared/private memory, cost report, and
+// execution trace — must be byte-identical whether the simulator runs on
+// one worker or many. The winner rule (last write of the highest-numbered
+// processor), contention counts, and violation selection are all defined
+// independently of the chunk layout, so Workers is a pure throughput knob.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/compaction"
+	"repro/internal/cost"
+	"repro/internal/gsm"
+	"repro/internal/gsmalg"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+	"repro/internal/sortrank"
+	"repro/internal/workload"
+)
+
+// detWorkers is the parallel setting compared against Workers=1. It
+// exceeds GOMAXPROCS on small CI machines on purpose: chunk layout depends
+// only on the Workers value, so the comparison is meaningful even when the
+// runtime multiplexes the goroutines onto one core.
+const detWorkers = 8
+
+type qsmRun struct {
+	result int
+	mem    []int64
+	report cost.Report
+	proc   []string
+	cell   []string
+}
+
+func qsmNew(workers, p, memCells int) (*qsm.Machine, error) {
+	return qsm.New(qsm.Config{
+		Rule: cost.RuleQSM, P: p, G: 1, N: p, MemCells: memCells, Workers: workers,
+	})
+}
+
+// runParityTree runs the fan-in tree parity algorithm on a fresh QSM
+// machine with the given worker count and snapshots everything observable.
+func runParityTree(t *testing.T, workers int) qsmRun {
+	t.Helper()
+	const n, fanin = 1 << 10, 4
+	in := workload.Bits(1998, n)
+	m, err := qsmNew(workers, n, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableTracing()
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := parity.TreeQSM(m, 0, n, fanin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := qsmRun{
+		result: out,
+		mem:    m.PeekRange(0, m.MemSize()),
+		report: *m.Report(),
+	}
+	tr := m.TraceLog()
+	for p := 0; p < n; p++ {
+		for ph := 0; ph <= tr.NumPhases(); ph++ {
+			r.proc = append(r.proc, tr.ProcKey(p, ph))
+		}
+	}
+	for c := 0; c < m.MemSize(); c++ {
+		for ph := 0; ph <= tr.NumPhases(); ph++ {
+			r.cell = append(r.cell, tr.CellKey(c, ph))
+		}
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDeterminismParityTreeQSM(t *testing.T) {
+	seq := runParityTree(t, 1)
+	par := runParityTree(t, detWorkers)
+	if seq.result != par.result {
+		t.Errorf("result: Workers=1 got %d, Workers=%d got %d", seq.result, detWorkers, par.result)
+	}
+	if !reflect.DeepEqual(seq.mem, par.mem) {
+		t.Error("final shared memory differs between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seq.report, par.report) {
+		t.Errorf("cost reports differ:\nWorkers=1: %+v\nWorkers=%d: %+v", seq.report, detWorkers, par.report)
+	}
+	if !reflect.DeepEqual(seq.proc, par.proc) {
+		t.Error("processor trace keys differ between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seq.cell, par.cell) {
+		t.Error("cell trace keys differ between Workers=1 and Workers=N")
+	}
+}
+
+// runDartLAC runs randomized dart-throwing linear approximate compaction.
+// Both runs share a seed, so the host-side coin flips are identical and
+// any divergence must come from the commit pipeline.
+func runDartLAC(t *testing.T, workers int) (res compaction.DartResult, mem []int64, rep cost.Report) {
+	t.Helper()
+	const n, h = 1 << 9, 40
+	in, err := workload.Sparse(7, n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := qsmNew(workers, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	r, err := compaction.DartLAC(m, rand.New(rand.NewSource(42)), 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return *r, m.PeekRange(0, m.MemSize()), *m.Report()
+}
+
+func TestDeterminismDartLACQSM(t *testing.T) {
+	seqRes, seqMem, seqRep := runDartLAC(t, 1)
+	parRes, parMem, parRep := runDartLAC(t, detWorkers)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Errorf("dart LAC results differ:\nWorkers=1: %+v\nWorkers=%d: %+v", seqRes, detWorkers, parRes)
+	}
+	if !reflect.DeepEqual(seqMem, parMem) {
+		t.Error("final shared memory differs between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seqRep, parRep) {
+		t.Error("cost reports differ between Workers=1 and Workers=N")
+	}
+}
+
+// runSampleSortBSP routes every key through the message pipeline twice
+// (samples to the coordinator, keys to their buckets), which exercises the
+// sharded routing and inbox recycling end to end.
+func runSampleSortBSP(t *testing.T, workers int) (mem [][]int64, rep cost.Report) {
+	t.Helper()
+	const n, p = 1 << 10, 32
+	keys := make([]int64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 20)
+	}
+	priv := sortrank.PrivNeedSampleSortBSP(n, p)
+	m, err := bsp.New(bsp.Config{P: p, G: 1, L: 4, N: n, PrivCells: priv, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scatter(keys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sortrank.SampleSortBSP(m, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mem = make([][]int64, p)
+	for c := 0; c < p; c++ {
+		mem[c] = make([]int64, priv)
+		for a := 0; a < priv; a++ {
+			mem[c][a] = m.Peek(c, a)
+		}
+	}
+	return mem, *m.Report()
+}
+
+func TestDeterminismSampleSortBSP(t *testing.T) {
+	seqMem, seqRep := runSampleSortBSP(t, 1)
+	parMem, parRep := runSampleSortBSP(t, detWorkers)
+	if !reflect.DeepEqual(seqMem, parMem) {
+		t.Error("final private memories differ between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seqRep, parRep) {
+		t.Errorf("cost reports differ:\nWorkers=1: %+v\nWorkers=%d: %+v", seqRep, detWorkers, parRep)
+	}
+}
+
+// runParityGSM gathers all input atoms up a fan-in tree of Info merges;
+// information sets are canonical (sorted, deduped), so cell contents must
+// match exactly across worker counts.
+func runParityGSM(t *testing.T, workers int) (res int64, cells []gsm.Info, rep cost.Report, proc, cell []string) {
+	t.Helper()
+	const n, fanin = 512, 4
+	const gamma = 2
+	bits := workload.Bits(11, n)
+	r := (n + gamma - 1) / gamma
+	m, err := gsm.New(gsm.Config{
+		P: r, Alpha: 2, Beta: 3, Gamma: gamma, N: n,
+		Cells:   gsmalg.CellsNeedGather(r),
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableTracing()
+	if err := m.LoadInputs(bits); err != nil {
+		t.Fatal(err)
+	}
+	res, err = gsmalg.ParityGSM(m, n, fanin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cells = make([]gsm.Info, m.MemSize())
+	for a := range cells {
+		cells[a] = m.Peek(a)
+	}
+	tr := m.TraceLog()
+	for p := 0; p < r; p++ {
+		for ph := 0; ph <= tr.NumPhases(); ph++ {
+			proc = append(proc, tr.ProcKey(p, ph))
+		}
+	}
+	for c := 0; c < m.MemSize(); c++ {
+		for ph := 0; ph <= tr.NumPhases(); ph++ {
+			cell = append(cell, tr.CellKey(c, ph))
+		}
+	}
+	return res, cells, *m.Report(), proc, cell
+}
+
+func TestDeterminismParityGSM(t *testing.T) {
+	seqRes, seqCells, seqRep, seqProc, seqCell := runParityGSM(t, 1)
+	parRes, parCells, parRep, parProc, parCell := runParityGSM(t, detWorkers)
+	if seqRes != parRes {
+		t.Errorf("result: Workers=1 got %d, Workers=%d got %d", seqRes, detWorkers, parRes)
+	}
+	if !reflect.DeepEqual(seqCells, parCells) {
+		t.Error("final cells differ between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seqRep, parRep) {
+		t.Errorf("cost reports differ:\nWorkers=1: %+v\nWorkers=%d: %+v", seqRep, detWorkers, parRep)
+	}
+	if !reflect.DeepEqual(seqProc, parProc) {
+		t.Error("processor trace keys differ between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seqCell, parCell) {
+		t.Error("cell trace keys differ between Workers=1 and Workers=N")
+	}
+}

@@ -25,11 +25,9 @@ package bsp
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/cost"
+	"repro/internal/sched"
 )
 
 // Message is a point-to-point BSP message.
@@ -52,6 +50,18 @@ type Machine struct {
 	err    error
 
 	workers int
+
+	// ctxs is the per-machine free list of superstep contexts, reset and
+	// reused every superstep so send buffers keep their capacity.
+	ctxs []*Ctx
+	// failN/fail1 are per-chunk failure tallies (count, first failing
+	// component index or -1), collected during body dispatch.
+	failN, fail1 []int32
+	// spare ping-pongs with inbox: last superstep's inbox slices are
+	// truncated and refilled as the next superstep's delivery target.
+	spare [][]Message
+	// cb holds the reusable scratch of the sharded routing commit.
+	cb routeBuf
 }
 
 // Config parameterises a BSP machine.
@@ -85,16 +95,13 @@ func New(c Config) (*Machine, error) {
 	if c.PrivCells < 0 {
 		return nil, fmt.Errorf("bsp: negative private memory %d", c.PrivCells)
 	}
-	w := c.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
 	m := &Machine{
 		params:  p,
 		n:       c.N,
 		priv:    make([][]int64, c.P),
 		inbox:   make([][]Message, c.P),
-		workers: w,
+		spare:   make([][]Message, c.P),
+		workers: sched.Workers(c.Workers),
 	}
 	for i := range m.priv {
 		m.priv[i] = make([]int64, c.PrivCells)
@@ -162,12 +169,27 @@ func (m *Machine) Scatter(input []int64) error {
 }
 
 // Peek reads a private-memory cell of a component for host-side output
-// extraction (not charged).
+// extraction (not charged). An out-of-range component or address is a
+// host-side bug: it records a machine error (first error wins) and returns
+// 0, so algorithm mistakes cannot be masked by phantom zeros.
 func (m *Machine) Peek(comp, addr int) int64 {
-	if comp < 0 || comp >= m.params.P || addr < 0 || addr >= len(m.priv[comp]) {
+	if comp < 0 || comp >= m.params.P {
+		m.recordErr(fmt.Errorf("bsp: Peek out of range: component %d of %d", comp, m.params.P))
+		return 0
+	}
+	if addr < 0 || addr >= len(m.priv[comp]) {
+		m.recordErr(fmt.Errorf("bsp: Peek out of range: component %d cell %d of %d",
+			comp, addr, len(m.priv[comp])))
 		return 0
 	}
 	return m.priv[comp][addr]
+}
+
+// recordErr poisons the machine with the first host-side error observed.
+func (m *Machine) recordErr(err error) {
+	if m.err == nil {
+		m.err = err
+	}
 }
 
 // Ctx is the per-component handle inside a superstep.
@@ -213,87 +235,190 @@ func (c *Ctx) Send(dst int, tag, val int64) {
 }
 
 // Superstep runs one superstep: body is invoked once per component
-// (concurrently); at the barrier the h-relation is measured, the superstep
-// is charged max(w, g·h, L), and staged messages are routed into the
-// inboxes for the next superstep.
+// (concurrently over contiguous chunks); at the barrier the h-relation is
+// measured, the superstep is charged max(w, g·h, L), and staged messages
+// are routed into the inboxes for the next superstep by the sharded
+// routing commit.
 func (m *Machine) Superstep(body func(c *Ctx)) {
 	if m.err != nil {
 		return
 	}
 	p := m.params.P
-	ctxs := make([]*Ctx, p)
-
-	// Contiguous chunks per worker (cheap dispatch at large p).
-	workers := m.workers
-	if workers > p {
-		workers = p
+	if m.ctxs == nil {
+		m.ctxs = make([]*Ctx, p)
+		for i := range m.ctxs {
+			m.ctxs[i] = &Ctx{comp: i, m: m}
+		}
 	}
-	chunk := (p + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > p {
-			hi = p
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := &Ctx{comp: i, m: m}
-				body(c)
-				ctxs[i] = c
+	// Failure detection rides along with the body dispatch (the ctxs are
+	// cache-hot here), recorded per chunk and merged in commit.
+	nb := sched.NumBlocks(m.workers, p)
+	if len(m.failN) < nb {
+		m.failN = make([]int32, nb)
+		m.fail1 = make([]int32, nb)
+	}
+	sched.Blocks(m.workers, p, func(w, lo, hi int) {
+		var nf, first int32 = 0, -1
+		for i := lo; i < hi; i++ {
+			c := m.ctxs[i]
+			c.reset()
+			body(c)
+			if c.fail != nil {
+				if first < 0 {
+					first = int32(i)
+				}
+				nf++
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	m.commit(ctxs)
+		}
+		m.failN[w], m.fail1[w] = nf, first
+	})
+	m.commit(m.ctxs)
 }
 
-func (m *Machine) commit(ctxs []*Ctx) {
-	p := m.params.P
-	var w int64
-	sent := make([]int64, p)
-	recv := make([]int64, p)
-	next := make([][]Message, p)
+func (c *Ctx) reset() {
+	c.work = 0
+	c.out = c.out[:0]
+	c.dst = c.dst[:0]
+	c.fail = nil
+}
 
-	for i, c := range ctxs {
-		if c.fail != nil && m.err == nil {
-			m.err = c.fail
-		}
-		if c.work > w {
-			w = c.work
-		}
-		sent[i] = int64(len(c.out))
-		for j, msg := range c.out {
-			d := c.dst[j]
-			recv[d]++
-			next[d] = append(next[d], msg)
+// routeBuf is the reusable scratch of the sharded message-routing commit.
+// Staged sends are first bucketed by destination shard (one bucket per
+// merge-chunk × shard, filled in sender order), then each destination
+// shard counts its fan-in and fills its inboxes independently.
+type routeBuf struct {
+	// Buckets, indexed [chunk*numShards + shard].
+	msg [][]Message
+	dst [][]int32
+	// Per-chunk maximum local work.
+	work []int64
+	// Per-component send counts (pass 1, chunk-disjoint) and receive
+	// counts (pass 2, shard-disjoint).
+	sent, recv []int64
+	// Per-shard receive maxima.
+	hrecv []int64
+}
+
+func (b *routeBuf) ensure(p, nm, ns int) {
+	if nb := nm * ns; len(b.msg) < nb {
+		for len(b.msg) < nb {
+			b.msg = append(b.msg, nil)
+			b.dst = append(b.dst, nil)
 		}
 	}
-	if m.err != nil {
+	if len(b.work) < nm {
+		b.work = make([]int64, nm)
+	}
+	if len(b.sent) < p {
+		b.sent = make([]int64, p)
+		b.recv = make([]int64, p)
+	}
+	if len(b.hrecv) < ns {
+		b.hrecv = make([]int64, ns)
+	}
+}
+
+// commit measures the h-relation, charges the superstep and routes staged
+// messages. Buckets are filled in sender order and replayed in chunk
+// order, so each inbox receives its messages grouped by ascending sender
+// id — the same deterministic delivery order for every Workers setting.
+func (m *Machine) commit(ctxs []*Ctx) {
+	// Failed components short-circuit the commit: nothing is routed. The
+	// first error in component order wins; the number of other failing
+	// components is preserved in the message. The per-chunk tallies were
+	// collected during body dispatch in Superstep.
+	nfail, firstIdx := 0, -1
+	for w := 0; w < sched.NumBlocks(m.workers, len(ctxs)); w++ {
+		if m.failN[w] > 0 {
+			if firstIdx < 0 {
+				firstIdx = int(m.fail1[w])
+			}
+			nfail += int(m.failN[w])
+		}
+	}
+	if nfail > 0 {
+		first := ctxs[firstIdx].fail
+		if nfail > 1 {
+			m.err = fmt.Errorf("%w (and %d other components failed)", first, nfail-1)
+		} else {
+			m.err = first
+		}
 		return
 	}
 
-	var h int64
+	p := m.params.P
+	b := &m.cb
+	nm := sched.NumBlocks(m.workers, p)
+	sh := sched.NewSharding(p, m.workers)
+	ns := sh.N
+	b.ensure(p, nm, ns)
+
+	// Pass 1: per-chunk work maxima, send counts, and messages bucketed by
+	// destination shard.
+	sched.Blocks(m.workers, p, func(w, lo, hi int) {
+		var work int64
+		base := w * ns
+		for i := lo; i < hi; i++ {
+			c := ctxs[i]
+			work = max(work, c.work)
+			b.sent[i] = int64(len(c.out))
+			for j, msg := range c.out {
+				d := c.dst[j]
+				k := base + sh.Shard(d)
+				b.msg[k] = append(b.msg[k], msg)
+				b.dst[k] = append(b.dst[k], d)
+			}
+		}
+		b.work[w] = work
+	})
+
+	// Pass 2: per-destination-shard fan-in counting and inbox filling.
+	// Inbox slices ping-pong with m.spare, so steady-state supersteps
+	// reuse the previous-but-one superstep's backing arrays.
+	next := m.spare
+	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			dlo, dhi := sh.Range(s, p)
+			for d := dlo; d < dhi; d++ {
+				b.recv[d] = 0
+			}
+			for w := 0; w < nm; w++ {
+				for _, d := range b.dst[w*ns+s] {
+					b.recv[d]++
+				}
+			}
+			var hr int64
+			for d := dlo; d < dhi; d++ {
+				hr = max(hr, b.recv[d])
+				next[d] = next[d][:0]
+			}
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				dsts := b.dst[k]
+				for j, msg := range b.msg[k] {
+					d := dsts[j]
+					next[d] = append(next[d], msg)
+				}
+				b.msg[k] = b.msg[k][:0]
+				b.dst[k] = b.dst[k][:0]
+			}
+			b.hrecv[s] = hr
+		}
+	})
+
+	var w, h int64
+	for i := 0; i < nm; i++ {
+		w = max(w, b.work[i])
+	}
 	for i := 0; i < p; i++ {
-		if sent[i] > h {
-			h = sent[i]
-		}
-		if recv[i] > h {
-			h = recv[i]
-		}
+		h = max(h, b.sent[i])
+	}
+	for s := 0; s < ns; s++ {
+		h = max(h, b.hrecv[s])
 	}
 
-	t := cost.Time(max64(w, max64(m.params.G*h, m.params.L)))
-	np := int64(m.n) / int64(p)
-	if np < 1 {
-		np = 1
-	}
+	t := cost.Time(max(w, m.params.G*h, m.params.L))
+	np := max(int64(m.n)/int64(p), 1)
 	isRound := h <= cost.RoundSlack*np &&
 		w <= cost.RoundSlack*(m.params.G*np)+m.params.L
 	m.report.Add(cost.PhaseCost{
@@ -303,24 +428,18 @@ func (m *Machine) commit(ctxs []*Ctx) {
 		IsRound: isRound,
 	})
 
-	// Deterministic delivery order: messages arrive grouped by sender id
-	// (they were appended in component order above because ctxs is iterated
-	// in order), so no extra sort is needed; assert the invariant cheaply.
-	for i := range next {
-		if !sort.SliceIsSorted(next[i], func(a, b int) bool {
-			return next[i][a].From < next[i][b].From
-		}) {
-			sort.SliceStable(next[i], func(a, b int) bool {
-				return next[i][a].From < next[i][b].From
-			})
-		}
-	}
+	m.spare = m.inbox
 	m.inbox = next
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
+func countFails(ctxs []*Ctx) (nfail int, first error) {
+	for _, c := range ctxs {
+		if c.fail != nil {
+			if first == nil {
+				first = c.fail
+			}
+			nfail++
+		}
 	}
-	return b
+	return nfail, first
 }

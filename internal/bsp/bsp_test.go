@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -110,8 +111,31 @@ func TestScatterPeek(t *testing.T) {
 	if err := small.Scatter(in); err == nil {
 		t.Error("want private-memory-too-small error")
 	}
+}
+
+func TestPeekOutOfRangeRecordsError(t *testing.T) {
+	cfg := Config{P: 4, G: 1, L: 2, N: 10, PrivCells: 8}
+
+	m := mk(t, cfg)
 	if got := m.Peek(-1, 0); got != 0 {
-		t.Errorf("Peek out of range = %d, want 0", got)
+		t.Errorf("Peek(-1, 0) = %d, want 0", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("out-of-range component Peek must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	if got := m.Peek(0, 99); got != 0 {
+		t.Errorf("Peek(0, 99) = %d, want 0", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("out-of-range cell Peek must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	m.Peek(3, 7)
+	if err := m.Err(); err != nil {
+		t.Errorf("in-range Peek recorded error: %v", err)
 	}
 }
 
@@ -248,6 +272,48 @@ func TestPrivateMemoryPersists(t *testing.T) {
 	})
 	if m.Peek(1, 1) != 202 {
 		t.Errorf("Peek(1,1) = %d, want 202", m.Peek(1, 1))
+	}
+}
+
+// Message routing must be independent of the Workers setting: delivery
+// order is (sender id, send order), never chunk layout. The workload fans
+// messages across components over several supersteps so the inbox
+// ping-pong recycling is covered too.
+func TestRoutingDeterministicAcrossWorkers(t *testing.T) {
+	const p, steps = 48, 4
+	run := func(workers int) ([][]Message, *Machine) {
+		m := MustNew(Config{P: p, G: 2, L: 4, N: p, PrivCells: 4, Workers: workers})
+		var boxes [][]Message
+		for s := 0; s < steps; s++ {
+			s := s
+			m.Superstep(func(c *Ctx) {
+				for j := 0; j <= c.Comp()%3; j++ {
+					c.Send((c.Comp()*5+j+s)%p, int64(s), int64(c.Comp()*100+j))
+				}
+			})
+			m.Superstep(func(c *Ctx) {
+				in := c.Incoming()
+				cp := make([]Message, len(in))
+				copy(cp, in)
+				if c.Comp() == 0 {
+					boxes = append(boxes, cp)
+				}
+			})
+		}
+		if m.Err() != nil {
+			t.Fatal(m.Err())
+		}
+		return boxes, m
+	}
+	seqBoxes, seqM := run(1)
+	for _, w := range []int{2, 8} {
+		parBoxes, parM := run(w)
+		if !reflect.DeepEqual(seqBoxes, parBoxes) {
+			t.Errorf("Workers=%d: component 0 inboxes differ\nseq: %v\npar: %v", w, seqBoxes, parBoxes)
+		}
+		if !reflect.DeepEqual(*seqM.Report(), *parM.Report()) {
+			t.Errorf("Workers=%d: cost reports differ", w)
+		}
 	}
 }
 

@@ -167,7 +167,7 @@ func DetLAC(m *qsm.Machine, base, n, fanin int) (out, k int, err error) {
 	k = int(m.Peek(ranks + n - 1))
 
 	out = m.MemSize()
-	m.Grow(out + maxInt(k, 1))
+	m.Grow(out + max(k, 1))
 	m.Phase(func(c *qsm.Ctx) {
 		for j := c.Proc(); j < n; j += p {
 			v := c.Read(base + j)
@@ -204,7 +204,7 @@ func LoadBalance(m *qsm.Machine, base, n, fanin, maxPer int) (out int, h int, er
 	}
 	h = int(m.Peek(offsets + n - 1))
 	out = m.MemSize()
-	m.Grow(out + maxInt(h, 1))
+	m.Grow(out + max(h, 1))
 
 	p := m.P()
 	m.Phase(func(c *qsm.Ctx) {
@@ -297,7 +297,7 @@ func SolveCLB(m *qsm.Machine, rng *rand.Rand, inst *workload.CLB, base int) (*CL
 	// Publish destination rows: one phase, the processor owning each
 	// compacted group writes its 4 row ids next to its slot (pointer array).
 	ptrs := m.MemSize()
-	m.Grow(ptrs + 4*maxInt(len(ps), 1))
+	m.Grow(ptrs + 4*max(len(ps), 1))
 	rankOf := make(map[int]int, len(ps)) // item proc -> rank
 	for r, pl := range ps {
 		rankOf[int(pl.tag)-1] = r
@@ -399,11 +399,4 @@ func log2ceil(x int) int {
 		k++
 	}
 	return k
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

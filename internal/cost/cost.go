@@ -63,10 +63,10 @@ func (p Params) Validate() error {
 }
 
 // Mu returns μ = max(α, β), the duration of one GSM big-step.
-func (p Params) Mu() int64 { return max64(p.Alpha, p.Beta) }
+func (p Params) Mu() int64 { return max(p.Alpha, p.Beta) }
 
 // Lambda returns λ = min(α, β).
-func (p Params) Lambda() int64 { return min64(p.Alpha, p.Beta) }
+func (p Params) Lambda() int64 { return min(p.Alpha, p.Beta) }
 
 // PhaseCost records the accounting of one phase (or BSP superstep, or GSM
 // phase) of a simulated computation.
@@ -192,19 +192,19 @@ func (r Rule) String() string {
 // PhaseTime applies the rule's cost formula. d is the QSM(g,d) memory gap
 // (ignored by the other rules; a d of 0 is treated as 1).
 func (r Rule) PhaseTime(g, d, mOp, mRW, kappaRead, kappaWrite int64) Time {
-	kappa := max64(kappaRead, kappaWrite)
+	kappa := max(kappaRead, kappaWrite)
 	switch r {
 	case RuleQSM:
-		return Time(max64(mOp, max64(g*mRW, kappa)))
+		return Time(max(mOp, max(g*mRW, kappa)))
 	case RuleSQSM:
-		return Time(max64(mOp, max64(g*mRW, g*kappa)))
+		return Time(max(mOp, max(g*mRW, g*kappa)))
 	case RuleCRQW:
-		return Time(max64(mOp, max64(g*mRW, kappaWrite)))
+		return Time(max(mOp, max(g*mRW, kappaWrite)))
 	case RuleQSMGD:
 		if d < 1 {
 			d = 1
 		}
-		return Time(max64(mOp, max64(g*mRW, d*kappa)))
+		return Time(max(mOp, max(g*mRW, d*kappa)))
 	default:
 		panic("cost: unknown rule")
 	}
@@ -214,7 +214,7 @@ func (r Rule) PhaseTime(g, d, mOp, mRW, kappaRead, kappaWrite int64) Time {
 // round for the shared-memory models: c·g·n/p (Section 2.3). The slack
 // constant c absorbs the O(); we use c = RoundSlack throughout.
 func RoundBudget(g int64, n, p int) Time {
-	t := RoundSlack * g * int64(n) / int64(maxInt(p, 1))
+	t := RoundSlack * g * int64(n) / int64(max(p, 1))
 	if t < 1 {
 		t = 1
 	}
@@ -227,7 +227,7 @@ func GSMRoundBudget(pr Params, n int) Time {
 	if lam < 1 {
 		lam = 1
 	}
-	t := RoundSlack * pr.Mu() * int64(n) / (lam * int64(maxInt(pr.P, 1)))
+	t := RoundSlack * pr.Mu() * int64(n) / (lam * int64(max(pr.P, 1)))
 	if t < 1 {
 		t = 1
 	}
@@ -238,24 +238,3 @@ func GSMRoundBudget(pr Params, n int) Time {
 // paper's bounds are insensitive to it; 4 keeps the natural fan-in-(n/p)
 // algorithms classified as computing in rounds.
 const RoundSlack = 4
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

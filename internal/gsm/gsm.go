@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/sched"
 )
 
 // Info is the information content of a GSM cell: a sorted set of abstract
@@ -94,6 +95,20 @@ type Machine struct {
 	report cost.Report
 	err    error
 	trace  *Trace
+
+	// workers bounds phase-execution parallelism; defaults to GOMAXPROCS.
+	// Small machines (the proof-machinery enumerations) still run their
+	// bodies inline: parallelism kicks in at gsmGrain processors per chunk.
+	workers int
+
+	// ctxs is the per-machine free list of phase contexts, reset and
+	// reused every phase so request buffers keep their capacity.
+	ctxs []*Ctx
+	// failN/fail1 are per-chunk failure tallies (count, first failing
+	// processor index or -1), collected during body dispatch.
+	failN, fail1 []int32
+	// cb holds the reusable scratch of the sharded commit pipeline.
+	cb commitBuf
 }
 
 // Config parameterises a GSM machine.
@@ -107,6 +122,8 @@ type Config struct {
 	N int
 	// Cells is the shared-memory size.
 	Cells int
+	// Workers caps simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // New constructs a GSM machine with empty cells.
@@ -125,7 +142,12 @@ func New(c Config) (*Machine, error) {
 	if c.Cells < 0 {
 		return nil, fmt.Errorf("gsm: negative cell count %d", c.Cells)
 	}
-	m := &Machine{params: p, n: c.N, cells: make([]Info, c.Cells)}
+	m := &Machine{
+		params:  p,
+		n:       c.N,
+		cells:   make([]Info, c.Cells),
+		workers: sched.Workers(c.Workers),
+	}
 	m.report = cost.Report{Model: "GSM", N: c.N, Params: p}
 	return m, nil
 }
@@ -190,12 +212,23 @@ func (m *Machine) Grow(size int) {
 // MemSize returns the current cell count.
 func (m *Machine) MemSize() int { return len(m.cells) }
 
-// Peek returns the information set of a cell (host-side, not charged).
+// Peek returns the information set of a cell (host-side, not charged). An
+// out-of-range address is a host-side bug: it records a machine error
+// (first error wins) and returns nil, so algorithm mistakes cannot be
+// masked by phantom empty sets.
 func (m *Machine) Peek(addr int) Info {
 	if addr < 0 || addr >= len(m.cells) {
+		m.recordErr(fmt.Errorf("gsm: Peek out of range: cell %d of %d", addr, len(m.cells)))
 		return nil
 	}
 	return m.cells[addr]
+}
+
+// recordErr poisons the machine with the first host-side error observed.
+func (m *Machine) recordErr(err error) {
+	if m.err == nil {
+		m.err = err
+	}
 }
 
 // Ctx is the per-processor handle inside a GSM phase.
@@ -247,107 +280,289 @@ func (c *Ctx) failf(format string, args ...any) {
 // ErrViolation wraps GSM memory-access-rule violations.
 var ErrViolation = errors.New("gsm: memory access rule violation")
 
-// Phase runs one GSM phase sequentially over processors (GSM runs are used
-// for small-n proof-machinery experiments, so the simple loop keeps traces
-// exactly reproducible). The phase is charged μ · max(⌈m_rw/α⌉, ⌈κ/β⌉)
-// big-steps (at least one, since computation is free but a phase is a unit).
+// gsmGrain is the minimum processors-per-chunk before a GSM phase spawns
+// worker goroutines: the proof-machinery enumerations run thousands of
+// tiny-p machines, and those stay on the inline fast path.
+const gsmGrain = 64
+
+// phaseWorkers returns the effective worker count for this machine's p.
+func (m *Machine) phaseWorkers() int {
+	return min(m.workers, (m.params.P+gsmGrain-1)/gsmGrain)
+}
+
+// Phase runs one GSM phase: body is invoked once per processor
+// (concurrently over contiguous chunks for large machines, inline for the
+// small proof-machinery runs), and requests are merged at the barrier by
+// the sharded commit pipeline — results and traces are identical for every
+// Workers setting. The phase is charged μ · max(⌈m_rw/α⌉, ⌈κ/β⌉) big-steps
+// (at least one, since computation is free but a phase is a unit).
 func (m *Machine) Phase(body func(c *Ctx)) {
 	if m.err != nil {
 		return
 	}
-	ctxs := make([]*Ctx, m.params.P)
-	for i := range ctxs {
-		c := &Ctx{proc: i, m: m}
-		body(c)
-		ctxs[i] = c
+	p := m.params.P
+	if m.ctxs == nil {
+		m.ctxs = make([]*Ctx, p)
+		for i := range m.ctxs {
+			m.ctxs[i] = &Ctx{proc: i, m: m}
+		}
 	}
-	m.commit(ctxs)
+	// Failure detection rides along with the body dispatch (the ctxs are
+	// cache-hot here), recorded per chunk and merged in commit.
+	workers := m.phaseWorkers()
+	nb := sched.NumBlocks(workers, p)
+	if len(m.failN) < nb {
+		m.failN = make([]int32, nb)
+		m.fail1 = make([]int32, nb)
+	}
+	sched.Blocks(workers, p, func(w, lo, hi int) {
+		var nf, first int32 = 0, -1
+		for i := lo; i < hi; i++ {
+			c := m.ctxs[i]
+			c.reset()
+			body(c)
+			if c.fail != nil {
+				if first < 0 {
+					first = int32(i)
+				}
+				nf++
+			}
+		}
+		m.failN[w], m.fail1[w] = nf, first
+	})
+	m.commit(m.ctxs)
+}
+
+func (c *Ctx) reset() {
+	c.reads, c.wrs = 0, 0
+	c.readAddrs = c.readAddrs[:0]
+	c.writeAddrs = c.writeAddrs[:0]
+	c.writeInfo = c.writeInfo[:0]
+	c.fail = nil
+}
+
+// commitBuf is the reusable scratch of the sharded phase commit — the GSM
+// variant of the pipeline in internal/qsm: requests bucketed by address
+// shard in processor order, then per-shard contention counting over the
+// count/last scratch arrays (+readers/−writers and the processor dedup
+// mark, zeroed via the touched lists after every phase).
+type commitBuf struct {
+	rAddr, rProc [][]int32
+	wAddr, wProc [][]int32
+	wInfo        [][]Info
+	mRW          []int64
+	kappa        []int64
+	viol         []int32
+	count, last  []int32
+	touched      [][]int32
+}
+
+func (b *commitBuf) ensure(memSize, workers, p int) (sh sched.Sharding, nm int) {
+	nm = sched.NumBlocks(workers, p)
+	sh = sched.NewSharding(memSize, workers)
+	if nb := nm * sh.N; len(b.rAddr) < nb {
+		b.rAddr = growSlices(b.rAddr, nb)
+		b.rProc = growSlices(b.rProc, nb)
+		b.wAddr = growSlices(b.wAddr, nb)
+		b.wProc = growSlices(b.wProc, nb)
+		b.wInfo = growSlices(b.wInfo, nb)
+	}
+	if len(b.mRW) < nm {
+		b.mRW = make([]int64, nm)
+	}
+	if len(b.kappa) < sh.N {
+		b.kappa = make([]int64, sh.N)
+		b.viol = make([]int32, sh.N)
+		b.touched = growSlices(b.touched, sh.N)
+	}
+	if len(b.count) < memSize {
+		b.count = make([]int32, memSize)
+		b.last = make([]int32, memSize)
+	}
+	return sh, nm
+}
+
+func growSlices[T any](s [][]T, n int) [][]T {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s
 }
 
 func (m *Machine) commit(ctxs []*Ctx) {
-	var mRW int64
-	readCount := make(map[int32]int64)
-	writeCount := make(map[int32]int64)
-	pending := make(map[int32]Info)
-
-	// κ counts processors per cell (paper definition): duplicate requests
-	// by one processor to one cell dedupe for contention, not for m_rw.
-	for _, c := range ctxs {
-		if c.fail != nil && m.err == nil {
-			m.err = c.fail
-		}
-		rw := c.reads
-		if c.wrs > rw {
-			rw = c.wrs
-		}
-		if rw > mRW {
-			mRW = rw
-		}
-		var seen map[int32]bool
-		if len(c.readAddrs)+len(c.writeAddrs) > 1 {
-			seen = make(map[int32]bool, len(c.readAddrs)+len(c.writeAddrs))
-		}
-		for _, a := range c.readAddrs {
-			if seen != nil {
-				if seen[a] {
-					continue
-				}
-				seen[a] = true
+	// Failed processors short-circuit the commit: nothing is counted and
+	// nothing merges. The first error in processor order wins; the number
+	// of other failing processors is preserved in the message. The
+	// per-chunk tallies were collected during body dispatch in Phase.
+	nfail, firstIdx := 0, -1
+	for w := 0; w < sched.NumBlocks(m.phaseWorkers(), len(ctxs)); w++ {
+		if m.failN[w] > 0 {
+			if firstIdx < 0 {
+				firstIdx = int(m.fail1[w])
 			}
-			readCount[a]++
-		}
-		for j, a := range c.writeAddrs {
-			pending[a] = pending[a].Merge(c.writeInfo[j])
-			if seen != nil {
-				if seen[^a] {
-					continue
-				}
-				seen[^a] = true
-			}
-			writeCount[a]++
+			nfail += int(m.failN[w])
 		}
 	}
-	if m.err != nil {
+	if nfail > 0 {
+		first := ctxs[firstIdx].fail
+		if nfail > 1 {
+			m.err = fmt.Errorf("%w (and %d other processors failed)", first, nfail-1)
+		} else {
+			m.err = first
+		}
 		return
 	}
-	var kappa int64
-	for a, n := range readCount {
-		if n > kappa {
-			kappa = n
+
+	workers := m.phaseWorkers()
+	b := &m.cb
+	sh, nm := b.ensure(len(m.cells), workers, len(ctxs))
+	ns := sh.N
+
+	// Pass 1: per-chunk m_rw maxima + requests bucketed by address shard.
+	sched.Blocks(workers, len(ctxs), func(w, lo, hi int) {
+		var mRW int64
+		base := w * ns
+		for i := lo; i < hi; i++ {
+			c := ctxs[i]
+			mRW = max(mRW, c.reads, c.wrs)
+			proc := int32(i)
+			for _, a := range c.readAddrs {
+				k := base + sh.Shard(a)
+				b.rAddr[k] = append(b.rAddr[k], a)
+				b.rProc[k] = append(b.rProc[k], proc)
+			}
+			for j, a := range c.writeAddrs {
+				k := base + sh.Shard(a)
+				b.wAddr[k] = append(b.wAddr[k], a)
+				b.wProc[k] = append(b.wProc[k], proc)
+				b.wInfo[k] = append(b.wInfo[k], c.writeInfo[j])
+			}
 		}
-		if _, clash := writeCount[a]; clash {
-			m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
-				ErrViolation, a, m.report.NumPhases())
-			return
+		b.mRW[w] = mRW
+	})
+
+	// Pass 2: per-shard contention counting and violation detection.
+	// κ counts processors per cell (paper definition): duplicate requests
+	// by one processor dedupe via the last mark (they still count toward
+	// its m_rw). Reads scan before writes within a shard, so a positive
+	// count at a written cell means a forbidden read+write mix.
+	sched.Blocks(workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			var kappa int64
+			viol := int32(-1)
+			touched := b.touched[s][:0]
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				procs := b.rProc[k]
+				for j, a := range b.rAddr[k] {
+					pr := procs[j] + 1
+					if b.last[a] == pr {
+						continue
+					}
+					b.last[a] = pr
+					if b.count[a] == 0 {
+						touched = append(touched, a)
+					}
+					b.count[a]++
+					kappa = max(kappa, int64(b.count[a]))
+				}
+			}
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				procs := b.wProc[k]
+				for j, a := range b.wAddr[k] {
+					if b.count[a] > 0 {
+						if viol < 0 || a < viol {
+							viol = a
+						}
+						continue
+					}
+					pr := -(procs[j] + 1)
+					if b.last[a] == pr {
+						continue
+					}
+					b.last[a] = pr
+					if b.count[a] == 0 {
+						touched = append(touched, a)
+					}
+					b.count[a]--
+					kappa = max(kappa, int64(-b.count[a]))
+				}
+			}
+			b.kappa[s], b.viol[s] = kappa, viol
+			b.touched[s] = touched
+		}
+	})
+
+	var mRW, kappa int64
+	for w := 0; w < nm; w++ {
+		mRW = max(mRW, b.mRW[w])
+	}
+	violAddr := int32(-1)
+	for s := 0; s < ns; s++ {
+		kappa = max(kappa, b.kappa[s])
+		if b.viol[s] >= 0 && (violAddr < 0 || b.viol[s] < violAddr) {
+			violAddr = b.viol[s]
 		}
 	}
-	for _, n := range writeCount {
-		if n > kappa {
-			kappa = n
-		}
+	if violAddr >= 0 {
+		m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
+			ErrViolation, violAddr, m.report.NumPhases())
+		m.finishCommit(workers, nm, ns, false)
+		return
 	}
 
-	b := maxI64(ceilDiv(mRW, m.params.Alpha), ceilDiv(kappa, m.params.Beta))
-	if b < 1 {
-		b = 1
-	}
-	t := cost.Time(m.params.Mu() * b)
+	bs := max(ceilDiv(mRW, m.params.Alpha), ceilDiv(kappa, m.params.Beta), 1)
+	t := cost.Time(m.params.Mu() * bs)
 	m.report.Add(cost.PhaseCost{
 		MaxRW:      mRW,
 		Contention: kappa,
-		BigSteps:   b,
+		BigSteps:   bs,
 		Time:       t,
 		IsRound:    t <= cost.GSMRoundBudget(m.params, m.n),
 	})
 	if m.trace != nil {
 		m.trace.recordReads(m, ctxs)
 	}
-	for a, info := range pending {
-		m.cells[a] = m.cells[a].Merge(info)
-	}
+	m.finishCommit(workers, nm, ns, true)
 	if m.trace != nil {
 		m.trace.recordCells(m)
 	}
+}
+
+// finishCommit merges the phase's writes into the cells (strong queuing:
+// set union is order-insensitive, so the merged contents are deterministic
+// for every Workers setting) and zeroes the scratch for the next phase.
+func (m *Machine) finishCommit(workers, nm, ns int, applyWrites bool) {
+	b := &m.cb
+	sched.Blocks(workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				if applyWrites {
+					infos := b.wInfo[k]
+					for j, a := range b.wAddr[k] {
+						m.cells[a] = m.cells[a].Merge(infos[j])
+					}
+				}
+				b.rAddr[k] = b.rAddr[k][:0]
+				b.rProc[k] = b.rProc[k][:0]
+				b.wAddr[k] = b.wAddr[k][:0]
+				b.wProc[k] = b.wProc[k][:0]
+				// Drop Info references so retained buckets don't pin sets.
+				infos := b.wInfo[k]
+				for j := range infos {
+					infos[j] = nil
+				}
+				b.wInfo[k] = infos[:0]
+			}
+			for _, a := range b.touched[s] {
+				b.count[a] = 0
+				b.last[a] = 0
+			}
+			b.touched[s] = b.touched[s][:0]
+		}
+	})
 }
 
 // --- Claim 2.1 emulation adapters -----------------------------------------
@@ -365,7 +580,7 @@ func EmulateQSM(r *cost.Report) cost.Time {
 	g := r.Params.G
 	var total cost.Time
 	for _, ph := range r.Phases {
-		b := maxI64(ph.MaxRW, ceilDiv(ph.Contention, g))
+		b := max(ph.MaxRW, ceilDiv(ph.Contention, g))
 		if b < 1 {
 			b = 1
 		}
@@ -379,7 +594,7 @@ func EmulateQSM(r *cost.Report) cost.Time {
 func EmulateSQSM(r *cost.Report) cost.Time {
 	var total cost.Time
 	for _, ph := range r.Phases {
-		b := maxI64(ph.MaxRW, ph.Contention)
+		b := max(ph.MaxRW, ph.Contention)
 		if b < 1 {
 			b = 1
 		}
@@ -422,7 +637,7 @@ func RoundsPreserved(r *cost.Report, alpha, beta, gamma int64, slack int64) bool
 		if !ph.IsRound {
 			continue // only rounds of the source must map to rounds
 		}
-		b := maxI64(ceilDiv(ph.MaxRW, alpha), ceilDiv(ph.Contention, beta))
+		b := max(ceilDiv(ph.MaxRW, alpha), ceilDiv(ph.Contention, beta))
 		if b < 1 {
 			b = 1
 		}
@@ -438,11 +653,4 @@ func ceilDiv(a, b int64) int64 {
 		return a
 	}
 	return (a + b - 1) / b
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

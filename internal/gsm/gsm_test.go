@@ -2,6 +2,7 @@ package gsm
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -16,6 +17,72 @@ func mk(t *testing.T, c Config) *Machine {
 		t.Fatalf("New(%+v): %v", c, err)
 	}
 	return m
+}
+
+// The commit pipeline must merge identically for every Workers setting:
+// information sets are canonical and set union is order-insensitive, so
+// cell contents, κ, and big-step counts cannot depend on chunk layout.
+func TestCommitDeterministicAcrossWorkers(t *testing.T) {
+	const p, cells, phases = 200, 64, 4
+	run := func(workers int) ([]Info, cost.Report) {
+		m := mk(t, Config{P: p, Alpha: 2, Beta: 3, Gamma: 1, N: p, Cells: cells, Workers: workers})
+		for ph := 0; ph < phases; ph++ {
+			ph := ph
+			m.Phase(func(c *Ctx) {
+				i := c.Proc()
+				c.Read((i*3 + ph) % (cells / 2))
+				c.Write(cells/2+(i+ph)%(cells/2), NewInfo(int64(i), int64(i*2+ph)))
+				if i%4 == 0 {
+					c.Write(cells/2+ph, NewInfo(int64(1000+i)))
+				}
+			})
+		}
+		if m.Err() != nil {
+			t.Fatal(m.Err())
+		}
+		out := make([]Info, cells)
+		for a := range out {
+			out[a] = m.Peek(a)
+		}
+		return out, *m.Report()
+	}
+	seqCells, seqRep := run(1)
+	for _, w := range []int{2, 8} {
+		parCells, parRep := run(w)
+		if !reflect.DeepEqual(seqCells, parCells) {
+			t.Errorf("Workers=%d: cell contents differ", w)
+		}
+		if !reflect.DeepEqual(seqRep, parRep) {
+			t.Errorf("Workers=%d: report differs\nseq: %+v\npar: %+v", w, seqRep, parRep)
+		}
+	}
+}
+
+func TestPeekOutOfRangeRecordsError(t *testing.T) {
+	cfg := Config{P: 2, Alpha: 1, Beta: 1, Gamma: 1, N: 4, Cells: 8}
+
+	m := mk(t, cfg)
+	if got := m.Peek(-1); got != nil {
+		t.Errorf("Peek(-1) = %v, want nil", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("Peek(-1) must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	if got := m.Peek(100); got != nil {
+		t.Errorf("Peek(100) = %v, want nil", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("Peek(100) must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	m.Peek(0)
+	m.Peek(7)
+	if err := m.Err(); err != nil {
+		t.Errorf("in-range Peek recorded error: %v", err)
+	}
 }
 
 func TestInfoSetOperations(t *testing.T) {
@@ -322,20 +389,13 @@ func TestClaim21BSPEmulation(t *testing.T) {
 	// Build a synthetic BSP report: supersteps with varying h-relations.
 	r := &cost.Report{Model: "BSP", N: 64, Params: cost.Params{G: 2, L: 8, P: 8}}
 	for _, h := range []int64{1, 4, 16, 3} {
-		r.Add(cost.PhaseCost{MaxRW: h, Time: cost.Time(max64(2*h, 8))})
+		r.Add(cost.PhaseCost{MaxRW: h, Time: cost.Time(max(2*h, 8))})
 	}
 	e := EmulateBSP(r)
 	// Claim 2.1(3): T_BSP = Ω(g·T_GSM(n, L/g, L/g, n/p)).
 	if 2*int64(e) > 2*int64(r.TotalTime) {
 		t.Errorf("g·GSM emulation %d exceeds 2×BSP time %d", 2*int64(e), r.TotalTime)
 	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Property: for any synthetic QSM report, the GSM emulation never exceeds

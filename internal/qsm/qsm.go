@@ -38,10 +38,9 @@ package qsm
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/cost"
+	"repro/internal/sched"
 )
 
 // Machine is a QSM-family shared-memory machine.
@@ -56,6 +55,16 @@ type Machine struct {
 
 	// workers bounds phase-execution parallelism; defaults to GOMAXPROCS.
 	workers int
+
+	// ctxs is the per-machine free list of phase contexts: one Ctx per
+	// processor, reset and reused every phase so request buffers keep their
+	// capacity instead of being reallocated O(p) times per phase.
+	ctxs []*Ctx
+	// failN/fail1 are per-chunk failure tallies (count, first failing
+	// processor index or -1), collected during body dispatch.
+	failN, fail1 []int32
+	// cb holds the reusable scratch of the sharded commit pipeline.
+	cb commitBuf
 }
 
 // Config selects the machine variant and parameters.
@@ -92,10 +101,7 @@ func New(c Config) (*Machine, error) {
 	if c.MemCells < 0 {
 		return nil, fmt.Errorf("qsm: negative memory size %d", c.MemCells)
 	}
-	w := c.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	w := sched.Workers(c.Workers)
 	m := &Machine{
 		rule:    c.Rule,
 		params:  p,
@@ -153,21 +159,40 @@ func (m *Machine) Load(addr int, vals []int64) error {
 }
 
 // Peek reads a cell outside of any phase (for output extraction by the
-// host; not charged).
+// host; not charged). An out-of-range address is a host-side bug: it
+// records a machine error (first error wins) and returns 0, so algorithm
+// mistakes cannot be masked by phantom zeros.
 func (m *Machine) Peek(addr int) int64 {
 	if addr < 0 || addr >= len(m.mem) {
+		m.recordErr(fmt.Errorf("qsm: Peek out of range: cell %d of %d", addr, len(m.mem)))
 		return 0
 	}
 	return m.mem[addr]
 }
 
-// PeekRange copies cells [addr, addr+k) for host-side inspection.
+// PeekRange copies cells [addr, addr+k) for host-side inspection. Like
+// Peek, a range that leaves the memory records a machine error and the
+// returned slice is zero-filled.
 func (m *Machine) PeekRange(addr, k int) []int64 {
-	out := make([]int64, k)
-	for i := 0; i < k; i++ {
-		out[i] = m.Peek(addr + i)
+	if k < 0 {
+		m.recordErr(fmt.Errorf("qsm: PeekRange negative length %d", k))
+		return nil
 	}
+	out := make([]int64, k)
+	if addr < 0 || addr+k > len(m.mem) {
+		m.recordErr(fmt.Errorf("qsm: PeekRange out of range [%d,%d) of %d cells",
+			addr, addr+k, len(m.mem)))
+		return out
+	}
+	copy(out, m.mem[addr:addr+k])
 	return out
+}
+
+// recordErr poisons the machine with the first host-side error observed.
+func (m *Machine) recordErr(err error) {
+	if m.err == nil {
+		m.err = err
+	}
 }
 
 // Err returns the first model violation or runtime error, if any.
@@ -242,122 +267,244 @@ func (c *Ctx) failf(format string, args ...any) {
 var ErrViolation = errors.New("qsm: memory access rule violation")
 
 // Phase runs one bulk-synchronous phase: body is invoked once per processor
-// (concurrently), requests are merged at the barrier, the phase is charged
-// under the machine's cost rule, and writes commit. Phase is a no-op once
-// the machine has erred.
+// (concurrently over contiguous chunks), requests are merged at the barrier
+// by the sharded commit pipeline, the phase is charged under the machine's
+// cost rule, and writes commit. Phase is a no-op once the machine has erred.
 func (m *Machine) Phase(body func(c *Ctx)) {
 	if m.err != nil {
 		return
 	}
 	p := m.params.P
-	ctxs := make([]*Ctx, p)
-
-	// Contiguous chunks per worker: dispatching a few ranges instead of p
-	// channel sends keeps simulations of million-processor machines cheap.
-	workers := m.workers
-	if workers > p {
-		workers = p
+	if m.ctxs == nil {
+		m.ctxs = make([]*Ctx, p)
+		for i := range m.ctxs {
+			m.ctxs[i] = &Ctx{proc: i, m: m}
+		}
 	}
-	chunk := (p + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > p {
-			hi = p
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := &Ctx{proc: i, m: m}
-				body(c)
-				ctxs[i] = c
+	// Failure detection rides along with the body dispatch (the ctxs are
+	// cache-hot here), recorded per chunk and merged in commitPhase.
+	nb := sched.NumBlocks(m.workers, p)
+	if len(m.failN) < nb {
+		m.failN = make([]int32, nb)
+		m.fail1 = make([]int32, nb)
+	}
+	sched.Blocks(m.workers, p, func(w, lo, hi int) {
+		var nf, first int32 = 0, -1
+		for i := lo; i < hi; i++ {
+			c := m.ctxs[i]
+			c.reset()
+			body(c)
+			if c.fail != nil {
+				if first < 0 {
+					first = int32(i)
+				}
+				nf++
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+		m.failN[w], m.fail1[w] = nf, first
+	})
+	m.commitPhase(m.ctxs)
+}
 
-	m.commitPhase(ctxs)
+func (c *Ctx) reset() {
+	c.reads, c.wrs, c.ops = 0, 0, 0
+	c.readAddrs = c.readAddrs[:0]
+	c.writeAddrs = c.writeAddrs[:0]
+	c.writeVals = c.writeVals[:0]
+	c.fail = nil
+}
+
+// commitBuf is the reusable scratch of the sharded phase commit. Requests
+// are first bucketed by address shard (one bucket per merge-chunk × shard,
+// filled in processor order), then each shard is counted and resolved
+// independently over its private slice of the address-space scratch arrays.
+// Everything is retained across phases, so a steady-state phase allocates
+// nothing here.
+type commitBuf struct {
+	// Pass-1 buckets, indexed [chunk*numShards + shard].
+	rAddr, rProc [][]int32
+	wAddr, wProc [][]int32
+	wVal         [][]int64
+	// Per-chunk local-cost maxima.
+	mOp, mRW []int64
+	// Per-shard contention maxima and smallest violating cell (−1 = none).
+	kr, kw []int64
+	viol   []int32
+	// Address-space scratch: count holds +readers/−writers per cell, last
+	// the dedup mark (proc+1 for reads, −(proc+1) for writes); both are
+	// zeroed via the per-shard touched lists after every phase.
+	count, last []int32
+	touched     [][]int32
+}
+
+// ensure sizes the scratch for the current memory size and returns the
+// sharding and the number of pass-1 merge chunks.
+func (b *commitBuf) ensure(memSize, workers, p int) (sh sched.Sharding, nm int) {
+	nm = sched.NumBlocks(workers, p)
+	sh = sched.NewSharding(memSize, workers)
+	if nb := nm * sh.N; len(b.rAddr) < nb {
+		b.rAddr = growSlices(b.rAddr, nb)
+		b.rProc = growSlices(b.rProc, nb)
+		b.wAddr = growSlices(b.wAddr, nb)
+		b.wProc = growSlices(b.wProc, nb)
+		b.wVal = growSlices(b.wVal, nb)
+	}
+	if len(b.mOp) < nm {
+		b.mOp = make([]int64, nm)
+		b.mRW = make([]int64, nm)
+	}
+	if len(b.kr) < sh.N {
+		b.kr = make([]int64, sh.N)
+		b.kw = make([]int64, sh.N)
+		b.viol = make([]int32, sh.N)
+		b.touched = growSlices(b.touched, sh.N)
+	}
+	if len(b.count) < memSize {
+		b.count = make([]int32, memSize)
+		b.last = make([]int32, memSize)
+	}
+	return sh, nm
+}
+
+func growSlices[T any](s [][]T, n int) [][]T {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s
 }
 
 // commitPhase merges per-processor buffers, validates access rules, charges
-// the phase and applies writes.
+// the phase and applies writes. The merge runs in two parallel passes:
+// bucket requests by address shard (over processor chunks), then count
+// contention, resolve winners and detect violations per shard. Results are
+// identical for every Workers setting: buckets are filled in processor
+// order and scanned in chunk order, so the committed "arbitrary" winner is
+// always the last write of the highest-numbered processor.
 func (m *Machine) commitPhase(ctxs []*Ctx) {
-	var mOp, mRW int64
-	readCount := make(map[int32]int64)
-	writeCount := make(map[int32]int64)
-	// winner[a] = value committed to cell a: deterministic "arbitrary"
-	// winner = the write issued by the highest-numbered processor (last in
-	// processor order; within one processor, its last write to a).
-	winner := make(map[int32]int64)
-
-	// Contention is the number of *processors* accessing a cell (paper
-	// definition), so repeated requests by one processor to one cell are
-	// deduplicated for κ (they still count toward its m_rw).
-	var seen map[int32]bool
-	for _, c := range ctxs {
-		if c.fail != nil && m.err == nil {
-			m.err = c.fail
-		}
-		if c.ops > mOp {
-			mOp = c.ops
-		}
-		rw := c.reads
-		if c.wrs > rw {
-			rw = c.wrs
-		}
-		if rw > mRW {
-			mRW = rw
-		}
-		if len(c.readAddrs)+len(c.writeAddrs) > 1 {
-			seen = make(map[int32]bool, len(c.readAddrs)+len(c.writeAddrs))
-		} else {
-			seen = nil
-		}
-		for _, a := range c.readAddrs {
-			if seen != nil {
-				if seen[a] {
-					continue
-				}
-				seen[a] = true
+	// Failed processors short-circuit the commit: nothing is counted and no
+	// write commits. The first error in processor order wins; the number of
+	// other failing processors is preserved in the message. The per-chunk
+	// tallies were collected during body dispatch in Phase.
+	nfail, firstIdx := 0, -1
+	for w := 0; w < sched.NumBlocks(m.workers, len(ctxs)); w++ {
+		if m.failN[w] > 0 {
+			if firstIdx < 0 {
+				firstIdx = int(m.fail1[w])
 			}
-			readCount[a]++
-		}
-		for j, a := range c.writeAddrs {
-			winner[a] = c.writeVals[j]
-			if seen != nil {
-				// Writes and reads dedupe separately: offset write marks.
-				if seen[^a] {
-					continue
-				}
-				seen[^a] = true
-			}
-			writeCount[a]++
+			nfail += int(m.failN[w])
 		}
 	}
-	if m.err != nil {
+	if nfail > 0 {
+		first := ctxs[firstIdx].fail
+		if nfail > 1 {
+			m.err = fmt.Errorf("%w (and %d other processors failed)", first, nfail-1)
+		} else {
+			m.err = first
+		}
 		return
 	}
 
-	var kr, kw int64 = 0, 0
-	for a, n := range readCount {
-		if n > kr {
-			kr = n
+	b := &m.cb
+	sh, nm := b.ensure(len(m.mem), m.workers, len(ctxs))
+	ns := sh.N
+
+	// Pass 1: per-chunk cost maxima + requests bucketed by address shard.
+	sched.Blocks(m.workers, len(ctxs), func(w, lo, hi int) {
+		var mOp, mRW int64
+		base := w * ns
+		for i := lo; i < hi; i++ {
+			c := ctxs[i]
+			mOp = max(mOp, c.ops)
+			mRW = max(mRW, c.reads, c.wrs)
+			proc := int32(i)
+			for _, a := range c.readAddrs {
+				k := base + sh.Shard(a)
+				b.rAddr[k] = append(b.rAddr[k], a)
+				b.rProc[k] = append(b.rProc[k], proc)
+			}
+			for j, a := range c.writeAddrs {
+				k := base + sh.Shard(a)
+				b.wAddr[k] = append(b.wAddr[k], a)
+				b.wProc[k] = append(b.wProc[k], proc)
+				b.wVal[k] = append(b.wVal[k], c.writeVals[j])
+			}
 		}
-		if _, clash := writeCount[a]; clash {
-			m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
-				ErrViolation, a, m.report.NumPhases())
-			return
+		b.mOp[w], b.mRW[w] = mOp, mRW
+	})
+
+	// Pass 2: per-shard contention counting and violation detection.
+	// Contention is the number of *processors* accessing a cell (paper
+	// definition): duplicate requests by one processor dedupe via the last
+	// mark (they still count toward its m_rw). Within a shard all reads are
+	// scanned before all writes, so a positive count at a written cell means
+	// the cell was read this phase — the QSM's forbidden read+write mix.
+	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			var kr, kw int64
+			viol := int32(-1)
+			touched := b.touched[s][:0]
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				procs := b.rProc[k]
+				for j, a := range b.rAddr[k] {
+					pr := procs[j] + 1
+					if b.last[a] == pr {
+						continue
+					}
+					b.last[a] = pr
+					if b.count[a] == 0 {
+						touched = append(touched, a)
+					}
+					b.count[a]++
+					kr = max(kr, int64(b.count[a]))
+				}
+			}
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				procs := b.wProc[k]
+				for j, a := range b.wAddr[k] {
+					if b.count[a] > 0 {
+						if viol < 0 || a < viol {
+							viol = a
+						}
+						continue
+					}
+					pr := -(procs[j] + 1)
+					if b.last[a] == pr {
+						continue
+					}
+					b.last[a] = pr
+					if b.count[a] == 0 {
+						touched = append(touched, a)
+					}
+					b.count[a]--
+					kw = max(kw, int64(-b.count[a]))
+				}
+			}
+			b.kr[s], b.kw[s], b.viol[s] = kr, kw, viol
+			b.touched[s] = touched
+		}
+	})
+
+	var mOp, mRW int64
+	for w := 0; w < nm; w++ {
+		mOp = max(mOp, b.mOp[w])
+		mRW = max(mRW, b.mRW[w])
+	}
+	var kr, kw int64
+	violAddr := int32(-1)
+	for s := 0; s < ns; s++ {
+		kr = max(kr, b.kr[s])
+		kw = max(kw, b.kw[s])
+		if b.viol[s] >= 0 && (violAddr < 0 || b.viol[s] < violAddr) {
+			violAddr = b.viol[s]
 		}
 	}
-	for _, n := range writeCount {
-		if n > kw {
-			kw = n
-		}
+	if violAddr >= 0 {
+		m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
+			ErrViolation, violAddr, m.report.NumPhases())
+		m.finishCommit(nm, ns, false)
+		return
 	}
 	// A phase with no reads or writes has contention one by definition.
 	if kr == 0 && kw == 0 {
@@ -368,7 +515,7 @@ func (m *Machine) commitPhase(ctxs []*Ctx) {
 	pc := cost.PhaseCost{
 		MaxOps:          mOp,
 		MaxRW:           mRW,
-		Contention:      max64(kr, kw),
+		Contention:      max(kr, kw),
 		ReadContention:  kr,
 		WriteContention: kw,
 		Time:            t,
@@ -379,12 +526,42 @@ func (m *Machine) commitPhase(ctxs []*Ctx) {
 	if m.trace != nil {
 		m.trace.recordReads(m, ctxs)
 	}
-	for a, v := range winner {
-		m.mem[a] = v
-	}
+	m.finishCommit(nm, ns, true)
 	if m.trace != nil {
 		m.trace.recordCells(m)
 	}
+}
+
+// finishCommit applies the phase's writes (unless aborted by a violation)
+// and zeroes the scratch for the next phase, both in parallel over shards.
+// Buckets hold requests in ascending processor order and are replayed in
+// chunk order, so the last value stored per cell is the deterministic
+// winner: the final write of the highest-numbered processor.
+func (m *Machine) finishCommit(nm, ns int, applyWrites bool) {
+	b := &m.cb
+	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				if applyWrites {
+					vals := b.wVal[k]
+					for j, a := range b.wAddr[k] {
+						m.mem[a] = vals[j]
+					}
+				}
+				b.rAddr[k] = b.rAddr[k][:0]
+				b.rProc[k] = b.rProc[k][:0]
+				b.wAddr[k] = b.wAddr[k][:0]
+				b.wProc[k] = b.wProc[k][:0]
+				b.wVal[k] = b.wVal[k][:0]
+			}
+			for _, a := range b.touched[s] {
+				b.count[a] = 0
+				b.last[a] = 0
+			}
+			b.touched[s] = b.touched[s][:0]
+		}
+	})
 }
 
 // ForAll is a convenience wrapper: it runs a phase in which only processors
@@ -395,11 +572,4 @@ func (m *Machine) ForAll(active int, body func(c *Ctx)) {
 			body(c)
 		}
 	})
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package qsm
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -55,11 +56,49 @@ func TestLoadPeek(t *testing.T) {
 	if err := m.Load(7, []int64{1, 2}); err == nil {
 		t.Error("want out-of-range Load error")
 	}
+}
+
+func TestPeekOutOfRangeRecordsError(t *testing.T) {
+	cfg := Config{Rule: cost.RuleQSM, P: 2, G: 1, N: 4, MemCells: 8}
+
+	m := mk(t, cfg)
 	if got := m.Peek(-1); got != 0 {
 		t.Errorf("Peek(-1) = %d, want 0", got)
 	}
+	if err := m.Err(); err == nil {
+		t.Error("Peek(-1) must record a machine error")
+	}
+
+	m = mk(t, cfg)
 	if got := m.Peek(100); got != 0 {
 		t.Errorf("Peek(100) = %d, want 0", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("Peek(100) must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	if got := m.PeekRange(6, 3); len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("out-of-range PeekRange = %v, want zeroed slice", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("out-of-range PeekRange must record a machine error")
+	}
+
+	m = mk(t, cfg)
+	if got := m.PeekRange(0, -1); got != nil {
+		t.Errorf("negative-length PeekRange = %v, want nil", got)
+	}
+	if err := m.Err(); err == nil {
+		t.Error("negative-length PeekRange must record a machine error")
+	}
+
+	// In-range accessors on a fresh machine leave it healthy.
+	m = mk(t, cfg)
+	m.Peek(0)
+	m.PeekRange(0, 8)
+	if err := m.Err(); err != nil {
+		t.Errorf("in-range Peek/PeekRange recorded error: %v", err)
 	}
 }
 
@@ -320,6 +359,46 @@ func TestCommitMatchesSequentialProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The commit pipeline must produce identical memory and cost reports for
+// every Workers setting: winners are defined by processor id, contention by
+// the per-cell processor sets, neither by chunk layout. The workload mixes
+// contended writes (winner rule), contended reads, and per-processor
+// duplicates (κ dedup) over several phases so buffer reuse is covered too.
+func TestCommitDeterministicAcrossWorkers(t *testing.T) {
+	const p, mem, phases = 300, 128, 5
+	run := func(workers int) ([]int64, cost.Report) {
+		m := mk(t, Config{Rule: cost.RuleQSM, P: p, G: 2, N: p, MemCells: mem, Workers: workers})
+		for ph := 0; ph < phases; ph++ {
+			ph := ph
+			m.Phase(func(c *Ctx) {
+				i := c.Proc()
+				c.Read((i*7 + ph) % (mem / 2))
+				c.Read((i*7 + ph) % (mem / 2)) // duplicate: m_rw 2, κ 1
+				c.Write(mem/2+(i*3+ph)%(mem/2), int64(i*1000+ph))
+				if i%5 == 0 {
+					c.Write(mem/2+ph%(mem/2), int64(i)) // heavy contention on one cell
+				}
+			})
+		}
+		if m.Err() != nil {
+			t.Fatal(m.Err())
+		}
+		return m.PeekRange(0, mem), *m.Report()
+	}
+	seqMem, seqRep := run(1)
+	for _, w := range []int{2, 8} {
+		parMem, parRep := run(w)
+		for i := range seqMem {
+			if seqMem[i] != parMem[i] {
+				t.Fatalf("Workers=%d: cell %d = %d, want %d", w, i, parMem[i], seqMem[i])
+			}
+		}
+		if !reflect.DeepEqual(seqRep, parRep) {
+			t.Errorf("Workers=%d: report differs\nseq: %+v\npar: %+v", w, seqRep, parRep)
+		}
 	}
 }
 

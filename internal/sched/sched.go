@@ -1,0 +1,109 @@
+// Package sched provides the shared worker-pool machinery of the QSM, BSP
+// and GSM simulators: chunked dispatch of per-processor work and the
+// address-range sharding used by the parallel phase-commit pipeline.
+//
+// All three simulators follow the same execution shape. A phase (or BSP
+// superstep) runs processor programs concurrently over contiguous chunks of
+// the processor range; the per-processor request buffers are then merged at
+// the barrier by a second parallel pass over contiguous shards of the
+// address space. Both passes dispatch through Blocks, so the chunk layout —
+// and with it the deterministic merge order — is identical everywhere.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalises a configured worker count: values < 1 mean GOMAXPROCS.
+func Workers(configured int) int {
+	if configured < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return configured
+}
+
+// chunkSize returns the per-chunk width Blocks uses: ⌈n/min(workers, n)⌉.
+func chunkSize(workers, n int) int {
+	nb := min(max(workers, 1), n)
+	return (n + nb - 1) / nb
+}
+
+// NumBlocks returns the exact number of non-empty contiguous chunks that
+// Blocks splits [0, n) into for the given worker count. This can be less
+// than min(workers, n): with workers=13, n=105 the chunk width rounds up
+// to 9 and only ⌈105/9⌉ = 12 chunks are dispatched.
+func NumBlocks(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := chunkSize(workers, n)
+	return (n + c - 1) / c
+}
+
+// Blocks partitions [0, n) into NumBlocks(workers, n) contiguous chunks and
+// invokes fn(w, lo, hi) once per chunk, concurrently. Chunk w covers
+// processors [w·⌈n/W⌉, min((w+1)·⌈n/W⌉, n)), so chunk indexes ascend with
+// the processor range — callers rely on that for deterministic merges.
+// Blocks returns after every chunk has completed. With a single chunk fn
+// runs inline on the calling goroutine (no spawn), which keeps small-p
+// simulations (the proof-machinery enumerations) allocation-free here.
+func Blocks(workers, n int, fn func(w, lo, hi int)) {
+	nb := NumBlocks(workers, n)
+	if nb == 0 {
+		return
+	}
+	if nb == 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := chunkSize(workers, n)
+	var wg sync.WaitGroup
+	for w := 0; w*chunk < n; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Sharding describes a partition of an address space [0, size) into
+// contiguous power-of-two-sized shards, used to route memory requests to
+// independent merge workers at the phase barrier.
+type Sharding struct {
+	// Shift is the right-shift mapping an address to its shard index.
+	Shift uint
+	// N is the number of shards: ((size-1) >> Shift) + 1.
+	N int
+}
+
+// NewSharding partitions [0, size) into at most maxShards contiguous
+// shards. With size ≤ 0 or maxShards ≤ 1 the whole space is one shard.
+// Addresses are int32, so shift 32 maps everything to shard 0 without
+// overflowing Range arithmetic.
+func NewSharding(size, maxShards int) Sharding {
+	if size <= 0 || maxShards <= 1 {
+		return Sharding{Shift: 32, N: 1}
+	}
+	// Smallest power-of-two shard width w with size/w ≤ maxShards.
+	var shift uint
+	for (size-1)>>shift >= maxShards {
+		shift++
+	}
+	return Sharding{Shift: shift, N: ((size - 1) >> shift) + 1}
+}
+
+// Shard returns the shard index of an address.
+func (s Sharding) Shard(addr int32) int { return int(uint32(addr) >> s.Shift) }
+
+// Range returns the half-open address range [lo, hi) covered by shard i,
+// clipped to the given address-space size.
+func (s Sharding) Range(i, size int) (lo, hi int) {
+	lo = i << s.Shift
+	hi = min((i+1)<<s.Shift, size)
+	return lo, hi
+}

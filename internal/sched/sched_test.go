@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d, want 3", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1 (GOMAXPROCS)", got)
+	}
+	if got := Workers(-2); got < 1 {
+		t.Errorf("Workers(-2) = %d, want >= 1", got)
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{4, 100, 4},
+		{4, 3, 3},
+		{4, 0, 0},
+		{4, -1, 0},
+		{0, 10, 1},
+		{1, 10, 1},
+	}
+	for _, c := range cases {
+		if got := NumBlocks(c.workers, c.n); got != c.want {
+			t.Errorf("NumBlocks(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// Blocks must cover [0, n) exactly once with ascending, contiguous chunks
+// whose indexes match the w argument.
+func TestBlocksCoverage(t *testing.T) {
+	f := func(workers uint8, n uint16) bool {
+		w, nn := int(workers%16)+1, int(n%2048)
+		var mu sync.Mutex
+		type chunk struct{ w, lo, hi int }
+		var chunks []chunk
+		Blocks(w, nn, func(w, lo, hi int) {
+			mu.Lock()
+			chunks = append(chunks, chunk{w, lo, hi})
+			mu.Unlock()
+		})
+		if nn == 0 {
+			return len(chunks) == 0
+		}
+		if len(chunks) != NumBlocks(w, nn) {
+			return false
+		}
+		seen := make([]bool, nn)
+		for _, c := range chunks {
+			if c.lo >= c.hi || c.lo != c.w*chunkSize(w, nn) {
+				return false
+			}
+			for i := c.lo; i < c.hi; i++ {
+				if i < 0 || i >= nn || seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksSingleChunkRunsInline(t *testing.T) {
+	calls := 0
+	Blocks(1, 57, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 57 {
+			t.Errorf("single chunk = (%d, %d, %d), want (0, 0, 57)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+}
+
+// Every address in [0, size) must land in exactly the shard whose Range
+// covers it, and shard count must respect maxShards.
+func TestShardingProperties(t *testing.T) {
+	f := func(size uint16, maxShards uint8) bool {
+		sz, ms := int(size%4096)+1, int(maxShards%32)
+		s := NewSharding(sz, ms)
+		if ms > 1 && s.N > ms {
+			return false
+		}
+		if s.N < 1 {
+			return false
+		}
+		for a := 0; a < sz; a++ {
+			i := s.Shard(int32(a))
+			if i < 0 || i >= s.N {
+				return false
+			}
+			lo, hi := s.Range(i, sz)
+			if a < lo || a >= hi {
+				return false
+			}
+		}
+		// Ranges tile [0, sz) without gaps or overlap.
+		next := 0
+		for i := 0; i < s.N; i++ {
+			lo, hi := s.Range(i, sz)
+			if lo != next || hi < lo {
+				return false
+			}
+			next = hi
+		}
+		return next == sz
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardingDegenerate(t *testing.T) {
+	for _, s := range []Sharding{NewSharding(0, 8), NewSharding(100, 1), NewSharding(-5, 0)} {
+		if s.N != 1 {
+			t.Errorf("degenerate sharding N = %d, want 1", s.N)
+		}
+		if got := s.Shard(12345); got != 0 {
+			t.Errorf("degenerate Shard = %d, want 0", got)
+		}
+		lo, hi := s.Range(0, 100)
+		if lo != 0 || hi != 100 {
+			t.Errorf("degenerate Range = [%d, %d), want [0, 100)", lo, hi)
+		}
+	}
+}
