@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	parsim -model sqsm -alg parity -n 1024 -p 1024 -g 4 [-L 16] [-fanin 2] [-seed 7] [-v]
+//	parsim -model sqsm -alg parity -n 1024 -p 1024 -g 4 [-L 16] [-fanin 2] [-seed 7] [-v] [-events]
+//
+// -v prints the per-phase cost table; -events additionally prints the
+// model-generic observer event stream (every committed request in
+// deterministic order), which is practical for small n only.
 //
 // Models: qsm, sqsm, crqw, qsmgd (with -d), bsp, gsm (with -alpha/-beta/
 // -gamma). Algorithms: parity, or, or-contention, prefix, lac-det,
@@ -33,12 +37,13 @@ func main() {
 	fanin := flag.Int("fanin", 2, "tree fan-in")
 	seed := flag.Int64("seed", 7, "workload seed")
 	verbose := flag.Bool("v", false, "print the per-phase table")
+	events := flag.Bool("events", false, "print the structured per-phase event stream (small n only)")
 	flag.Parse()
 
 	cfg := config{
 		model: *model, alg: *alg, n: *n, p: *p, g: *g, d: *d, l: *l,
 		alpha: *alpha, beta: *beta, gamma: *gamma,
-		fanin: *fanin, seed: *seed, verbose: *verbose,
+		fanin: *fanin, seed: *seed, verbose: *verbose, events: *events,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "parsim:", err)
@@ -53,19 +58,34 @@ type config struct {
 	fanin                       int
 	seed                        int64
 	verbose                     bool
+	events                      bool
+}
+
+// observe attaches an event log to any machine when -events is set.
+func (cfg config) observe(m repro.Machine) *repro.EventLog {
+	if !cfg.events {
+		return nil
+	}
+	return repro.Observe(m)
+}
+
+func printEvents(ev *repro.EventLog) {
+	if ev != nil {
+		fmt.Println(ev.String())
+	}
 }
 
 func run(cfg config) error {
 	model, alg := cfg.model, cfg.alg
 	n, p := cfg.n, cfg.p
-	g, l, fanin, seed, verbose := cfg.g, cfg.l, cfg.fanin, cfg.seed, cfg.verbose
+	g, fanin, seed, verbose := cfg.g, cfg.fanin, cfg.seed, cfg.verbose
 	if p == 0 {
 		p = n
 	}
 	bits := repro.RandomBits(seed, n)
 
 	if model == "bsp" {
-		return runBSP(alg, n, p, g, l, fanin, seed, verbose)
+		return runBSP(cfg, p)
 	}
 	if model == "gsm" {
 		return runGSM(cfg)
@@ -88,6 +108,7 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	ev := cfg.observe(m)
 
 	var answer int64
 	switch alg {
@@ -161,6 +182,7 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+		ev = cfg.observe(m2)
 		if err := m2.Load(0, bits); err != nil {
 			return err
 		}
@@ -178,10 +200,13 @@ func run(cfg config) error {
 	if verbose {
 		fmt.Print(m.Report().Table())
 	}
+	printEvents(ev)
 	return nil
 }
 
-func runBSP(alg string, n, p int, g, l int64, fanin int, seed int64, verbose bool) error {
+func runBSP(cfg config, p int) error {
+	alg, n := cfg.alg, cfg.n
+	g, l, fanin, seed, verbose := cfg.g, cfg.l, cfg.fanin, cfg.seed, cfg.verbose
 	bits := repro.RandomBits(seed, n)
 	var priv int
 	switch alg {
@@ -196,6 +221,7 @@ func runBSP(alg string, n, p int, g, l int64, fanin int, seed int64, verbose boo
 	if err != nil {
 		return err
 	}
+	ev := cfg.observe(m)
 	if err := m.Scatter(bits); err != nil {
 		return err
 	}
@@ -217,6 +243,7 @@ func runBSP(alg string, n, p int, g, l int64, fanin int, seed int64, verbose boo
 	if verbose {
 		fmt.Print(m.Report().Table())
 	}
+	printEvents(ev)
 	return nil
 }
 
@@ -232,6 +259,7 @@ func runGSM(cfg config) error {
 	if err != nil {
 		return err
 	}
+	ev := cfg.observe(m)
 	if err := m.LoadInputs(bits); err != nil {
 		return err
 	}
@@ -255,5 +283,6 @@ func runGSM(cfg config) error {
 	if cfg.verbose {
 		fmt.Print(m.Report().Table())
 	}
+	printEvents(ev)
 	return nil
 }

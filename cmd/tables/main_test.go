@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables file from the current output")
+
+// goldenSeed matches the default -seed of the command and the record in
+// EXPERIMENTS.md.
+const goldenSeed = 1998
+
+// TestTablesGolden locks the full Table 1 rendering byte-for-byte. The
+// experiment engine, the simulators and the renderer all feed this output,
+// so any refactor of the machine runtime that changes a single cost unit —
+// or a single byte of formatting — fails here. Regenerate deliberately
+// with:
+//
+//	go test ./cmd/tables -run TestTablesGolden -update
+func TestTablesGolden(t *testing.T) {
+	out, err := repro.RenderTables(goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", fmt.Sprintf("tables_seed%d.golden", goldenSeed))
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if out == string(want) {
+		return
+	}
+	gotLines := strings.Split(out, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("tables output diverges from golden at line %d:\ngot:  %q\nwant: %q",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("tables output length differs from golden: %d lines vs %d", len(gotLines), len(wantLines))
+}

@@ -236,6 +236,113 @@ func runParityGSM(t *testing.T, workers int) (res int64, cells []gsm.Info, rep c
 	return res, cells, *m.Report(), proc, cell
 }
 
+// eventStream runs a small algorithm on a freshly built machine with the
+// given worker count and returns its observer event stream. The streams
+// are the engine's strongest determinism artifact: every committed
+// request, in order, with rendered payloads.
+func eventStream(t *testing.T, build func(workers int) (Machine, func() error)) func(int) []string {
+	t.Helper()
+	return func(workers int) []string {
+		m, run := build(workers)
+		ev := Observe(m)
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Lines
+	}
+}
+
+// TestDeterminismEventStreams asserts, for one algorithm per model, that
+// the full observer event stream is identical between Workers=1 and
+// Workers=N. It runs under -race in CI, so it also exercises the
+// emit-from-coordinator contract.
+func TestDeterminismEventStreams(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(workers int) (Machine, func() error)
+	}{
+		{"QSM/parity-tree", func(workers int) (Machine, func() error) {
+			const n = 256
+			in := workload.Bits(5, n)
+			m, err := qsm.New(qsm.Config{
+				Rule: cost.RuleQSM, P: n, G: 2, N: n, MemCells: 2 * n, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func() error {
+				if err := m.Load(0, in); err != nil {
+					return err
+				}
+				_, err := parity.TreeQSM(m, 0, n, 4)
+				return err
+			}
+		}},
+		{"BSP/parity", func(workers int) (Machine, func() error) {
+			const n, p = 256, 16
+			in := workload.Bits(5, n)
+			m, err := bsp.New(bsp.Config{
+				P: p, G: 2, L: 8, N: n,
+				PrivCells: parity.PrivNeedBSP(n, p), Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func() error {
+				if err := m.Scatter(in); err != nil {
+					return err
+				}
+				_, err := parity.RunBSP(m, n, 4)
+				return err
+			}
+		}},
+		{"GSM/parity-gather", func(workers int) (Machine, func() error) {
+			const n, gamma = 128, 2
+			in := workload.Bits(5, n)
+			r := (n + gamma - 1) / gamma
+			m, err := gsm.New(gsm.Config{
+				P: r, Alpha: 2, Beta: 3, Gamma: gamma, N: n,
+				Cells: gsmalg.CellsNeedGather(r), Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func() error {
+				if err := m.LoadInputs(in); err != nil {
+					return err
+				}
+				_, err := gsmalg.ParityGSM(m, n, 4)
+				return err
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stream := eventStream(t, tc.build)
+			seq := stream(1)
+			par := stream(detWorkers)
+			if len(seq) == 0 {
+				t.Fatal("empty event stream")
+			}
+			if !reflect.DeepEqual(seq, par) {
+				for i := range seq {
+					if i >= len(par) {
+						break
+					}
+					if seq[i] != par[i] {
+						t.Fatalf("event streams diverge at line %d:\nWorkers=1: %q\nWorkers=%d: %q",
+							i, seq[i], detWorkers, par[i])
+					}
+				}
+				t.Fatalf("event stream lengths differ: %d vs %d", len(seq), len(par))
+			}
+		})
+	}
+}
+
 func TestDeterminismParityGSM(t *testing.T) {
 	seqRes, seqCells, seqRep, seqProc, seqCell := runParityGSM(t, 1)
 	parRes, parCells, parRep, parProc, parCell := runParityGSM(t, detWorkers)

@@ -21,13 +21,18 @@
 //
 // An input of size n is partitioned uniformly: component i is assigned
 // either ⌈n/p⌉ or ⌊n/p⌋ inputs (Block distribution helpers below).
+//
+// The superstep lifecycle — dispatch, h-relation measurement, the sharded
+// deterministic routing commit and observer events — lives in
+// internal/engine; this package is the model adapter binding that runtime
+// to BSP components, private memories and the max(w, g·h, L) cost rule.
 package bsp
 
 import (
 	"fmt"
 
 	"repro/internal/cost"
-	"repro/internal/sched"
+	"repro/internal/engine"
 )
 
 // Message is a point-to-point BSP message.
@@ -40,28 +45,13 @@ type Message struct {
 	Val int64
 }
 
-// Machine is a BSP machine instance.
+// Machine is a BSP machine instance: the engine's message-routing runtime
+// over per-component private memories.
 type Machine struct {
-	params cost.Params
-	n      int
-	priv   [][]int64 // per-component private memory
-	inbox  [][]Message
-	report cost.Report
-	err    error
-
-	workers int
-
-	// ctxs is the per-machine free list of superstep contexts, reset and
-	// reused every superstep so send buffers keep their capacity.
-	ctxs []*Ctx
-	// failN/fail1 are per-chunk failure tallies (count, first failing
-	// component index or -1), collected during body dispatch.
-	failN, fail1 []int32
-	// spare ping-pongs with inbox: last superstep's inbox slices are
-	// truncated and refilled as the next superstep's delivery target.
-	spare [][]Message
-	// cb holds the reusable scratch of the sharded routing commit.
-	cb routeBuf
+	engine.Route[Message]
+	priv  [][]int64 // per-component private memory
+	trace *Trace
+	ctxs  []Ctx
 }
 
 // Config parameterises a BSP machine.
@@ -83,30 +73,14 @@ type Config struct {
 // memories.
 func New(c Config) (*Machine, error) {
 	p := cost.Params{G: c.G, L: c.L, P: c.P}
-	if err := p.Validate(); err != nil {
+	if err := engine.ValidateConfig("bsp", p, c.N, c.PrivCells, c.Workers, true); err != nil {
 		return nil, err
 	}
-	if c.L < 1 {
-		return nil, fmt.Errorf("bsp: latency L must be ≥ 1, got %d", c.L)
-	}
-	if c.N < 1 {
-		return nil, fmt.Errorf("bsp: input size N must be ≥ 1, got %d", c.N)
-	}
-	if c.PrivCells < 0 {
-		return nil, fmt.Errorf("bsp: negative private memory %d", c.PrivCells)
-	}
-	m := &Machine{
-		params:  p,
-		n:       c.N,
-		priv:    make([][]int64, c.P),
-		inbox:   make([][]Message, c.P),
-		spare:   make([][]Message, c.P),
-		workers: sched.Workers(c.Workers),
-	}
+	m := &Machine{priv: make([][]int64, c.P)}
 	for i := range m.priv {
 		m.priv[i] = make([]int64, c.PrivCells)
 	}
-	m.report = cost.Report{Model: "BSP", N: c.N, Params: p}
+	m.InitRoute(bspModel{m}, p, c.N, c.Workers)
 	return m, nil
 }
 
@@ -119,23 +93,11 @@ func MustNew(c Config) *Machine {
 	return m
 }
 
-// P returns the number of components.
-func (m *Machine) P() int { return m.params.P }
-
 // G returns the bandwidth parameter.
-func (m *Machine) G() int64 { return m.params.G }
+func (m *Machine) G() int64 { return m.Params().G }
 
 // L returns the latency parameter.
-func (m *Machine) L() int64 { return m.params.L }
-
-// N returns the declared input size.
-func (m *Machine) N() int { return m.n }
-
-// Err returns the first simulation error, if any.
-func (m *Machine) Err() error { return m.err }
-
-// Report returns the accumulated cost report.
-func (m *Machine) Report() *cost.Report { return &m.report }
+func (m *Machine) L() int64 { return m.Params().L }
 
 // BlockRange returns the half-open index range [lo, hi) of the inputs
 // assigned to component i under the paper's uniform partition: each
@@ -154,11 +116,11 @@ func BlockRange(n, p, i int) (lo, hi int) {
 // distribution: component i receives input[lo:hi] at private addresses
 // 0..hi-lo-1. Loading the input is not charged (it is the initial state).
 func (m *Machine) Scatter(input []int64) error {
-	if len(input) != m.n {
-		return fmt.Errorf("bsp: Scatter input length %d ≠ N %d", len(input), m.n)
+	if len(input) != m.N() {
+		return fmt.Errorf("bsp: Scatter input length %d ≠ N %d", len(input), m.N())
 	}
-	for i := 0; i < m.params.P; i++ {
-		lo, hi := BlockRange(m.n, m.params.P, i)
+	for i := 0; i < m.P(); i++ {
+		lo, hi := BlockRange(m.N(), m.P(), i)
 		if hi-lo > len(m.priv[i]) {
 			return fmt.Errorf("bsp: component %d private memory %d too small for block %d",
 				i, len(m.priv[i]), hi-lo)
@@ -173,33 +135,23 @@ func (m *Machine) Scatter(input []int64) error {
 // host-side bug: it records a machine error (first error wins) and returns
 // 0, so algorithm mistakes cannot be masked by phantom zeros.
 func (m *Machine) Peek(comp, addr int) int64 {
-	if comp < 0 || comp >= m.params.P {
-		m.recordErr(fmt.Errorf("bsp: Peek out of range: component %d of %d", comp, m.params.P))
+	if comp < 0 || comp >= m.P() {
+		m.RecordErr(fmt.Errorf("bsp: Peek out of range: component %d of %d", comp, m.P()))
 		return 0
 	}
 	if addr < 0 || addr >= len(m.priv[comp]) {
-		m.recordErr(fmt.Errorf("bsp: Peek out of range: component %d cell %d of %d",
+		m.RecordErr(fmt.Errorf("bsp: Peek out of range: component %d cell %d of %d",
 			comp, addr, len(m.priv[comp])))
 		return 0
 	}
 	return m.priv[comp][addr]
 }
 
-// recordErr poisons the machine with the first host-side error observed.
-func (m *Machine) recordErr(err error) {
-	if m.err == nil {
-		m.err = err
-	}
-}
-
 // Ctx is the per-component handle inside a superstep.
 type Ctx struct {
 	comp int
 	m    *Machine
-	work int64
-	out  []Message // staged sends, grouped later
-	dst  []int32
-	fail error
+	s    *engine.Sends[Message]
 }
 
 // Comp returns this component's index.
@@ -212,26 +164,23 @@ func (c *Ctx) Priv() []int64 { return c.m.priv[c.comp] }
 // Incoming returns the messages delivered to this component at the start of
 // the superstep (i.e. sent during the previous superstep), in deterministic
 // order (sorted by sender, then arrival order at the sender).
-func (c *Ctx) Incoming() []Message { return c.m.inbox[c.comp] }
+func (c *Ctx) Incoming() []Message { return c.m.Route.Incoming(c.comp) }
 
 // Work charges k units of local computation.
 func (c *Ctx) Work(k int) {
 	if k > 0 {
-		c.work += int64(k)
+		c.s.AddWork(int64(k))
 	}
 }
 
 // Send stages a message to component dst; it is delivered at the start of
 // the next superstep.
 func (c *Ctx) Send(dst int, tag, val int64) {
-	if dst < 0 || dst >= c.m.params.P {
-		if c.fail == nil {
-			c.fail = fmt.Errorf("bsp: component %d sends to invalid component %d", c.comp, dst)
-		}
+	if dst < 0 || dst >= c.m.P() {
+		c.s.Fail(fmt.Errorf("bsp: component %d sends to invalid component %d", c.comp, dst))
 		return
 	}
-	c.out = append(c.out, Message{From: c.comp, Tag: tag, Val: val})
-	c.dst = append(c.dst, int32(dst))
+	c.s.Stage(int32(dst), Message{From: c.comp, Tag: tag, Val: val})
 }
 
 // Superstep runs one superstep: body is invoked once per component
@@ -240,206 +189,43 @@ func (c *Ctx) Send(dst int, tag, val int64) {
 // are routed into the inboxes for the next superstep by the sharded
 // routing commit.
 func (m *Machine) Superstep(body func(c *Ctx)) {
-	if m.err != nil {
-		return
-	}
-	p := m.params.P
 	if m.ctxs == nil {
-		m.ctxs = make([]*Ctx, p)
+		m.ctxs = make([]Ctx, m.P())
 		for i := range m.ctxs {
-			m.ctxs[i] = &Ctx{comp: i, m: m}
+			m.ctxs[i] = Ctx{comp: i, m: m}
 		}
 	}
-	// Failure detection rides along with the body dispatch (the ctxs are
-	// cache-hot here), recorded per chunk and merged in commit.
-	nb := sched.NumBlocks(m.workers, p)
-	if len(m.failN) < nb {
-		m.failN = make([]int32, nb)
-		m.fail1 = make([]int32, nb)
-	}
-	sched.Blocks(m.workers, p, func(w, lo, hi int) {
-		var nf, first int32 = 0, -1
-		for i := lo; i < hi; i++ {
-			c := m.ctxs[i]
-			c.reset()
-			body(c)
-			if c.fail != nil {
-				if first < 0 {
-					first = int32(i)
-				}
-				nf++
-			}
-		}
-		m.failN[w], m.fail1[w] = nf, first
+	m.Route.Superstep(func(i int, s *engine.Sends[Message]) {
+		c := &m.ctxs[i]
+		c.s = s
+		body(c)
 	})
-	m.commit(m.ctxs)
 }
 
-func (c *Ctx) reset() {
-	c.work = 0
-	c.out = c.out[:0]
-	c.dst = c.dst[:0]
-	c.fail = nil
+// bspModel binds the engine's message-routing runtime to the BSP cost
+// rule and round definition.
+type bspModel struct{ m *Machine }
+
+func (md bspModel) Name() string   { return "BSP" }
+func (md bspModel) Entity() string { return "component" }
+
+func (md bspModel) Render(msg Message) string {
+	return fmt.Sprintf("from=%d tag=%d val=%d", msg.From, msg.Tag, msg.Val)
 }
 
-// routeBuf is the reusable scratch of the sharded message-routing commit.
-// Staged sends are first bucketed by destination shard (one bucket per
-// merge-chunk × shard, filled in sender order), then each destination
-// shard counts its fan-in and fills its inboxes independently.
-type routeBuf struct {
-	// Buckets, indexed [chunk*numShards + shard].
-	msg [][]Message
-	dst [][]int32
-	// Per-chunk maximum local work.
-	work []int64
-	// Per-component send counts (pass 1, chunk-disjoint) and receive
-	// counts (pass 2, shard-disjoint).
-	sent, recv []int64
-	// Per-shard receive maxima.
-	hrecv []int64
-}
-
-func (b *routeBuf) ensure(p, nm, ns int) {
-	if nb := nm * ns; len(b.msg) < nb {
-		for len(b.msg) < nb {
-			b.msg = append(b.msg, nil)
-			b.dst = append(b.dst, nil)
-		}
-	}
-	if len(b.work) < nm {
-		b.work = make([]int64, nm)
-	}
-	if len(b.sent) < p {
-		b.sent = make([]int64, p)
-		b.recv = make([]int64, p)
-	}
-	if len(b.hrecv) < ns {
-		b.hrecv = make([]int64, ns)
-	}
-}
-
-// commit measures the h-relation, charges the superstep and routes staged
-// messages. Buckets are filled in sender order and replayed in chunk
-// order, so each inbox receives its messages grouped by ascending sender
-// id — the same deterministic delivery order for every Workers setting.
-func (m *Machine) commit(ctxs []*Ctx) {
-	// Failed components short-circuit the commit: nothing is routed. The
-	// first error in component order wins; the number of other failing
-	// components is preserved in the message. The per-chunk tallies were
-	// collected during body dispatch in Superstep.
-	nfail, firstIdx := 0, -1
-	for w := 0; w < sched.NumBlocks(m.workers, len(ctxs)); w++ {
-		if m.failN[w] > 0 {
-			if firstIdx < 0 {
-				firstIdx = int(m.fail1[w])
-			}
-			nfail += int(m.failN[w])
-		}
-	}
-	if nfail > 0 {
-		first := ctxs[firstIdx].fail
-		if nfail > 1 {
-			m.err = fmt.Errorf("%w (and %d other components failed)", first, nfail-1)
-		} else {
-			m.err = first
-		}
-		return
-	}
-
-	p := m.params.P
-	b := &m.cb
-	nm := sched.NumBlocks(m.workers, p)
-	sh := sched.NewSharding(p, m.workers)
-	ns := sh.N
-	b.ensure(p, nm, ns)
-
-	// Pass 1: per-chunk work maxima, send counts, and messages bucketed by
-	// destination shard.
-	sched.Blocks(m.workers, p, func(w, lo, hi int) {
-		var work int64
-		base := w * ns
-		for i := lo; i < hi; i++ {
-			c := ctxs[i]
-			work = max(work, c.work)
-			b.sent[i] = int64(len(c.out))
-			for j, msg := range c.out {
-				d := c.dst[j]
-				k := base + sh.Shard(d)
-				b.msg[k] = append(b.msg[k], msg)
-				b.dst[k] = append(b.dst[k], d)
-			}
-		}
-		b.work[w] = work
-	})
-
-	// Pass 2: per-destination-shard fan-in counting and inbox filling.
-	// Inbox slices ping-pong with m.spare, so steady-state supersteps
-	// reuse the previous-but-one superstep's backing arrays.
-	next := m.spare
-	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
-		for s := slo; s < shi; s++ {
-			dlo, dhi := sh.Range(s, p)
-			for d := dlo; d < dhi; d++ {
-				b.recv[d] = 0
-			}
-			for w := 0; w < nm; w++ {
-				for _, d := range b.dst[w*ns+s] {
-					b.recv[d]++
-				}
-			}
-			var hr int64
-			for d := dlo; d < dhi; d++ {
-				hr = max(hr, b.recv[d])
-				next[d] = next[d][:0]
-			}
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				dsts := b.dst[k]
-				for j, msg := range b.msg[k] {
-					d := dsts[j]
-					next[d] = append(next[d], msg)
-				}
-				b.msg[k] = b.msg[k][:0]
-				b.dst[k] = b.dst[k][:0]
-			}
-			b.hrecv[s] = hr
-		}
-	})
-
-	var w, h int64
-	for i := 0; i < nm; i++ {
-		w = max(w, b.work[i])
-	}
-	for i := 0; i < p; i++ {
-		h = max(h, b.sent[i])
-	}
-	for s := 0; s < ns; s++ {
-		h = max(h, b.hrecv[s])
-	}
-
-	t := cost.Time(max(w, m.params.G*h, m.params.L))
-	np := max(int64(m.n)/int64(p), 1)
+// PhaseCost charges max(w, g·h, L); a superstep is a round iff it routes
+// an O(n/p)-relation and does O(gn/p + L) work.
+func (md bspModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	pr := md.m.Params()
+	w, h := o.MaxOps, o.MaxRW
+	t := cost.Time(max(w, pr.G*h, pr.L))
+	np := max(int64(md.m.N())/int64(pr.P), 1)
 	isRound := h <= cost.RoundSlack*np &&
-		w <= cost.RoundSlack*(m.params.G*np)+m.params.L
-	m.report.Add(cost.PhaseCost{
+		w <= cost.RoundSlack*(pr.G*np)+pr.L
+	return cost.PhaseCost{
 		MaxOps:  w,
 		MaxRW:   h,
 		Time:    t,
 		IsRound: isRound,
-	})
-
-	m.spare = m.inbox
-	m.inbox = next
-}
-
-func countFails(ctxs []*Ctx) (nfail int, first error) {
-	for _, c := range ctxs {
-		if c.fail != nil {
-			if first == nil {
-				first = c.fail
-			}
-			nfail++
-		}
 	}
-	return nfail, first
 }

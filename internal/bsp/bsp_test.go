@@ -23,6 +23,7 @@ func TestNewValidation(t *testing.T) {
 		{P: 1, G: 1, L: 0, N: 1}, // L < 1
 		{P: 1, G: 1, L: 1, N: 0}, // n < 1
 		{P: 1, G: 1, L: 1, N: 1, PrivCells: -1},
+		{P: 1, G: 1, L: 1, N: 1, Workers: -1},
 	}
 	for i, c := range bad {
 		if _, err := New(c); err == nil {

@@ -1,0 +1,135 @@
+package bsp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+)
+
+// Trace records, for a traced run, the superstep-level events of a BSP
+// computation: each component's staged sends, the messages routed to each
+// component (its inbox delta — what arrives for the next superstep), and
+// the measured h-relation per superstep.
+//
+// Trace is an engine.Observer built on the same event stream as the
+// qsm/gsm traces, which is what gives BSP the Section 5 knowledge
+// machinery for free: ProcKey encodes everything a component observed
+// through superstep t (the messages delivered to it), and CellKey treats
+// a component's inbox as the "cell" whose contents close each superstep.
+// Supersteps that fail are never recorded, exactly the supersteps that
+// never commit.
+type Trace struct {
+	m *Machine
+	// pendingSend[p] / pendingRecv[p] accumulate the current superstep.
+	pendingSend [][]string
+	pendingRecv [][]string
+	// sends[t][p] is the rendered list of messages component p staged in
+	// superstep t, in issue order.
+	sends [][][]string
+	// recv[t][p] is the rendered list of messages routed to component p in
+	// superstep t (delivered at the start of superstep t+1), grouped by
+	// ascending sender.
+	recv [][][]string
+	// hrel[t] is the measured h-relation of superstep t.
+	hrel []int64
+}
+
+// EnableTracing switches on trace recording; call before the first
+// superstep. Tracing renders every message, so it is intended for the
+// small-n proof-machinery experiments.
+func (m *Machine) EnableTracing() {
+	m.trace = &Trace{m: m}
+	m.AddObserver(m.trace)
+}
+
+// TraceLog returns the recorded trace, or nil if tracing was off.
+func (m *Machine) TraceLog() *Trace { return m.trace }
+
+// PhaseStart implements engine.Observer.
+func (tr *Trace) PhaseStart(int) {
+	p := tr.m.P()
+	tr.pendingSend = make([][]string, p)
+	tr.pendingRecv = make([][]string, p)
+}
+
+// Request implements engine.Observer: each send event is recorded twice —
+// under its sender (in issue order) and under its destination (in the
+// deterministic delivery order: ascending sender, then issue order).
+func (tr *Trace) Request(_ int, r engine.Request) {
+	if r.Kind != engine.KindSend {
+		return
+	}
+	tr.pendingSend[r.Proc] = append(tr.pendingSend[r.Proc],
+		fmt.Sprintf("→%d %s", r.Addr, r.Payload))
+	tr.pendingRecv[r.Addr] = append(tr.pendingRecv[r.Addr], r.Payload)
+}
+
+// PhaseEnd implements engine.Observer: the superstep committed, so the
+// pending send/delivery records and the measured h-relation become the
+// superstep's trace entry.
+func (tr *Trace) PhaseEnd(_ int, pc cost.PhaseCost) {
+	tr.sends = append(tr.sends, tr.pendingSend)
+	tr.recv = append(tr.recv, tr.pendingRecv)
+	tr.hrel = append(tr.hrel, pc.MaxRW)
+	tr.pendingSend, tr.pendingRecv = nil, nil
+}
+
+// NumPhases returns the number of recorded supersteps.
+func (tr *Trace) NumPhases() int { return len(tr.recv) }
+
+// Sends returns the rendered messages component p staged in superstep t,
+// in issue order (nil out of range).
+func (tr *Trace) Sends(p, t int) []string {
+	if t < 0 || t >= len(tr.sends) || p < 0 || p >= len(tr.sends[t]) {
+		return nil
+	}
+	return tr.sends[t][p]
+}
+
+// Delivered returns the rendered messages routed to component p in
+// superstep t — its inbox at the start of superstep t+1 (nil out of
+// range).
+func (tr *Trace) Delivered(p, t int) []string {
+	if t < 0 || t >= len(tr.recv) || p < 0 || p >= len(tr.recv[t]) {
+		return nil
+	}
+	return tr.recv[t][p]
+}
+
+// HRelation returns the measured h-relation of superstep t (0 out of
+// range).
+func (tr *Trace) HRelation(t int) int64 {
+	if t < 0 || t >= len(tr.hrel) {
+		return 0
+	}
+	return tr.hrel[t]
+}
+
+// ProcKey canonically encodes Trace(p, t, f): everything component p
+// observed through superstep t — the messages delivered to it at the
+// start of each superstep (i.e. routed to it in the previous one;
+// superstep 0 starts with an empty inbox).
+func (tr *Trace) ProcKey(p, t int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d", p)
+	for ph := 0; ph <= t && ph < len(tr.recv); ph++ {
+		b.WriteByte('|')
+		if ph > 0 {
+			b.WriteString(strings.Join(tr.recv[ph-1][p], ";"))
+		}
+	}
+	return b.String()
+}
+
+// CellKey canonically encodes the component-state analogue of
+// Trace(c, t, f): the messages routed to component c in superstep t (its
+// inbox contents as superstep t closes).
+func (tr *Trace) CellKey(c, t int) string {
+	if t < 0 || t >= len(tr.recv) || c < 0 || c >= len(tr.recv[t]) ||
+		len(tr.recv[t][c]) == 0 {
+		return "∅"
+	}
+	return strings.Join(tr.recv[t][c], ";")
+}

@@ -1,0 +1,93 @@
+package bsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// traced builds a 3-component machine, runs two supersteps of a fixed
+// message pattern and returns the trace.
+func traced(t *testing.T, workers int) *Trace {
+	t.Helper()
+	m := mk(t, Config{P: 3, G: 1, L: 2, N: 3, PrivCells: 1, Workers: workers})
+	m.EnableTracing()
+	// Superstep 0: a ring shift plus a fan-in to component 0.
+	m.Superstep(func(c *Ctx) {
+		c.Send((c.Comp()+1)%3, 7, int64(10+c.Comp()))
+		if c.Comp() > 0 {
+			c.Send(0, 8, int64(c.Comp()))
+		}
+	})
+	// Superstep 1: component 0 echoes its inbox size.
+	m.Superstep(func(c *Ctx) {
+		if c.Comp() == 0 {
+			c.Send(1, 9, int64(len(c.Incoming())))
+		}
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m.TraceLog()
+}
+
+func TestTraceRecordsSupersteps(t *testing.T) {
+	tr := traced(t, 1)
+	if tr.NumPhases() != 2 {
+		t.Fatalf("NumPhases = %d, want 2", tr.NumPhases())
+	}
+	if got, want := tr.Sends(1, 0), []string{"→2 from=1 tag=7 val=11", "→0 from=1 tag=8 val=1"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Sends(1, 0) = %q, want %q", got, want)
+	}
+	// Deliveries to component 0 in superstep 0, in deterministic order:
+	// ascending sender, issue order within a sender (component 2's ring
+	// message precedes its fan-in message).
+	want0 := []string{"from=1 tag=8 val=1", "from=2 tag=7 val=12", "from=2 tag=8 val=2"}
+	if got := tr.Delivered(0, 0); !reflect.DeepEqual(got, want0) {
+		t.Errorf("Delivered(0, 0) = %q, want %q", got, want0)
+	}
+	// h-relation of superstep 0: component 0 receives 3 messages (the ring
+	// message from 2 plus both fan-in messages), the largest s_i/r_i.
+	if got := tr.HRelation(0); got != 3 {
+		t.Errorf("HRelation(0) = %d, want 3", got)
+	}
+	if got := tr.HRelation(1); got != 1 {
+		t.Errorf("HRelation(1) = %d, want 1", got)
+	}
+	if tr.Sends(0, 5) != nil || tr.Delivered(9, 0) != nil || tr.HRelation(9) != 0 {
+		t.Error("out-of-range accessors must return zero values")
+	}
+}
+
+func TestTraceKnowledgeKeys(t *testing.T) {
+	tr := traced(t, 1)
+	// A component's observations through superstep t are the deliveries of
+	// earlier supersteps: at t=0 every inbox is empty, at t=1 component 1
+	// has seen the superstep-0 deliveries.
+	if got, want := tr.ProcKey(1, 0), "p1|"; got != want {
+		t.Errorf("ProcKey(1, 0) = %q, want %q", got, want)
+	}
+	if got, want := tr.ProcKey(1, 1), "p1||from=0 tag=7 val=10"; got != want {
+		t.Errorf("ProcKey(1, 1) = %q, want %q", got, want)
+	}
+	if got, want := tr.CellKey(1, 1), "from=0 tag=9 val=3"; got != want {
+		t.Errorf("CellKey(1, 1) = %q, want %q", got, want)
+	}
+	if got, want := tr.CellKey(2, 1), "∅"; got != want {
+		t.Errorf("CellKey(2, 1) = %q, want %q", got, want)
+	}
+}
+
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	seq := traced(t, 1)
+	par := traced(t, 8)
+	for p := 0; p < 3; p++ {
+		for ph := 0; ph < 2; ph++ {
+			if a, b := seq.ProcKey(p, ph), par.ProcKey(p, ph); a != b {
+				t.Errorf("ProcKey(%d, %d): Workers=1 %q, Workers=8 %q", p, ph, a, b)
+			}
+			if a, b := seq.CellKey(p, ph), par.CellKey(p, ph); a != b {
+				t.Errorf("CellKey(%d, %d): Workers=1 %q, Workers=8 %q", p, ph, a, b)
+			}
+		}
+	}
+}

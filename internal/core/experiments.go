@@ -9,6 +9,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/compaction"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/parity"
 	"repro/internal/qsm"
 	"repro/internal/workload"
@@ -47,6 +48,23 @@ func newQSM(rule cost.Rule, n, p int, g int64) (*qsm.Machine, error) {
 	return qsm.New(qsm.Config{Rule: rule, P: p, G: g, N: n, MemCells: n})
 }
 
+// measuredTime finishes a "time" measurement against the model-generic
+// machine interface: the measured quantity is the report's total model
+// time.
+func measuredTime(m engine.Machine) (float64, *cost.Report, error) {
+	return float64(m.Report().TotalTime), m.Report(), nil
+}
+
+// measuredRounds finishes a "rounds" measurement: every phase of the run
+// must have met the round budget, and the measured quantity is the phase
+// count. what names the algorithm in the budget-violation error.
+func measuredRounds(m engine.Machine, what string) (float64, *cost.Report, error) {
+	if !m.Report().AllRounds {
+		return 0, nil, fmt.Errorf("core: %s broke the round budget", what)
+	}
+	return float64(m.Report().NumPhases()), m.Report(), nil
+}
+
 func measureGadgetParity(rule cost.Rule, g int64, gb int) func(int, int64) (float64, *cost.Report, error) {
 	return func(n int, seed int64) (float64, *cost.Report, error) {
 		perGroup := gb << uint(gb)
@@ -66,7 +84,7 @@ func measureGadgetParity(rule cost.Rule, g int64, gb int) func(int, int64) (floa
 		if got := m.Peek(out); got != workload.Parity(in) {
 			return 0, nil, fmt.Errorf("core: gadget parity wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -87,7 +105,7 @@ func measureTreeParity(rule cost.Rule, g int64, fanin int) func(int, int64) (flo
 		if got := m.Peek(out); got != workload.Parity(in) {
 			return 0, nil, fmt.Errorf("core: tree parity wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -108,7 +126,7 @@ func measureContentionOR(rule cost.Rule, g int64) func(int, int64) (float64, *co
 		if got := m.Peek(out); got != workload.Or(in) {
 			return 0, nil, fmt.Errorf("core: contention OR wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -129,7 +147,7 @@ func measureReadTreeOR(rule cost.Rule, g int64, fanin int) func(int, int64) (flo
 		if got := m.Peek(out); got != workload.Or(in) {
 			return 0, nil, fmt.Errorf("core: read-tree OR wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -154,7 +172,7 @@ func measureDartLAC(rule cost.Rule, g int64) func(int, int64) (float64, *cost.Re
 		if len(res.Placed) != n/4 {
 			return 0, nil, fmt.Errorf("core: dart LAC lost items")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -179,7 +197,7 @@ func measureBSPParity(fanin int, pFor func(int) int) func(int, int64) (float64, 
 		if got != workload.Parity(in) {
 			return 0, nil, fmt.Errorf("core: BSP parity wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -204,7 +222,7 @@ func measureBSPOR(fanin int, pFor func(int) int) func(int, int64) (float64, *cos
 		if got != workload.Or(in) {
 			return 0, nil, fmt.Errorf("core: BSP OR wrong answer")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -233,7 +251,7 @@ func measureBSPDartLAC(pFor func(int) int) func(int, int64) (float64, *cost.Repo
 		if len(res.Placed) != n/4 {
 			return 0, nil, fmt.Errorf("core: BSP dart LAC lost items")
 		}
-		return float64(m.Report().TotalTime), m.Report(), nil
+		return measuredTime(m)
 	}
 }
 
@@ -257,10 +275,7 @@ func measureRoundsParityQSM(rule cost.Rule) func(int, int64) (float64, *cost.Rep
 		if got := m.Peek(out); got != workload.Parity(in) {
 			return 0, nil, fmt.Errorf("core: rounds parity wrong answer")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: parity rounds algorithm broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "parity rounds algorithm")
 	}
 }
 
@@ -286,10 +301,7 @@ func measureRoundsOR(rule cost.Rule, qsmVariant bool) func(int, int64) (float64,
 		if got := m.Peek(out); got != workload.Or(in) {
 			return 0, nil, fmt.Errorf("core: rounds OR wrong answer")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: OR rounds algorithm broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "OR rounds algorithm")
 	}
 }
 
@@ -313,10 +325,7 @@ func measureRoundsLACQSM(rule cost.Rule) func(int, int64) (float64, *cost.Report
 		if k != n/4 {
 			return 0, nil, fmt.Errorf("core: rounds LAC lost items")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: LAC rounds algorithm broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "LAC rounds algorithm")
 	}
 }
 
@@ -340,10 +349,7 @@ func measureRoundsParityBSP() func(int, int64) (float64, *cost.Report, error) {
 		if got != workload.Parity(in) {
 			return 0, nil, fmt.Errorf("core: BSP rounds parity wrong answer")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: BSP parity broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "BSP parity")
 	}
 }
 
@@ -367,10 +373,7 @@ func measureRoundsORBSP() func(int, int64) (float64, *cost.Report, error) {
 		if got != workload.Or(in) {
 			return 0, nil, fmt.Errorf("core: BSP rounds OR wrong answer")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: BSP OR broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "BSP OR")
 	}
 }
 
@@ -398,10 +401,7 @@ func measureRoundsLACBSP() func(int, int64) (float64, *cost.Report, error) {
 		if h != n/4 {
 			return 0, nil, fmt.Errorf("core: BSP LAC lost items")
 		}
-		if !m.Report().AllRounds {
-			return 0, nil, fmt.Errorf("core: BSP LAC broke the round budget")
-		}
-		return float64(m.Report().NumPhases()), m.Report(), nil
+		return measuredRounds(m, "BSP LAC")
 	}
 }
 

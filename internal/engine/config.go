@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// ValidateConfig is the shared constructor-side validation of the three
+// simulators. prefix is the package's error prefix ("qsm", "bsp", "gsm");
+// cells is the shared (or per-component private) memory size; needL
+// enforces the BSP requirement L ≥ 1 on top of Params.Validate's L ≥ g.
+// Model-specific admissibility (QSM(g,d)'s d ≥ 1, GSM's α, β, γ ≥ 1) stays
+// in the adapters, checked before this helper.
+func ValidateConfig(prefix string, p cost.Params, n, cells, workers int, needL bool) error {
+	if workers < 0 {
+		return fmt.Errorf("%s: negative Workers %d", prefix, workers)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if needL && p.L < 1 {
+		return fmt.Errorf("%s: latency L must be ≥ 1, got %d", prefix, p.L)
+	}
+	if n < 1 {
+		return fmt.Errorf("%s: input size N must be ≥ 1, got %d", prefix, n)
+	}
+	if cells < 0 {
+		return fmt.Errorf("%s: negative memory size %d", prefix, cells)
+	}
+	return nil
+}

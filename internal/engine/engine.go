@@ -1,0 +1,191 @@
+// Package engine is the model-generic machine runtime shared by the QSM,
+// BSP and GSM simulators. The paper's models all instantiate one skeleton
+// — synchronized phases in which every processor records requests against
+// shared state, a barrier at which the requests are merged and charged,
+// and a per-phase cost rule (Section 2) — and this package owns that
+// skeleton exactly once:
+//
+//   - Core carries the lifecycle state every machine shares: worker
+//     budget, per-chunk failure tallies, machine-error poisoning, the
+//     accumulated cost.Report, and the Observer hook.
+//   - Mem[V] is the shared-memory phase engine (QSM family and GSM,
+//     generic over the write payload): per-processor request contexts on
+//     a free list, the two-pass sharded commit with contention counting
+//     and read+write violation detection, and deterministic write
+//     application.
+//   - Route[M] is the message-routing superstep engine (BSP, generic
+//     over the message type): staged sends, h-relation measurement and
+//     deterministic inbox delivery with ping-ponged buffers.
+//
+// A simulator package is a thin adapter: it supplies a Model (naming,
+// cost rule, round classification, commit semantics — last-writer-wins,
+// info-merge or message delivery) and re-exposes the engine's lifecycle
+// under its model-specific API. New model variants (QSM(g,d) tweaks, CRQW
+// relatives, future backends) are adapters too, not forks of the runtime.
+//
+// Determinism contract: every result observable through a machine —
+// memory contents, cost reports, traces, and the Observer event stream —
+// is byte-identical for every Workers setting. Request buckets are filled
+// in ascending processor order and replayed in ascending chunk order, and
+// all observer events are emitted from the coordinating goroutine.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sched"
+)
+
+// Model is what a machine adapter supplies to the engine: naming for
+// reports and failure messages, and the model's cost rule applied to one
+// phase's raw accounting (including round classification).
+type Model interface {
+	// Name is the cost report's model name ("QSM", "s-QSM", "BSP", "GSM", …).
+	Name() string
+	// Entity names the per-processor unit in failure messages
+	// ("processor" for the shared-memory models, "component" for BSP).
+	Entity() string
+	// PhaseCost charges one phase: it maps the raw accounting of the
+	// barrier merge to the model's cost record, applying the phase-time
+	// formula and the Section 2.3 round classification.
+	PhaseCost(o Outcome) cost.PhaseCost
+}
+
+// Outcome is the raw accounting of one phase's barrier merge, before the
+// model's cost rule is applied.
+type Outcome struct {
+	// MaxOps is the maximum local work by any processor (BSP: w).
+	MaxOps int64
+	// MaxRW is the maximum requests by any processor (BSP: the
+	// h-relation h).
+	MaxRW int64
+	// KRead and KWrite are the maximum per-cell read and write
+	// contention (zero for message-routing models).
+	KRead, KWrite int64
+}
+
+// Machine is the model-generic read side every simulator satisfies: the
+// experiment engine, the facade and the cmds operate against it instead
+// of the concrete machine types.
+type Machine interface {
+	// P returns the number of processors (BSP: components).
+	P() int
+	// N returns the declared input size.
+	N() int
+	// Err returns the first model violation or runtime error, if any.
+	Err() error
+	// Report returns the accumulated cost report.
+	Report() *cost.Report
+	// AddObserver attaches a structured event observer.
+	AddObserver(Observer)
+}
+
+// Core is the lifecycle state shared by every simulated machine. Machine
+// adapters embed it (directly or through Mem/Route) and gain the
+// model-generic API: P, N, Err, Report, Workers, RecordErr, AddObserver.
+type Core struct {
+	model   Model
+	params  cost.Params
+	n       int
+	workers int
+	report  cost.Report
+	err     error
+
+	obs      []Observer
+	curPhase int
+
+	// failN/failE are per-chunk failure tallies (count, first failing
+	// error in chunk order), collected during body dispatch.
+	failN []int32
+	failE []error
+}
+
+// Init prepares the core for a machine with the given model, parameters,
+// input size and worker budget (0 = GOMAXPROCS; callers validate that
+// workers is non-negative via ValidateConfig).
+func (c *Core) Init(model Model, params cost.Params, n, workers int) {
+	c.model = model
+	c.params = params
+	c.n = n
+	c.workers = sched.Workers(workers)
+	c.report = cost.Report{Model: model.Name(), N: n, Params: params}
+}
+
+// P returns the number of processors (BSP: components).
+func (c *Core) P() int { return c.params.P }
+
+// N returns the declared input size.
+func (c *Core) N() int { return c.n }
+
+// Params returns the machine parameters.
+func (c *Core) Params() cost.Params { return c.params }
+
+// Workers returns the normalised phase-execution parallelism.
+func (c *Core) Workers() int { return c.workers }
+
+// Err returns the first model violation or runtime error, if any.
+func (c *Core) Err() error { return c.err }
+
+// RecordErr poisons the machine with the first error observed; later
+// phases become no-ops. It is how adapters report host-side misuse
+// (out-of-range Peek and friends).
+func (c *Core) RecordErr(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Report returns the accumulated cost report.
+func (c *Core) Report() *cost.Report { return &c.report }
+
+// RunPhase executes the model-generic phase lifecycle: the phase-start
+// observer event, chunked dispatch of the per-processor bodies, failure
+// merging with error poisoning, and — only if every body succeeded — the
+// model's commit. chunk runs the bodies of processors [lo, hi) inline
+// (keeping the per-processor loop free of dispatch overhead) and reports
+// its failure tally: how many bodies failed and the first failure in
+// processor order. Callers must check Err before invoking (an erred
+// machine skips phases entirely).
+func (c *Core) RunPhase(workers, p int, chunk func(lo, hi int) (int32, error), commit func()) {
+	c.observePhaseStart()
+	nb := sched.NumBlocks(workers, p)
+	if len(c.failN) < nb {
+		c.failN = make([]int32, nb)
+		c.failE = make([]error, nb)
+	}
+	sched.Blocks(workers, p, func(w, lo, hi int) {
+		c.failN[w], c.failE[w] = chunk(lo, hi)
+	})
+	// Failed processors short-circuit the commit: nothing is counted and
+	// nothing commits. The first error in processor order wins (chunk
+	// indexes ascend with the processor range); the number of other
+	// failing processors is preserved in the message.
+	nfail := 0
+	var first error
+	for w := 0; w < nb; w++ {
+		if c.failN[w] > 0 {
+			if first == nil {
+				first = c.failE[w]
+			}
+			nfail += int(c.failN[w])
+		}
+	}
+	if nfail > 0 {
+		if nfail > 1 {
+			c.err = fmt.Errorf("%w (and %d other %ss failed)", first, nfail-1, c.model.Entity())
+		} else {
+			c.err = first
+		}
+		return
+	}
+	commit()
+}
+
+// chargePhase applies the model's cost rule to the merge outcome and
+// appends the record to the report.
+func (c *Core) chargePhase(o Outcome) cost.PhaseCost {
+	pc := c.model.PhaseCost(o)
+	c.report.Add(pc)
+	return pc
+}

@@ -1,0 +1,349 @@
+package engine_test
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+)
+
+var errTestViolation = errors.New("test: memory access rule violation")
+
+// memMachine is a minimal last-writer-wins shared-memory adapter: the
+// smallest possible Model, so the tests exercise the engine lifecycle
+// itself rather than any simulator's cost logic.
+type memMachine struct {
+	engine.Mem[int64]
+}
+
+type memModel struct{}
+
+func (memModel) Name() string     { return "TEST" }
+func (memModel) Entity() string   { return "processor" }
+func (memModel) Prefix() string   { return "test" }
+func (memModel) Violation() error { return errTestViolation }
+func (memModel) Grain() int       { return 1 }
+
+func (memModel) Apply(mem []int64, addrs []int32, vals []int64) {
+	for j, a := range addrs {
+		mem[a] = vals[j]
+	}
+}
+
+func (memModel) Scrub([]int64) {}
+
+func (memModel) Render(v int64) string { return strconv.FormatInt(v, 10) }
+
+func (memModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	k := max(o.KRead, o.KWrite, 1)
+	return cost.PhaseCost{
+		MaxOps:     o.MaxOps,
+		MaxRW:      o.MaxRW,
+		Contention: k,
+		Time:       cost.Time(max(o.MaxOps, o.MaxRW, k)),
+		IsRound:    true,
+	}
+}
+
+func newMemMachine(t *testing.T, p, cells, workers int) *memMachine {
+	t.Helper()
+	m := &memMachine{}
+	m.InitMem(memModel{}, cost.Params{G: 1, P: p}, p, workers, cells)
+	return m
+}
+
+func TestMemPhaseLifecycle(t *testing.T) {
+	m := newMemMachine(t, 4, 8, 1)
+	for i := range m.Data() {
+		m.Data()[i] = int64(10 * i)
+	}
+	m.Phase(func(c *engine.MemCtx[int64]) {
+		v := c.Read(c.Proc())
+		c.Write(c.Proc()+4, v+1)
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got, want := m.Data()[i+4], int64(10*i+1); got != want {
+			t.Errorf("cell %d = %d, want %d", i+4, got, want)
+		}
+	}
+	m.Phase(func(c *engine.MemCtx[int64]) {
+		c.Op(3)
+		c.Write(0, int64(c.Proc()))
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Data()[0]; got != 3 {
+		t.Errorf("winner: cell 0 = %d, want last write of highest processor (3)", got)
+	}
+	r := m.Report()
+	if r.NumPhases() != 2 {
+		t.Fatalf("NumPhases = %d, want 2", r.NumPhases())
+	}
+	// Phase 0: m_rw = max(1 read, 1 write) = 1, κ=1 → time 1.
+	// Phase 1: m_op=3, m_rw=1, κ_w=4 → time 4.
+	if got, want := r.Phases[0].Time, cost.Time(1); got != want {
+		t.Errorf("phase 0 time = %d, want %d", got, want)
+	}
+	if got, want := r.Phases[1].Time, cost.Time(4); got != want {
+		t.Errorf("phase 1 time = %d, want %d", got, want)
+	}
+	if got, want := r.TotalTime, cost.Time(5); got != want {
+		t.Errorf("TotalTime = %d, want %d", got, want)
+	}
+}
+
+func TestMemFailurePoisoning(t *testing.T) {
+	m := newMemMachine(t, 3, 4, 1)
+	m.Phase(func(c *engine.MemCtx[int64]) {
+		c.Read(99) // out of range: every processor fails
+	})
+	err := m.Err()
+	if err == nil {
+		t.Fatal("expected a poisoned machine")
+	}
+	if want := "test: proc 0: read out of range: cell 99 of 4"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", err, want)
+	}
+	if want := "(and 2 other processors failed)"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", err, want)
+	}
+	if m.Report().NumPhases() != 0 {
+		t.Errorf("failed phase was charged: NumPhases = %d", m.Report().NumPhases())
+	}
+	ran := false
+	m.Phase(func(c *engine.MemCtx[int64]) { ran = true })
+	if ran {
+		t.Error("phase body ran on a poisoned machine")
+	}
+}
+
+func TestMemViolationAborts(t *testing.T) {
+	m := newMemMachine(t, 2, 4, 1)
+	ev := &engine.EventLog{}
+	m.AddObserver(ev)
+	m.Data()[0] = 7
+	m.Phase(func(c *engine.MemCtx[int64]) {
+		if c.Proc() == 0 {
+			c.Read(0)
+		} else {
+			c.Write(0, 1)
+		}
+	})
+	err := m.Err()
+	if !errors.Is(err, errTestViolation) {
+		t.Fatalf("err = %v, want wrap of the model's violation sentinel", err)
+	}
+	if want := "cell 0 both read and written in phase 0"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", err, want)
+	}
+	if m.Report().NumPhases() != 0 {
+		t.Errorf("violating phase was charged: NumPhases = %d", m.Report().NumPhases())
+	}
+	if got, memTouched := m.Data()[0], int64(7); got != memTouched {
+		t.Errorf("violating phase applied writes: cell 0 = %d, want %d", got, memTouched)
+	}
+	// The aborted phase starts but never commits: no requests, no end.
+	want := []string{"phase 0 start"}
+	if len(ev.Lines) != 1 || ev.Lines[0] != want[0] {
+		t.Errorf("event log = %q, want %q", ev.Lines, want)
+	}
+}
+
+func TestMemObserverOrdering(t *testing.T) {
+	// More workers than needed: the event stream must still come out in
+	// ascending processor order, reads before writes, read payloads
+	// showing start-of-phase contents.
+	m := newMemMachine(t, 3, 4, 8)
+	ev1 := &engine.EventLog{}
+	ev2 := &engine.EventLog{}
+	m.AddObserver(ev1)
+	m.AddObserver(ev2)
+	copy(m.Data(), []int64{10, 20, 30, 0})
+	m.Phase(func(c *engine.MemCtx[int64]) {
+		c.Read((c.Proc() + 1) % 3)
+		c.Write(3, int64(c.Proc()))
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"phase 0 start",
+		"phase 0 p0 read 1=20",
+		"phase 0 p0 write 3=0",
+		"phase 0 p1 read 2=30",
+		"phase 0 p1 write 3=1",
+		"phase 0 p2 read 0=10",
+		"phase 0 p2 write 3=2",
+		"phase 0 end: time=3 m_op=0 m_rw=1 κ=3 round=true",
+	}
+	if got := ev1.Lines; len(got) != len(want) {
+		t.Fatalf("event log has %d lines, want %d:\n%s", len(got), len(want), ev1.String())
+	}
+	for i := range want {
+		if ev1.Lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, ev1.Lines[i], want[i])
+		}
+	}
+	for i := range want {
+		if ev2.Lines[i] != want[i] {
+			t.Fatalf("second observer diverged at line %d: %q", i, ev2.Lines[i])
+		}
+	}
+	if got := m.Data()[3]; got != 2 {
+		t.Errorf("cell 3 = %d, want 2", got)
+	}
+}
+
+// TestMemSteadyStateAllocs pins the free-list behaviour: after warm-up, an
+// untraced phase reuses its contexts, request buffers and commit buckets.
+// Only a handful of per-phase allocations remain (the dispatch closures
+// and the amortised report append) — crucially the count must not scale
+// with p, which is what reallocating any of the O(p) structures would do.
+func TestMemSteadyStateAllocs(t *testing.T) {
+	const p = 64
+	m := newMemMachine(t, p, 2*p, 1)
+	body := func(c *engine.MemCtx[int64]) {
+		v := c.Read(c.Proc())
+		c.Write(p+c.Proc(), v+1)
+	}
+	m.Phase(body)
+	m.Phase(body)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() { m.Phase(body) })
+	if avg > 8 {
+		t.Errorf("steady-state phase allocates %.1f objects/run, want ≤ 8 (O(p) structure reallocated?)", avg)
+	}
+}
+
+// --- message-routing engine ------------------------------------------------
+
+type routeMachine struct {
+	engine.Route[int64]
+}
+
+type routeModel struct{}
+
+func (routeModel) Name() string   { return "RTEST" }
+func (routeModel) Entity() string { return "component" }
+
+func (routeModel) Render(m int64) string { return strconv.FormatInt(m, 10) }
+
+func (routeModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	return cost.PhaseCost{
+		MaxOps:  o.MaxOps,
+		MaxRW:   o.MaxRW,
+		Time:    cost.Time(max(o.MaxOps, o.MaxRW, 1)),
+		IsRound: true,
+	}
+}
+
+func newRouteMachine(t *testing.T, p, workers int) *routeMachine {
+	t.Helper()
+	m := &routeMachine{}
+	m.InitRoute(routeModel{}, cost.Params{G: 1, P: p}, p, workers)
+	return m
+}
+
+func TestRouteSuperstepLifecycle(t *testing.T) {
+	m := newRouteMachine(t, 3, 1)
+	ev := &engine.EventLog{}
+	m.AddObserver(ev)
+	m.Superstep(func(i int, s *engine.Sends[int64]) {
+		s.AddWork(2)
+		s.Stage(int32((i+1)%3), int64(100+i))
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		in := m.Incoming(i)
+		wantMsg := int64(100 + (i+2)%3)
+		if len(in) != 1 || in[0] != wantMsg {
+			t.Errorf("Incoming(%d) = %v, want [%d]", i, in, wantMsg)
+		}
+	}
+	want := []string{
+		"phase 0 start",
+		"phase 0 p0 send 1=100",
+		"phase 0 p1 send 2=101",
+		"phase 0 p2 send 0=102",
+		"phase 0 end: time=2 m_op=2 m_rw=1 κ=0 round=true",
+	}
+	if got := strings.Join(ev.Lines, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("event log:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+	// Next superstep: old inboxes are visible, new deliveries replace them.
+	m.Superstep(func(i int, s *engine.Sends[int64]) {})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if in := m.Incoming(0); len(in) != 0 {
+		t.Errorf("Incoming(0) after empty superstep = %v, want empty", in)
+	}
+}
+
+func TestRouteFailurePoisoning(t *testing.T) {
+	m := newRouteMachine(t, 3, 1)
+	boom := errors.New("rtest: bad destination")
+	m.Superstep(func(i int, s *engine.Sends[int64]) {
+		s.Fail(boom)
+	})
+	err := m.Err()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrap of the component failure", err)
+	}
+	if want := "(and 2 other components failed)"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", err, want)
+	}
+	if m.Report().NumPhases() != 0 {
+		t.Errorf("failed superstep was charged: NumPhases = %d", m.Report().NumPhases())
+	}
+}
+
+// --- shared config validation ----------------------------------------------
+
+func TestValidateConfig(t *testing.T) {
+	ok := cost.Params{G: 2, L: 4, P: 8}
+	cases := []struct {
+		name    string
+		prefix  string
+		p       cost.Params
+		n       int
+		cells   int
+		workers int
+		needL   bool
+		wantErr string // "" means valid
+	}{
+		{"valid", "qsm", ok, 8, 16, 0, false, ""},
+		{"valid with L", "bsp", ok, 8, 16, 4, true, ""},
+		{"negative workers", "qsm", ok, 8, 16, -1, false, "qsm: negative Workers -1"},
+		{"bad params", "qsm", cost.Params{G: 0, P: 8}, 8, 16, 0, false, "cost: gap parameter g must be ≥ 1, got 0"},
+		{"L below g", "bsp", cost.Params{G: 4, L: 2, P: 8}, 8, 16, 0, true, "cost: BSP requires L ≥ g, got L=2 g=4"},
+		{"missing L", "bsp", cost.Params{G: 2, P: 8}, 8, 16, 0, true, "bsp: latency L must be ≥ 1, got 0"},
+		{"zero n", "gsm", ok, 0, 16, 0, false, "gsm: input size N must be ≥ 1, got 0"},
+		{"negative cells", "gsm", ok, 8, -1, 0, false, "gsm: negative memory size -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := engine.ValidateConfig(tc.prefix, tc.p, tc.n, tc.cells, tc.workers, tc.needL)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateConfig = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("ValidateConfig = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}

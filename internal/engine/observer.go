@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// RequestKind classifies the requests a processor records in one phase.
+type RequestKind int8
+
+const (
+	// KindRead is a shared-memory read.
+	KindRead RequestKind = iota
+	// KindWrite is a shared-memory write.
+	KindWrite
+	// KindSend is a BSP-style point-to-point message send.
+	KindSend
+)
+
+// String returns the event-stream verb of the kind.
+func (k RequestKind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindSend:
+		return "send"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Request is one structured observer event: a single read, write or send
+// recorded by a processor during a phase.
+type Request struct {
+	// Proc is the issuing processor (BSP: component).
+	Proc int
+	// Kind is the request kind.
+	Kind RequestKind
+	// Addr is the shared-memory cell (reads/writes) or the destination
+	// component (sends).
+	Addr int32
+	// Payload is the model-rendered value: the start-of-phase contents the
+	// read observed, the value/information written, or the message sent.
+	Payload string
+}
+
+// Observer receives the structured event stream of a machine run. Events
+// are emitted from the coordinating goroutine in a deterministic order
+// that is identical for every Workers setting:
+//
+//   - PhaseStart fires when a phase (BSP: superstep) begins, before any
+//     processor body runs.
+//   - Request fires once per recorded read/write/send of a *committed*
+//     phase, grouped by ascending processor and in issue order within a
+//     processor. Read payloads render the start-of-phase contents (what
+//     the reader observed); requests are emitted before writes apply.
+//   - PhaseEnd fires after the phase's writes/deliveries have been
+//     applied, with the charged cost record.
+//
+// A phase that fails (a processor body errs) or aborts on a model
+// violation emits no Request events and no PhaseEnd — exactly the phases
+// that never commit.
+type Observer interface {
+	PhaseStart(phase int)
+	Request(phase int, r Request)
+	PhaseEnd(phase int, pc cost.PhaseCost)
+}
+
+// AddObserver attaches an observer; call before the first phase. Multiple
+// observers receive every event in attachment order.
+func (c *Core) AddObserver(o Observer) { c.obs = append(c.obs, o) }
+
+// Observing reports whether any observer is attached. Request rendering
+// is skipped entirely when it returns false, so untraced runs pay nothing.
+func (c *Core) Observing() bool { return len(c.obs) > 0 }
+
+func (c *Core) observePhaseStart() {
+	c.curPhase = c.report.NumPhases()
+	for _, o := range c.obs {
+		o.PhaseStart(c.curPhase)
+	}
+}
+
+func (c *Core) observeRequest(r Request) {
+	for _, o := range c.obs {
+		o.Request(c.curPhase, r)
+	}
+}
+
+func (c *Core) observePhaseEnd(pc cost.PhaseCost) {
+	for _, o := range c.obs {
+		o.PhaseEnd(c.curPhase, pc)
+	}
+}
+
+// EventLog is a ready-made Observer that renders the event stream to
+// lines, one per event. Its output is part of the engine's determinism
+// contract: two runs of the same algorithm at different Workers settings
+// must produce byte-identical logs. It also backs `parsim -events`.
+type EventLog struct {
+	Lines []string
+}
+
+// PhaseStart implements Observer.
+func (l *EventLog) PhaseStart(phase int) {
+	l.Lines = append(l.Lines, fmt.Sprintf("phase %d start", phase))
+}
+
+// Request implements Observer.
+func (l *EventLog) Request(phase int, r Request) {
+	l.Lines = append(l.Lines, fmt.Sprintf("phase %d p%d %s %d=%s",
+		phase, r.Proc, r.Kind, r.Addr, r.Payload))
+}
+
+// PhaseEnd implements Observer.
+func (l *EventLog) PhaseEnd(phase int, pc cost.PhaseCost) {
+	l.Lines = append(l.Lines, fmt.Sprintf(
+		"phase %d end: time=%d m_op=%d m_rw=%d κ=%d round=%v",
+		phase, pc.Time, pc.MaxOps, pc.MaxRW, pc.Contention, pc.IsRound))
+}
+
+// String joins the log lines.
+func (l *EventLog) String() string { return strings.Join(l.Lines, "\n") }

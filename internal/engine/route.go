@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"repro/internal/cost"
+	"repro/internal/sched"
+)
+
+// RouteModel is the adapter contract of a message-routing machine (the
+// BSP), generic over the message type M. The engine owns staging,
+// h-relation measurement and deterministic inbox delivery; the model
+// supplies naming, the superstep cost rule and message rendering.
+type RouteModel[M any] interface {
+	Model
+	// Render formats a message for observer events.
+	Render(msg M) string
+}
+
+// Sends is the per-component staging buffer of one superstep: local work
+// and outgoing messages, recycled on a free list across supersteps so
+// buffers keep their capacity.
+type Sends[M any] struct {
+	work int64
+	msgs []M
+	dsts []int32
+	fail error
+}
+
+// AddWork charges k units of local computation.
+func (s *Sends[M]) AddWork(k int64) {
+	if k > 0 {
+		s.work += k
+	}
+}
+
+// Stage queues a message to component dst for delivery at the start of
+// the next superstep. Destination validation is the adapter's job (it
+// owns the error wording); see Fail.
+func (s *Sends[M]) Stage(dst int32, msg M) {
+	s.msgs = append(s.msgs, msg)
+	s.dsts = append(s.dsts, dst)
+}
+
+// Fail marks this component's superstep as failed (first error wins).
+func (s *Sends[M]) Fail(err error) {
+	if s.fail == nil {
+		s.fail = err
+	}
+}
+
+func (s *Sends[M]) reset() {
+	s.work = 0
+	s.msgs = s.msgs[:0]
+	s.dsts = s.dsts[:0]
+	s.fail = nil
+}
+
+// Route is the message-routing superstep engine. Machine adapters embed
+// it and gain the superstep lifecycle: chunked body dispatch, the sharded
+// routing commit with h-relation measurement, deterministic delivery
+// into ping-ponged inboxes, and observer emission.
+type Route[M any] struct {
+	Core
+	model RouteModel[M]
+
+	// sends is the per-machine free list of staging buffers, one per
+	// component, reset and reused every superstep.
+	sends []*Sends[M]
+	inbox [][]M
+	// spare ping-pongs with inbox: last superstep's inbox slices are
+	// truncated and refilled as the next superstep's delivery target.
+	spare [][]M
+	// rb holds the reusable scratch of the sharded routing commit.
+	rb routeBuf[M]
+}
+
+// InitRoute prepares the engine for a machine with the given model,
+// parameters, input size and worker budget, with empty inboxes.
+func (r *Route[M]) InitRoute(model RouteModel[M], params cost.Params, n, workers int) {
+	r.Core.Init(model, params, n, workers)
+	r.model = model
+	r.inbox = make([][]M, params.P)
+	r.spare = make([][]M, params.P)
+}
+
+// Incoming returns the messages delivered to component i at the start of
+// the current superstep (i.e. sent during the previous superstep), in
+// deterministic order (sorted by sender, then arrival order at the
+// sender).
+func (r *Route[M]) Incoming(i int) []M { return r.inbox[i] }
+
+// Superstep runs one superstep: body is invoked once per component
+// (concurrently over contiguous chunks) with the component's staging
+// buffer; at the barrier the h-relation is measured, the superstep is
+// charged under the model's cost rule, and staged messages are routed
+// into the inboxes for the next superstep by the sharded routing commit.
+// Superstep is a no-op once the machine has erred.
+func (r *Route[M]) Superstep(body func(i int, s *Sends[M])) {
+	if r.Err() != nil {
+		return
+	}
+	p := r.P()
+	if r.sends == nil {
+		r.sends = make([]*Sends[M], p)
+		for i := range r.sends {
+			r.sends[i] = &Sends[M]{}
+		}
+	}
+	workers := r.Workers()
+	r.RunPhase(workers, p, func(lo, hi int) (int32, error) {
+		var nf int32
+		var first error
+		for i := lo; i < hi; i++ {
+			s := r.sends[i]
+			s.reset()
+			body(i, s)
+			if s.fail != nil {
+				if first == nil {
+					first = s.fail
+				}
+				nf++
+			}
+		}
+		return nf, first
+	}, func() { r.commit(workers) })
+}
+
+// routeBuf is the reusable scratch of the sharded message-routing commit.
+// Staged sends are first bucketed by destination shard (one bucket per
+// merge-chunk × shard, filled in sender order), then each destination
+// shard counts its fan-in and fills its inboxes independently.
+type routeBuf[M any] struct {
+	// Buckets, indexed [chunk*numShards + shard].
+	msg [][]M
+	dst [][]int32
+	// Per-chunk maximum local work.
+	work []int64
+	// Per-component send counts (pass 1, chunk-disjoint) and receive
+	// counts (pass 2, shard-disjoint).
+	sent, recv []int64
+	// Per-shard receive maxima.
+	hrecv []int64
+}
+
+func (b *routeBuf[M]) ensure(p, nm, ns int) {
+	if nb := nm * ns; len(b.msg) < nb {
+		b.msg = growSlices(b.msg, nb)
+		b.dst = growSlices(b.dst, nb)
+	}
+	if len(b.work) < nm {
+		b.work = make([]int64, nm)
+	}
+	if len(b.sent) < p {
+		b.sent = make([]int64, p)
+		b.recv = make([]int64, p)
+	}
+	if len(b.hrecv) < ns {
+		b.hrecv = make([]int64, ns)
+	}
+}
+
+// commit measures the h-relation, charges the superstep and routes staged
+// messages. Buckets are filled in sender order and replayed in chunk
+// order, so each inbox receives its messages grouped by ascending sender
+// id — the same deterministic delivery order for every Workers setting.
+func (r *Route[M]) commit(workers int) {
+	p := r.P()
+	b := &r.rb
+	nm := sched.NumBlocks(workers, p)
+	sh := sched.NewSharding(p, workers)
+	ns := sh.N
+	b.ensure(p, nm, ns)
+
+	// Pass 1: per-chunk work maxima, send counts, and messages bucketed by
+	// destination shard.
+	sched.Blocks(workers, p, func(w, lo, hi int) {
+		var work int64
+		base := w * ns
+		for i := lo; i < hi; i++ {
+			s := r.sends[i]
+			work = max(work, s.work)
+			b.sent[i] = int64(len(s.msgs))
+			for j, msg := range s.msgs {
+				d := s.dsts[j]
+				k := base + sh.Shard(d)
+				b.msg[k] = append(b.msg[k], msg)
+				b.dst[k] = append(b.dst[k], d)
+			}
+		}
+		b.work[w] = work
+	})
+
+	// Pass 2: per-destination-shard fan-in counting and inbox filling.
+	// Inbox slices ping-pong with spare, so steady-state supersteps reuse
+	// the previous-but-one superstep's backing arrays.
+	next := r.spare
+	sched.Blocks(workers, ns, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			dlo, dhi := sh.Range(s, p)
+			for d := dlo; d < dhi; d++ {
+				b.recv[d] = 0
+			}
+			for w := 0; w < nm; w++ {
+				for _, d := range b.dst[w*ns+s] {
+					b.recv[d]++
+				}
+			}
+			var hr int64
+			for d := dlo; d < dhi; d++ {
+				hr = max(hr, b.recv[d])
+				next[d] = next[d][:0]
+			}
+			for w := 0; w < nm; w++ {
+				k := w*ns + s
+				dsts := b.dst[k]
+				for j, msg := range b.msg[k] {
+					d := dsts[j]
+					next[d] = append(next[d], msg)
+				}
+				b.msg[k] = b.msg[k][:0]
+				b.dst[k] = b.dst[k][:0]
+			}
+			b.hrecv[s] = hr
+		}
+	})
+
+	var w, h int64
+	for i := 0; i < nm; i++ {
+		w = max(w, b.work[i])
+	}
+	for i := 0; i < p; i++ {
+		h = max(h, b.sent[i])
+	}
+	for s := 0; s < ns; s++ {
+		h = max(h, b.hrecv[s])
+	}
+
+	pc := r.chargePhase(Outcome{MaxOps: w, MaxRW: h})
+	if r.Observing() {
+		r.emitRequests()
+	}
+	r.spare = r.inbox
+	r.inbox = next
+	r.observePhaseEnd(pc)
+}
+
+// emitRequests renders the superstep's sends as observer events, grouped
+// by ascending sender and in issue order. Addr carries the destination
+// component.
+func (r *Route[M]) emitRequests() {
+	for i, s := range r.sends {
+		for j, msg := range s.msgs {
+			r.observeRequest(Request{Proc: i, Kind: KindSend, Addr: s.dsts[j],
+				Payload: r.model.Render(msg)})
+		}
+	}
+}

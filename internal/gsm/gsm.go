@@ -17,6 +17,11 @@
 // At the start of an algorithm each cell contains information about up to γ
 // inputs (disjoint across cells).
 //
+// The phase lifecycle — dispatch, the deterministic sharded barrier merge,
+// cost accounting and observer events — lives in internal/engine; this
+// package is the model adapter binding that runtime to Info-valued cells,
+// the strong-queuing merge commit and big-step accounting.
+//
 // The package also provides the Claim 2.1 emulation adapters: given the cost
 // report of a QSM, s-QSM or BSP run, they compute the cost of executing the
 // same computation on an appropriately-parameterised GSM, making the paper's
@@ -29,7 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
-	"repro/internal/sched"
+	"repro/internal/engine"
 )
 
 // Info is the information content of a GSM cell: a sorted set of abstract
@@ -87,29 +92,16 @@ func NewInfo(atoms ...int64) Info {
 	return Info(out)
 }
 
-// Machine is a GSM instance.
+// Machine is a GSM instance: the engine's shared-memory runtime over
+// Info-valued cells with strong-queuing merge commit.
 type Machine struct {
-	params cost.Params
-	n      int
-	cells  []Info
-	report cost.Report
-	err    error
-	trace  *Trace
-
-	// workers bounds phase-execution parallelism; defaults to GOMAXPROCS.
-	// Small machines (the proof-machinery enumerations) still run their
-	// bodies inline: parallelism kicks in at gsmGrain processors per chunk.
-	workers int
-
-	// ctxs is the per-machine free list of phase contexts, reset and
-	// reused every phase so request buffers keep their capacity.
-	ctxs []*Ctx
-	// failN/fail1 are per-chunk failure tallies (count, first failing
-	// processor index or -1), collected during body dispatch.
-	failN, fail1 []int32
-	// cb holds the reusable scratch of the sharded commit pipeline.
-	cb commitBuf
+	engine.Mem[Info]
+	trace *Trace
 }
+
+// Ctx is the per-processor handle inside a GSM phase (Proc, Read, Write;
+// Op is admissible but free — GSM local computation costs nothing).
+type Ctx = engine.MemCtx[Info]
 
 // Config parameterises a GSM machine.
 type Config struct {
@@ -133,22 +125,11 @@ func New(c Config) (*Machine, error) {
 			c.Alpha, c.Beta, c.Gamma)
 	}
 	p := cost.Params{G: 1, P: c.P, Alpha: c.Alpha, Beta: c.Beta, Gamma: c.Gamma}
-	if err := p.Validate(); err != nil {
+	if err := engine.ValidateConfig("gsm", p, c.N, c.Cells, c.Workers, false); err != nil {
 		return nil, err
 	}
-	if c.N < 1 {
-		return nil, fmt.Errorf("gsm: input size N must be ≥ 1, got %d", c.N)
-	}
-	if c.Cells < 0 {
-		return nil, fmt.Errorf("gsm: negative cell count %d", c.Cells)
-	}
-	m := &Machine{
-		params:  p,
-		n:       c.N,
-		cells:   make([]Info, c.Cells),
-		workers: sched.Workers(c.Workers),
-	}
-	m.report = cost.Report{Model: "GSM", N: c.N, Params: p}
+	m := &Machine{}
+	m.InitMem(gsmModel{m}, p, c.N, c.Workers, c.Cells)
 	return m, nil
 }
 
@@ -161,36 +142,30 @@ func MustNew(c Config) *Machine {
 	return m
 }
 
-// P returns the processor count; Mu and Lambda the derived step parameters.
-func (m *Machine) P() int        { return m.params.P }
-func (m *Machine) Mu() int64     { return m.params.Mu() }
-func (m *Machine) Lambda() int64 { return m.params.Lambda() }
+// Mu and Lambda return the derived big-step parameters.
+func (m *Machine) Mu() int64     { return m.Params().Mu() }
+func (m *Machine) Lambda() int64 { return m.Params().Lambda() }
 
 // Gamma returns the initial inputs-per-cell parameter.
-func (m *Machine) Gamma() int64 { return m.params.Gamma }
-
-// Err returns the first model violation, if any.
-func (m *Machine) Err() error { return m.err }
-
-// Report returns the accumulated cost report.
-func (m *Machine) Report() *cost.Report { return &m.report }
+func (m *Machine) Gamma() int64 { return m.Params().Gamma }
 
 // LoadInputs places n input atoms into cells under the γ-per-cell initial
 // distribution: cell i receives atoms for inputs [iγ, (i+1)γ). Atom encoding
 // is inputAtom(index, value). Not charged.
 func (m *Machine) LoadInputs(values []int64) error {
-	if len(values) != m.n {
-		return fmt.Errorf("gsm: LoadInputs got %d values, want N=%d", len(values), m.n)
+	if len(values) != m.N() {
+		return fmt.Errorf("gsm: LoadInputs got %d values, want N=%d", len(values), m.N())
 	}
-	g := int(m.params.Gamma)
-	need := (m.n + g - 1) / g
-	if need > len(m.cells) {
+	g := int(m.Gamma())
+	cells := m.Data()
+	need := (m.N() + g - 1) / g
+	if need > len(cells) {
 		return fmt.Errorf("gsm: %d cells needed for n=%d γ=%d, have %d",
-			need, m.n, g, len(m.cells))
+			need, m.N(), g, len(cells))
 	}
 	for i, v := range values {
 		c := i / g
-		m.cells[c] = m.cells[c].Merge(NewInfo(InputAtom(i, v)))
+		cells[c] = cells[c].Merge(NewInfo(InputAtom(i, v)))
 	}
 	return nil
 }
@@ -201,80 +176,17 @@ func InputAtom(i int, v int64) int64 { return int64(i)<<8 | (v & 0xff) }
 // AtomInput decodes an input atom.
 func AtomInput(a int64) (i int, v int64) { return int(a >> 8), a & 0xff }
 
-// Grow extends the shared memory to at least size cells (empty). Address
-// space is free in the model.
-func (m *Machine) Grow(size int) {
-	for len(m.cells) < size {
-		m.cells = append(m.cells, nil)
-	}
-}
-
-// MemSize returns the current cell count.
-func (m *Machine) MemSize() int { return len(m.cells) }
-
 // Peek returns the information set of a cell (host-side, not charged). An
 // out-of-range address is a host-side bug: it records a machine error
 // (first error wins) and returns nil, so algorithm mistakes cannot be
 // masked by phantom empty sets.
 func (m *Machine) Peek(addr int) Info {
-	if addr < 0 || addr >= len(m.cells) {
-		m.recordErr(fmt.Errorf("gsm: Peek out of range: cell %d of %d", addr, len(m.cells)))
+	cells := m.Data()
+	if addr < 0 || addr >= len(cells) {
+		m.RecordErr(fmt.Errorf("gsm: Peek out of range: cell %d of %d", addr, len(cells)))
 		return nil
 	}
-	return m.cells[addr]
-}
-
-// recordErr poisons the machine with the first host-side error observed.
-func (m *Machine) recordErr(err error) {
-	if m.err == nil {
-		m.err = err
-	}
-}
-
-// Ctx is the per-processor handle inside a GSM phase.
-type Ctx struct {
-	proc  int
-	m     *Machine
-	reads int64
-	wrs   int64
-
-	readAddrs  []int32
-	writeAddrs []int32
-	writeInfo  []Info
-	fail       error
-}
-
-// Proc returns the processor index.
-func (c *Ctx) Proc() int { return c.proc }
-
-// Read returns the information set of the cell as of the start of the phase
-// and charges one read.
-func (c *Ctx) Read(addr int) Info {
-	if addr < 0 || addr >= len(c.m.cells) {
-		c.failf("read out of range: cell %d of %d", addr, len(c.m.cells))
-		return nil
-	}
-	c.reads++
-	c.readAddrs = append(c.readAddrs, int32(addr))
-	return c.m.cells[addr]
-}
-
-// Write merges info into the cell at the phase barrier (strong queuing: no
-// written information is ever lost) and charges one write.
-func (c *Ctx) Write(addr int, info Info) {
-	if addr < 0 || addr >= len(c.m.cells) {
-		c.failf("write out of range: cell %d of %d", addr, len(c.m.cells))
-		return
-	}
-	c.wrs++
-	c.writeAddrs = append(c.writeAddrs, int32(addr))
-	c.writeInfo = append(c.writeInfo, info)
-}
-
-func (c *Ctx) failf(format string, args ...any) {
-	if c.fail == nil {
-		c.fail = fmt.Errorf("gsm: proc %d: "+format, append([]any{c.proc}, args...)...)
-	}
+	return cells[addr]
 }
 
 // ErrViolation wraps GSM memory-access-rule violations.
@@ -285,284 +197,49 @@ var ErrViolation = errors.New("gsm: memory access rule violation")
 // tiny-p machines, and those stay on the inline fast path.
 const gsmGrain = 64
 
-// phaseWorkers returns the effective worker count for this machine's p.
-func (m *Machine) phaseWorkers() int {
-	return min(m.workers, (m.params.P+gsmGrain-1)/gsmGrain)
+// gsmModel binds the engine's shared-memory runtime to the GSM:
+// Info-valued cells, the strong-queuing merge commit, and big-step
+// accounting.
+type gsmModel struct{ m *Machine }
+
+func (md gsmModel) Name() string     { return "GSM" }
+func (md gsmModel) Entity() string   { return "processor" }
+func (md gsmModel) Prefix() string   { return "gsm" }
+func (md gsmModel) Violation() error { return ErrViolation }
+func (md gsmModel) Grain() int       { return gsmGrain }
+
+// Apply merges the phase's writes into the cells (strong queuing: set
+// union is order-insensitive, so the merged contents are deterministic
+// for every Workers setting).
+func (md gsmModel) Apply(mem []Info, addrs []int32, vals []Info) {
+	for j, a := range addrs {
+		mem[a] = mem[a].Merge(vals[j])
+	}
 }
 
-// Phase runs one GSM phase: body is invoked once per processor
-// (concurrently over contiguous chunks for large machines, inline for the
-// small proof-machinery runs), and requests are merged at the barrier by
-// the sharded commit pipeline — results and traces are identical for every
-// Workers setting. The phase is charged μ · max(⌈m_rw/α⌉, ⌈κ/β⌉) big-steps
-// (at least one, since computation is free but a phase is a unit).
-func (m *Machine) Phase(body func(c *Ctx)) {
-	if m.err != nil {
-		return
+// Scrub drops Info references so retained buckets don't pin sets.
+func (md gsmModel) Scrub(vals []Info) {
+	for j := range vals {
+		vals[j] = nil
 	}
-	p := m.params.P
-	if m.ctxs == nil {
-		m.ctxs = make([]*Ctx, p)
-		for i := range m.ctxs {
-			m.ctxs[i] = &Ctx{proc: i, m: m}
-		}
-	}
-	// Failure detection rides along with the body dispatch (the ctxs are
-	// cache-hot here), recorded per chunk and merged in commit.
-	workers := m.phaseWorkers()
-	nb := sched.NumBlocks(workers, p)
-	if len(m.failN) < nb {
-		m.failN = make([]int32, nb)
-		m.fail1 = make([]int32, nb)
-	}
-	sched.Blocks(workers, p, func(w, lo, hi int) {
-		var nf, first int32 = 0, -1
-		for i := lo; i < hi; i++ {
-			c := m.ctxs[i]
-			c.reset()
-			body(c)
-			if c.fail != nil {
-				if first < 0 {
-					first = int32(i)
-				}
-				nf++
-			}
-		}
-		m.failN[w], m.fail1[w] = nf, first
-	})
-	m.commit(m.ctxs)
 }
 
-func (c *Ctx) reset() {
-	c.reads, c.wrs = 0, 0
-	c.readAddrs = c.readAddrs[:0]
-	c.writeAddrs = c.writeAddrs[:0]
-	c.writeInfo = c.writeInfo[:0]
-	c.fail = nil
-}
+func (md gsmModel) Render(in Info) string { return infoKey(in) }
 
-// commitBuf is the reusable scratch of the sharded phase commit — the GSM
-// variant of the pipeline in internal/qsm: requests bucketed by address
-// shard in processor order, then per-shard contention counting over the
-// count/last scratch arrays (+readers/−writers and the processor dedup
-// mark, zeroed via the touched lists after every phase).
-type commitBuf struct {
-	rAddr, rProc [][]int32
-	wAddr, wProc [][]int32
-	wInfo        [][]Info
-	mRW          []int64
-	kappa        []int64
-	viol         []int32
-	count, last  []int32
-	touched      [][]int32
-}
-
-func (b *commitBuf) ensure(memSize, workers, p int) (sh sched.Sharding, nm int) {
-	nm = sched.NumBlocks(workers, p)
-	sh = sched.NewSharding(memSize, workers)
-	if nb := nm * sh.N; len(b.rAddr) < nb {
-		b.rAddr = growSlices(b.rAddr, nb)
-		b.rProc = growSlices(b.rProc, nb)
-		b.wAddr = growSlices(b.wAddr, nb)
-		b.wProc = growSlices(b.wProc, nb)
-		b.wInfo = growSlices(b.wInfo, nb)
-	}
-	if len(b.mRW) < nm {
-		b.mRW = make([]int64, nm)
-	}
-	if len(b.kappa) < sh.N {
-		b.kappa = make([]int64, sh.N)
-		b.viol = make([]int32, sh.N)
-		b.touched = growSlices(b.touched, sh.N)
-	}
-	if len(b.count) < memSize {
-		b.count = make([]int32, memSize)
-		b.last = make([]int32, memSize)
-	}
-	return sh, nm
-}
-
-func growSlices[T any](s [][]T, n int) [][]T {
-	for len(s) < n {
-		s = append(s, nil)
-	}
-	return s
-}
-
-func (m *Machine) commit(ctxs []*Ctx) {
-	// Failed processors short-circuit the commit: nothing is counted and
-	// nothing merges. The first error in processor order wins; the number
-	// of other failing processors is preserved in the message. The
-	// per-chunk tallies were collected during body dispatch in Phase.
-	nfail, firstIdx := 0, -1
-	for w := 0; w < sched.NumBlocks(m.phaseWorkers(), len(ctxs)); w++ {
-		if m.failN[w] > 0 {
-			if firstIdx < 0 {
-				firstIdx = int(m.fail1[w])
-			}
-			nfail += int(m.failN[w])
-		}
-	}
-	if nfail > 0 {
-		first := ctxs[firstIdx].fail
-		if nfail > 1 {
-			m.err = fmt.Errorf("%w (and %d other processors failed)", first, nfail-1)
-		} else {
-			m.err = first
-		}
-		return
-	}
-
-	workers := m.phaseWorkers()
-	b := &m.cb
-	sh, nm := b.ensure(len(m.cells), workers, len(ctxs))
-	ns := sh.N
-
-	// Pass 1: per-chunk m_rw maxima + requests bucketed by address shard.
-	sched.Blocks(workers, len(ctxs), func(w, lo, hi int) {
-		var mRW int64
-		base := w * ns
-		for i := lo; i < hi; i++ {
-			c := ctxs[i]
-			mRW = max(mRW, c.reads, c.wrs)
-			proc := int32(i)
-			for _, a := range c.readAddrs {
-				k := base + sh.Shard(a)
-				b.rAddr[k] = append(b.rAddr[k], a)
-				b.rProc[k] = append(b.rProc[k], proc)
-			}
-			for j, a := range c.writeAddrs {
-				k := base + sh.Shard(a)
-				b.wAddr[k] = append(b.wAddr[k], a)
-				b.wProc[k] = append(b.wProc[k], proc)
-				b.wInfo[k] = append(b.wInfo[k], c.writeInfo[j])
-			}
-		}
-		b.mRW[w] = mRW
-	})
-
-	// Pass 2: per-shard contention counting and violation detection.
-	// κ counts processors per cell (paper definition): duplicate requests
-	// by one processor dedupe via the last mark (they still count toward
-	// its m_rw). Reads scan before writes within a shard, so a positive
-	// count at a written cell means a forbidden read+write mix.
-	sched.Blocks(workers, ns, func(_, slo, shi int) {
-		for s := slo; s < shi; s++ {
-			var kappa int64
-			viol := int32(-1)
-			touched := b.touched[s][:0]
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				procs := b.rProc[k]
-				for j, a := range b.rAddr[k] {
-					pr := procs[j] + 1
-					if b.last[a] == pr {
-						continue
-					}
-					b.last[a] = pr
-					if b.count[a] == 0 {
-						touched = append(touched, a)
-					}
-					b.count[a]++
-					kappa = max(kappa, int64(b.count[a]))
-				}
-			}
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				procs := b.wProc[k]
-				for j, a := range b.wAddr[k] {
-					if b.count[a] > 0 {
-						if viol < 0 || a < viol {
-							viol = a
-						}
-						continue
-					}
-					pr := -(procs[j] + 1)
-					if b.last[a] == pr {
-						continue
-					}
-					b.last[a] = pr
-					if b.count[a] == 0 {
-						touched = append(touched, a)
-					}
-					b.count[a]--
-					kappa = max(kappa, int64(-b.count[a]))
-				}
-			}
-			b.kappa[s], b.viol[s] = kappa, viol
-			b.touched[s] = touched
-		}
-	})
-
-	var mRW, kappa int64
-	for w := 0; w < nm; w++ {
-		mRW = max(mRW, b.mRW[w])
-	}
-	violAddr := int32(-1)
-	for s := 0; s < ns; s++ {
-		kappa = max(kappa, b.kappa[s])
-		if b.viol[s] >= 0 && (violAddr < 0 || b.viol[s] < violAddr) {
-			violAddr = b.viol[s]
-		}
-	}
-	if violAddr >= 0 {
-		m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
-			ErrViolation, violAddr, m.report.NumPhases())
-		m.finishCommit(workers, nm, ns, false)
-		return
-	}
-
-	bs := max(ceilDiv(mRW, m.params.Alpha), ceilDiv(kappa, m.params.Beta), 1)
-	t := cost.Time(m.params.Mu() * bs)
-	m.report.Add(cost.PhaseCost{
-		MaxRW:      mRW,
+// PhaseCost charges μ · max(⌈m_rw/α⌉, ⌈κ/β⌉) big-steps (at least one,
+// since computation is free but a phase is a unit).
+func (md gsmModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	pr := md.m.Params()
+	kappa := max(o.KRead, o.KWrite)
+	bs := max(ceilDiv(o.MaxRW, pr.Alpha), ceilDiv(kappa, pr.Beta), 1)
+	t := cost.Time(pr.Mu() * bs)
+	return cost.PhaseCost{
+		MaxRW:      o.MaxRW,
 		Contention: kappa,
 		BigSteps:   bs,
 		Time:       t,
-		IsRound:    t <= cost.GSMRoundBudget(m.params, m.n),
-	})
-	if m.trace != nil {
-		m.trace.recordReads(m, ctxs)
+		IsRound:    t <= cost.GSMRoundBudget(pr, md.m.N()),
 	}
-	m.finishCommit(workers, nm, ns, true)
-	if m.trace != nil {
-		m.trace.recordCells(m)
-	}
-}
-
-// finishCommit merges the phase's writes into the cells (strong queuing:
-// set union is order-insensitive, so the merged contents are deterministic
-// for every Workers setting) and zeroes the scratch for the next phase.
-func (m *Machine) finishCommit(workers, nm, ns int, applyWrites bool) {
-	b := &m.cb
-	sched.Blocks(workers, ns, func(_, slo, shi int) {
-		for s := slo; s < shi; s++ {
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				if applyWrites {
-					infos := b.wInfo[k]
-					for j, a := range b.wAddr[k] {
-						m.cells[a] = m.cells[a].Merge(infos[j])
-					}
-				}
-				b.rAddr[k] = b.rAddr[k][:0]
-				b.rProc[k] = b.rProc[k][:0]
-				b.wAddr[k] = b.wAddr[k][:0]
-				b.wProc[k] = b.wProc[k][:0]
-				// Drop Info references so retained buckets don't pin sets.
-				infos := b.wInfo[k]
-				for j := range infos {
-					infos[j] = nil
-				}
-				b.wInfo[k] = infos[:0]
-			}
-			for _, a := range b.touched[s] {
-				b.count[a] = 0
-				b.last[a] = 0
-			}
-			b.touched[s] = b.touched[s][:0]
-		}
-	})
 }
 
 // --- Claim 2.1 emulation adapters -----------------------------------------

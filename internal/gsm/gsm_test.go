@@ -167,6 +167,7 @@ func TestNewValidation(t *testing.T) {
 		{P: 0, Alpha: 1, Beta: 1, Gamma: 1, N: 1},
 		{P: 1, Alpha: 1, Beta: 1, Gamma: 1, N: 0},
 		{P: 1, Alpha: 1, Beta: 1, Gamma: 1, N: 1, Cells: -2},
+		{P: 1, Alpha: 1, Beta: 1, Gamma: 1, N: 1, Workers: -1},
 	}
 	for i, c := range bad {
 		if _, err := New(c); err == nil {

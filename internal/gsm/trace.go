@@ -3,13 +3,26 @@ package gsm
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
 )
 
 // Trace records, for a traced run, the Section 5 trace objects:
 // Trace(p, t, f) for processors (the sequence of (cell, contents) pairs
 // read, per phase) and Trace(c, t, f) for cells (their contents at each
 // phase boundary).
+//
+// Trace is an engine.Observer: read observations arrive as request events
+// (rendered against start-of-phase memory, so readers see what they
+// actually observed) buffered in pending, and commit into the record at
+// PhaseEnd after the phase's merges applied — phases that fail or abort
+// on a violation are never recorded, exactly the phases that never
+// commit.
 type Trace struct {
+	m *Machine
+	// pending[p] is the current phase's observation list so far.
+	pending [][]string
 	// reads[t][p] is the sorted list of "(cell:contents)" strings processor
 	// p read in phase t (contents as of the start of the phase).
 	reads [][][]string
@@ -21,7 +34,8 @@ type Trace struct {
 // first phase. Tracing snapshots every cell at each phase boundary, so it
 // is intended for the small-n proof-machinery experiments.
 func (m *Machine) EnableTracing() {
-	m.trace = &Trace{}
+	m.trace = &Trace{m: m}
+	m.AddObserver(m.trace)
 }
 
 // TraceLog returns the recorded trace, or nil if tracing was not enabled.
@@ -41,27 +55,30 @@ func infoKey(in Info) string {
 	return b.String()
 }
 
-// recordReads captures per-processor reads with the contents they observed.
-// It must run before the phase's writes are applied: during a phase the
-// memory still holds the start-of-phase contents the readers saw.
-func (tr *Trace) recordReads(m *Machine, ctxs []*Ctx) {
-	p := len(ctxs)
-	phaseReads := make([][]string, p)
-	for i, c := range ctxs {
-		rs := make([]string, 0, len(c.readAddrs))
-		for _, a := range c.readAddrs {
-			rs = append(rs, fmt.Sprintf("%d:%s", a, infoKey(m.cells[a])))
-		}
-		phaseReads[i] = rs
-	}
-	tr.reads = append(tr.reads, phaseReads)
+// PhaseStart implements engine.Observer.
+func (tr *Trace) PhaseStart(int) {
+	tr.pending = make([][]string, tr.m.P())
 }
 
-// recordCells snapshots all cell contents; it must run after the phase's
-// writes are applied, giving the end-of-phase state.
-func (tr *Trace) recordCells(m *Machine) {
-	snap := make([]string, len(m.cells))
-	for i, info := range m.cells {
+// Request implements engine.Observer: reads append to the issuing
+// processor's pending observation list in issue order, with the contents
+// they observed.
+func (tr *Trace) Request(_ int, r engine.Request) {
+	if r.Kind == engine.KindRead {
+		tr.pending[r.Proc] = append(tr.pending[r.Proc],
+			fmt.Sprintf("%d:%s", r.Addr, r.Payload))
+	}
+}
+
+// PhaseEnd implements engine.Observer: the phase committed, so the
+// pending observations become the phase's read record and all cell
+// contents (post-merge) are snapshotted as the end-of-phase state.
+func (tr *Trace) PhaseEnd(int, cost.PhaseCost) {
+	tr.reads = append(tr.reads, tr.pending)
+	tr.pending = nil
+	cells := tr.m.Data()
+	snap := make([]string, len(cells))
+	for i, info := range cells {
 		snap[i] = infoKey(info)
 	}
 	tr.cells = append(tr.cells, snap)

@@ -29,43 +29,32 @@
 //     violation (the QSM permits concurrent reads or concurrent writes to a
 //     location, "but not both") and aborts the run with an error.
 //
-// Phases execute processor programs concurrently on a worker pool; each
-// processor accumulates private request buffers that are merged
-// deterministically at the phase barrier, so simulations are parallel yet
-// reproducible.
+// The phase lifecycle — chunked concurrent dispatch, the deterministic
+// sharded barrier merge, cost accounting and observer events — lives in
+// internal/engine; this package is the thin model adapter binding that
+// runtime to the QSM-family cost rules and last-writer-wins commit.
 package qsm
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/cost"
-	"repro/internal/sched"
+	"repro/internal/engine"
 )
 
-// Machine is a QSM-family shared-memory machine.
+// Machine is a QSM-family shared-memory machine: the engine's
+// shared-memory runtime under a QSM cost rule.
 type Machine struct {
-	rule   cost.Rule
-	params cost.Params
-	n      int // declared input size, used for round classification
-	mem    []int64
-	report cost.Report
-	err    error
-	trace  *Trace
-
-	// workers bounds phase-execution parallelism; defaults to GOMAXPROCS.
-	workers int
-
-	// ctxs is the per-machine free list of phase contexts: one Ctx per
-	// processor, reset and reused every phase so request buffers keep their
-	// capacity instead of being reallocated O(p) times per phase.
-	ctxs []*Ctx
-	// failN/fail1 are per-chunk failure tallies (count, first failing
-	// processor index or -1), collected during body dispatch.
-	failN, fail1 []int32
-	// cb holds the reusable scratch of the sharded commit pipeline.
-	cb commitBuf
+	engine.Mem[int64]
+	rule  cost.Rule
+	trace *Trace
 }
+
+// Ctx is the per-processor handle available inside a phase (Proc, Read,
+// Write, Op). It is not safe to share a Ctx across processors.
+type Ctx = engine.MemCtx[int64]
 
 // Config selects the machine variant and parameters.
 type Config struct {
@@ -89,27 +78,14 @@ type Config struct {
 // New constructs a machine. The shared memory is zero-initialised.
 func New(c Config) (*Machine, error) {
 	p := cost.Params{G: c.G, P: c.P, D: c.D}
-	if err := p.Validate(); err != nil {
+	if err := engine.ValidateConfig("qsm", p, c.N, c.MemCells, c.Workers, false); err != nil {
 		return nil, err
 	}
 	if c.Rule == cost.RuleQSMGD && c.D < 1 {
 		return nil, fmt.Errorf("qsm: QSM(g,d) requires d ≥ 1, got %d", c.D)
 	}
-	if c.N < 1 {
-		return nil, fmt.Errorf("qsm: input size N must be ≥ 1, got %d", c.N)
-	}
-	if c.MemCells < 0 {
-		return nil, fmt.Errorf("qsm: negative memory size %d", c.MemCells)
-	}
-	w := sched.Workers(c.Workers)
-	m := &Machine{
-		rule:    c.Rule,
-		params:  p,
-		n:       c.N,
-		mem:     make([]int64, c.MemCells),
-		workers: w,
-	}
-	m.report = cost.Report{Model: c.Rule.String(), N: c.N, Params: p}
+	m := &Machine{rule: c.Rule}
+	m.InitMem(qsmModel{m}, p, c.N, c.Workers, c.MemCells)
 	return m, nil
 }
 
@@ -122,39 +98,21 @@ func MustNew(c Config) *Machine {
 	return m
 }
 
-// P returns the number of processors.
-func (m *Machine) P() int { return m.params.P }
-
 // G returns the gap parameter.
-func (m *Machine) G() int64 { return m.params.G }
-
-// N returns the declared input size.
-func (m *Machine) N() int { return m.n }
+func (m *Machine) G() int64 { return m.Params().G }
 
 // Rule returns the machine's cost rule.
 func (m *Machine) Rule() cost.Rule { return m.rule }
 
-// MemSize returns the current shared-memory size in cells.
-func (m *Machine) MemSize() int { return len(m.mem) }
-
-// Grow extends the shared memory to at least size cells (zero filled).
-// Growing memory is free in the model: it allocates address space, not work.
-func (m *Machine) Grow(size int) {
-	if size > len(m.mem) {
-		grown := make([]int64, size)
-		copy(grown, m.mem)
-		m.mem = grown
-	}
-}
-
 // Load copies vals into shared memory starting at addr, outside of any
 // phase. It models the initial placement of the input and is not charged.
 func (m *Machine) Load(addr int, vals []int64) error {
-	if addr < 0 || addr+len(vals) > len(m.mem) {
+	mem := m.Data()
+	if addr < 0 || addr+len(vals) > len(mem) {
 		return fmt.Errorf("qsm: Load out of range [%d,%d) of %d cells",
-			addr, addr+len(vals), len(m.mem))
+			addr, addr+len(vals), len(mem))
 	}
-	copy(m.mem[addr:], vals)
+	copy(mem[addr:], vals)
 	return nil
 }
 
@@ -163,413 +121,75 @@ func (m *Machine) Load(addr int, vals []int64) error {
 // records a machine error (first error wins) and returns 0, so algorithm
 // mistakes cannot be masked by phantom zeros.
 func (m *Machine) Peek(addr int) int64 {
-	if addr < 0 || addr >= len(m.mem) {
-		m.recordErr(fmt.Errorf("qsm: Peek out of range: cell %d of %d", addr, len(m.mem)))
+	mem := m.Data()
+	if addr < 0 || addr >= len(mem) {
+		m.RecordErr(fmt.Errorf("qsm: Peek out of range: cell %d of %d", addr, len(mem)))
 		return 0
 	}
-	return m.mem[addr]
+	return mem[addr]
 }
 
 // PeekRange copies cells [addr, addr+k) for host-side inspection. Like
 // Peek, a range that leaves the memory records a machine error and the
 // returned slice is zero-filled.
 func (m *Machine) PeekRange(addr, k int) []int64 {
+	mem := m.Data()
 	if k < 0 {
-		m.recordErr(fmt.Errorf("qsm: PeekRange negative length %d", k))
+		m.RecordErr(fmt.Errorf("qsm: PeekRange negative length %d", k))
 		return nil
 	}
 	out := make([]int64, k)
-	if addr < 0 || addr+k > len(m.mem) {
-		m.recordErr(fmt.Errorf("qsm: PeekRange out of range [%d,%d) of %d cells",
-			addr, addr+k, len(m.mem)))
+	if addr < 0 || addr+k > len(mem) {
+		m.RecordErr(fmt.Errorf("qsm: PeekRange out of range [%d,%d) of %d cells",
+			addr, addr+k, len(mem)))
 		return out
 	}
-	copy(out, m.mem[addr:addr+k])
+	copy(out, mem[addr:addr+k])
 	return out
-}
-
-// recordErr poisons the machine with the first host-side error observed.
-func (m *Machine) recordErr(err error) {
-	if m.err == nil {
-		m.err = err
-	}
-}
-
-// Err returns the first model violation or runtime error, if any.
-func (m *Machine) Err() error { return m.err }
-
-// Report returns the accumulated cost report.
-func (m *Machine) Report() *cost.Report { return &m.report }
-
-// Ctx is the per-processor handle available inside a phase. It is not safe
-// to share a Ctx across processors.
-type Ctx struct {
-	proc  int
-	m     *Machine
-	reads int64
-	wrs   int64
-	ops   int64
-
-	readAddrs  []int32
-	writeAddrs []int32
-	writeVals  []int64
-	fail       error
-}
-
-// Proc returns this processor's index in [0, P).
-func (c *Ctx) Proc() int { return c.proc }
-
-// Read returns the contents of the cell as of the start of the phase and
-// charges one shared-memory read.
-//
-// Model discipline: the QSM permits the value to be used only in a
-// subsequent phase. The simulator returns the start-of-phase snapshot, so
-// using the value immediately is observationally identical to buffering it;
-// however, algorithms must not let one read's value choose another address
-// read in the same phase (requests must be a function of start-of-phase
-// state). All algorithms in this repository obey that discipline.
-func (c *Ctx) Read(addr int) int64 {
-	if addr < 0 || addr >= len(c.m.mem) {
-		c.failf("read out of range: cell %d of %d", addr, len(c.m.mem))
-		return 0
-	}
-	c.reads++
-	c.readAddrs = append(c.readAddrs, int32(addr))
-	return c.m.mem[addr]
-}
-
-// Write queues a write of val to the cell, committing at the phase barrier,
-// and charges one shared-memory write.
-func (c *Ctx) Write(addr int, val int64) {
-	if addr < 0 || addr >= len(c.m.mem) {
-		c.failf("write out of range: cell %d of %d", addr, len(c.m.mem))
-		return
-	}
-	c.wrs++
-	c.writeAddrs = append(c.writeAddrs, int32(addr))
-	c.writeVals = append(c.writeVals, val)
-}
-
-// Op charges k units of local computation.
-func (c *Ctx) Op(k int) {
-	if k > 0 {
-		c.ops += int64(k)
-	}
-}
-
-func (c *Ctx) failf(format string, args ...any) {
-	if c.fail == nil {
-		c.fail = fmt.Errorf("qsm: proc %d: "+format, append([]any{c.proc}, args...)...)
-	}
 }
 
 // ErrViolation wraps QSM memory-access-rule violations.
 var ErrViolation = errors.New("qsm: memory access rule violation")
 
-// Phase runs one bulk-synchronous phase: body is invoked once per processor
-// (concurrently over contiguous chunks), requests are merged at the barrier
-// by the sharded commit pipeline, the phase is charged under the machine's
-// cost rule, and writes commit. Phase is a no-op once the machine has erred.
-func (m *Machine) Phase(body func(c *Ctx)) {
-	if m.err != nil {
-		return
+// qsmModel binds the engine's shared-memory runtime to the QSM family:
+// word-valued cells, last-writer-wins commit, and the rule's phase-time
+// formula with the paper's κ = 1 convention for request-free phases.
+type qsmModel struct{ m *Machine }
+
+func (md qsmModel) Name() string     { return md.m.rule.String() }
+func (md qsmModel) Entity() string   { return "processor" }
+func (md qsmModel) Prefix() string   { return "qsm" }
+func (md qsmModel) Violation() error { return ErrViolation }
+func (md qsmModel) Grain() int       { return 1 }
+
+// Apply commits one bucket of writes last-writer-wins; the engine replays
+// buckets in processor order, so the winner at each cell is the final
+// write of the highest-numbered processor.
+func (md qsmModel) Apply(mem []int64, addrs []int32, vals []int64) {
+	for j, a := range addrs {
+		mem[a] = vals[j]
 	}
-	p := m.params.P
-	if m.ctxs == nil {
-		m.ctxs = make([]*Ctx, p)
-		for i := range m.ctxs {
-			m.ctxs[i] = &Ctx{proc: i, m: m}
-		}
-	}
-	// Failure detection rides along with the body dispatch (the ctxs are
-	// cache-hot here), recorded per chunk and merged in commitPhase.
-	nb := sched.NumBlocks(m.workers, p)
-	if len(m.failN) < nb {
-		m.failN = make([]int32, nb)
-		m.fail1 = make([]int32, nb)
-	}
-	sched.Blocks(m.workers, p, func(w, lo, hi int) {
-		var nf, first int32 = 0, -1
-		for i := lo; i < hi; i++ {
-			c := m.ctxs[i]
-			c.reset()
-			body(c)
-			if c.fail != nil {
-				if first < 0 {
-					first = int32(i)
-				}
-				nf++
-			}
-		}
-		m.failN[w], m.fail1[w] = nf, first
-	})
-	m.commitPhase(m.ctxs)
 }
 
-func (c *Ctx) reset() {
-	c.reads, c.wrs, c.ops = 0, 0, 0
-	c.readAddrs = c.readAddrs[:0]
-	c.writeAddrs = c.writeAddrs[:0]
-	c.writeVals = c.writeVals[:0]
-	c.fail = nil
-}
+func (md qsmModel) Scrub([]int64) {}
 
-// commitBuf is the reusable scratch of the sharded phase commit. Requests
-// are first bucketed by address shard (one bucket per merge-chunk × shard,
-// filled in processor order), then each shard is counted and resolved
-// independently over its private slice of the address-space scratch arrays.
-// Everything is retained across phases, so a steady-state phase allocates
-// nothing here.
-type commitBuf struct {
-	// Pass-1 buckets, indexed [chunk*numShards + shard].
-	rAddr, rProc [][]int32
-	wAddr, wProc [][]int32
-	wVal         [][]int64
-	// Per-chunk local-cost maxima.
-	mOp, mRW []int64
-	// Per-shard contention maxima and smallest violating cell (−1 = none).
-	kr, kw []int64
-	viol   []int32
-	// Address-space scratch: count holds +readers/−writers per cell, last
-	// the dedup mark (proc+1 for reads, −(proc+1) for writes); both are
-	// zeroed via the per-shard touched lists after every phase.
-	count, last []int32
-	touched     [][]int32
-}
+func (md qsmModel) Render(v int64) string { return strconv.FormatInt(v, 10) }
 
-// ensure sizes the scratch for the current memory size and returns the
-// sharding and the number of pass-1 merge chunks.
-func (b *commitBuf) ensure(memSize, workers, p int) (sh sched.Sharding, nm int) {
-	nm = sched.NumBlocks(workers, p)
-	sh = sched.NewSharding(memSize, workers)
-	if nb := nm * sh.N; len(b.rAddr) < nb {
-		b.rAddr = growSlices(b.rAddr, nb)
-		b.rProc = growSlices(b.rProc, nb)
-		b.wAddr = growSlices(b.wAddr, nb)
-		b.wProc = growSlices(b.wProc, nb)
-		b.wVal = growSlices(b.wVal, nb)
-	}
-	if len(b.mOp) < nm {
-		b.mOp = make([]int64, nm)
-		b.mRW = make([]int64, nm)
-	}
-	if len(b.kr) < sh.N {
-		b.kr = make([]int64, sh.N)
-		b.kw = make([]int64, sh.N)
-		b.viol = make([]int32, sh.N)
-		b.touched = growSlices(b.touched, sh.N)
-	}
-	if len(b.count) < memSize {
-		b.count = make([]int32, memSize)
-		b.last = make([]int32, memSize)
-	}
-	return sh, nm
-}
-
-func growSlices[T any](s [][]T, n int) [][]T {
-	for len(s) < n {
-		s = append(s, nil)
-	}
-	return s
-}
-
-// commitPhase merges per-processor buffers, validates access rules, charges
-// the phase and applies writes. The merge runs in two parallel passes:
-// bucket requests by address shard (over processor chunks), then count
-// contention, resolve winners and detect violations per shard. Results are
-// identical for every Workers setting: buckets are filled in processor
-// order and scanned in chunk order, so the committed "arbitrary" winner is
-// always the last write of the highest-numbered processor.
-func (m *Machine) commitPhase(ctxs []*Ctx) {
-	// Failed processors short-circuit the commit: nothing is counted and no
-	// write commits. The first error in processor order wins; the number of
-	// other failing processors is preserved in the message. The per-chunk
-	// tallies were collected during body dispatch in Phase.
-	nfail, firstIdx := 0, -1
-	for w := 0; w < sched.NumBlocks(m.workers, len(ctxs)); w++ {
-		if m.failN[w] > 0 {
-			if firstIdx < 0 {
-				firstIdx = int(m.fail1[w])
-			}
-			nfail += int(m.failN[w])
-		}
-	}
-	if nfail > 0 {
-		first := ctxs[firstIdx].fail
-		if nfail > 1 {
-			m.err = fmt.Errorf("%w (and %d other processors failed)", first, nfail-1)
-		} else {
-			m.err = first
-		}
-		return
-	}
-
-	b := &m.cb
-	sh, nm := b.ensure(len(m.mem), m.workers, len(ctxs))
-	ns := sh.N
-
-	// Pass 1: per-chunk cost maxima + requests bucketed by address shard.
-	sched.Blocks(m.workers, len(ctxs), func(w, lo, hi int) {
-		var mOp, mRW int64
-		base := w * ns
-		for i := lo; i < hi; i++ {
-			c := ctxs[i]
-			mOp = max(mOp, c.ops)
-			mRW = max(mRW, c.reads, c.wrs)
-			proc := int32(i)
-			for _, a := range c.readAddrs {
-				k := base + sh.Shard(a)
-				b.rAddr[k] = append(b.rAddr[k], a)
-				b.rProc[k] = append(b.rProc[k], proc)
-			}
-			for j, a := range c.writeAddrs {
-				k := base + sh.Shard(a)
-				b.wAddr[k] = append(b.wAddr[k], a)
-				b.wProc[k] = append(b.wProc[k], proc)
-				b.wVal[k] = append(b.wVal[k], c.writeVals[j])
-			}
-		}
-		b.mOp[w], b.mRW[w] = mOp, mRW
-	})
-
-	// Pass 2: per-shard contention counting and violation detection.
-	// Contention is the number of *processors* accessing a cell (paper
-	// definition): duplicate requests by one processor dedupe via the last
-	// mark (they still count toward its m_rw). Within a shard all reads are
-	// scanned before all writes, so a positive count at a written cell means
-	// the cell was read this phase — the QSM's forbidden read+write mix.
-	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
-		for s := slo; s < shi; s++ {
-			var kr, kw int64
-			viol := int32(-1)
-			touched := b.touched[s][:0]
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				procs := b.rProc[k]
-				for j, a := range b.rAddr[k] {
-					pr := procs[j] + 1
-					if b.last[a] == pr {
-						continue
-					}
-					b.last[a] = pr
-					if b.count[a] == 0 {
-						touched = append(touched, a)
-					}
-					b.count[a]++
-					kr = max(kr, int64(b.count[a]))
-				}
-			}
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				procs := b.wProc[k]
-				for j, a := range b.wAddr[k] {
-					if b.count[a] > 0 {
-						if viol < 0 || a < viol {
-							viol = a
-						}
-						continue
-					}
-					pr := -(procs[j] + 1)
-					if b.last[a] == pr {
-						continue
-					}
-					b.last[a] = pr
-					if b.count[a] == 0 {
-						touched = append(touched, a)
-					}
-					b.count[a]--
-					kw = max(kw, int64(-b.count[a]))
-				}
-			}
-			b.kr[s], b.kw[s], b.viol[s] = kr, kw, viol
-			b.touched[s] = touched
-		}
-	})
-
-	var mOp, mRW int64
-	for w := 0; w < nm; w++ {
-		mOp = max(mOp, b.mOp[w])
-		mRW = max(mRW, b.mRW[w])
-	}
-	var kr, kw int64
-	violAddr := int32(-1)
-	for s := 0; s < ns; s++ {
-		kr = max(kr, b.kr[s])
-		kw = max(kw, b.kw[s])
-		if b.viol[s] >= 0 && (violAddr < 0 || b.viol[s] < violAddr) {
-			violAddr = b.viol[s]
-		}
-	}
-	if violAddr >= 0 {
-		m.err = fmt.Errorf("%w: cell %d both read and written in phase %d",
-			ErrViolation, violAddr, m.report.NumPhases())
-		m.finishCommit(nm, ns, false)
-		return
-	}
+func (md qsmModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	kr, kw := o.KRead, o.KWrite
 	// A phase with no reads or writes has contention one by definition.
 	if kr == 0 && kw == 0 {
 		kr = 1
 	}
-
-	t := m.rule.PhaseTime(m.params.G, m.params.D, mOp, mRW, kr, kw)
-	pc := cost.PhaseCost{
-		MaxOps:          mOp,
-		MaxRW:           mRW,
+	pr := md.m.Params()
+	t := md.m.rule.PhaseTime(pr.G, pr.D, o.MaxOps, o.MaxRW, kr, kw)
+	return cost.PhaseCost{
+		MaxOps:          o.MaxOps,
+		MaxRW:           o.MaxRW,
 		Contention:      max(kr, kw),
 		ReadContention:  kr,
 		WriteContention: kw,
 		Time:            t,
-		IsRound:         t <= cost.RoundBudget(m.params.G, m.n, m.params.P),
+		IsRound:         t <= cost.RoundBudget(pr.G, md.m.N(), pr.P),
 	}
-	m.report.Add(pc)
-
-	if m.trace != nil {
-		m.trace.recordReads(m, ctxs)
-	}
-	m.finishCommit(nm, ns, true)
-	if m.trace != nil {
-		m.trace.recordCells(m)
-	}
-}
-
-// finishCommit applies the phase's writes (unless aborted by a violation)
-// and zeroes the scratch for the next phase, both in parallel over shards.
-// Buckets hold requests in ascending processor order and are replayed in
-// chunk order, so the last value stored per cell is the deterministic
-// winner: the final write of the highest-numbered processor.
-func (m *Machine) finishCommit(nm, ns int, applyWrites bool) {
-	b := &m.cb
-	sched.Blocks(m.workers, ns, func(_, slo, shi int) {
-		for s := slo; s < shi; s++ {
-			for w := 0; w < nm; w++ {
-				k := w*ns + s
-				if applyWrites {
-					vals := b.wVal[k]
-					for j, a := range b.wAddr[k] {
-						m.mem[a] = vals[j]
-					}
-				}
-				b.rAddr[k] = b.rAddr[k][:0]
-				b.rProc[k] = b.rProc[k][:0]
-				b.wAddr[k] = b.wAddr[k][:0]
-				b.wProc[k] = b.wProc[k][:0]
-				b.wVal[k] = b.wVal[k][:0]
-			}
-			for _, a := range b.touched[s] {
-				b.count[a] = 0
-				b.last[a] = 0
-			}
-			b.touched[s] = b.touched[s][:0]
-		}
-	})
-}
-
-// ForAll is a convenience wrapper: it runs a phase in which only processors
-// with index < active participate; the rest idle.
-func (m *Machine) ForAll(active int, body func(c *Ctx)) {
-	m.Phase(func(c *Ctx) {
-		if c.Proc() < active {
-			body(c)
-		}
-	})
 }

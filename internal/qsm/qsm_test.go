@@ -31,6 +31,9 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Rule: cost.RuleQSM, P: 1, G: 1, N: 1, MemCells: -1}); err == nil {
 		t.Error("want error for negative memory")
 	}
+	if _, err := New(Config{Rule: cost.RuleQSM, P: 1, G: 1, N: 1, Workers: -1}); err == nil {
+		t.Error("want error for negative Workers")
+	}
 }
 
 func TestMustNewPanics(t *testing.T) {

@@ -3,6 +3,9 @@ package qsm
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
 )
 
 // Trace records, for a traced run, what each processor observed (the
@@ -10,36 +13,51 @@ import (
 // phase boundary. It feeds the influence analysis behind Theorem 3.3: in T
 // phases an input bit can spread to at most fan-in^T processors, which
 // caps how fast any QSM algorithm can gather parity.
+//
+// Trace is an engine.Observer: read observations arrive as request events
+// (rendered against start-of-phase memory) buffered in pending, and
+// commit into the record at PhaseEnd — so phases that fail or abort on a
+// violation are never recorded, exactly the phases that never commit.
 type Trace struct {
-	reads [][][]string // [phase][proc] sorted "(cell:value)" observations
-	cells [][]int64    // [phase][cell] value at end of phase
+	m       *Machine
+	pending [][]string   // current phase: [proc] read observations so far
+	reads   [][][]string // [phase][proc] sorted "(cell:value)" observations
+	cells   [][]int64    // [phase][cell] value at end of phase
 }
 
 // EnableTracing switches on trace recording; call before the first phase.
 // Tracing snapshots all cells per phase, so it is intended for small-n
 // proof-machinery experiments.
 func (m *Machine) EnableTracing() {
-	m.trace = &Trace{}
+	m.trace = &Trace{m: m}
+	m.AddObserver(m.trace)
 }
 
 // TraceLog returns the recorded trace, or nil if tracing was off.
 func (m *Machine) TraceLog() *Trace { return m.trace }
 
-func (tr *Trace) recordReads(m *Machine, ctxs []*Ctx) {
-	phase := make([][]string, len(ctxs))
-	for i, c := range ctxs {
-		rs := make([]string, 0, len(c.readAddrs))
-		for _, a := range c.readAddrs {
-			rs = append(rs, fmt.Sprintf("%d:%d", a, m.mem[a]))
-		}
-		phase[i] = rs
-	}
-	tr.reads = append(tr.reads, phase)
+// PhaseStart implements engine.Observer.
+func (tr *Trace) PhaseStart(int) {
+	tr.pending = make([][]string, tr.m.P())
 }
 
-func (tr *Trace) recordCells(m *Machine) {
-	snap := make([]int64, len(m.mem))
-	copy(snap, m.mem)
+// Request implements engine.Observer: reads append to the issuing
+// processor's pending observation list in issue order.
+func (tr *Trace) Request(_ int, r engine.Request) {
+	if r.Kind == engine.KindRead {
+		tr.pending[r.Proc] = append(tr.pending[r.Proc],
+			fmt.Sprintf("%d:%s", r.Addr, r.Payload))
+	}
+}
+
+// PhaseEnd implements engine.Observer: the phase committed, so the
+// pending observations become the phase's read record and the (post-
+// write) memory is snapshotted as the end-of-phase cell state.
+func (tr *Trace) PhaseEnd(int, cost.PhaseCost) {
+	tr.reads = append(tr.reads, tr.pending)
+	tr.pending = nil
+	snap := make([]int64, tr.m.MemSize())
+	copy(snap, tr.m.Data())
 	tr.cells = append(tr.cells, snap)
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/compaction"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/gsm"
 	"repro/internal/gsmalg"
 	"repro/internal/parity"
@@ -50,6 +51,21 @@ import (
 
 // Machine and accounting types, re-exported for users of the public API.
 type (
+	// Machine is the model-generic read side every simulator satisfies
+	// (P, N, Err, Report, AddObserver). Code that only inspects a run —
+	// sweep drivers, renderers, observers — should accept a Machine
+	// rather than a concrete machine type.
+	Machine = engine.Machine
+	// Observer receives the structured per-phase event stream of a
+	// machine: phase starts, committed requests in deterministic order,
+	// and phase costs. The stream is byte-identical for every Workers
+	// setting.
+	Observer = engine.Observer
+	// Request is one observed memory request or message send.
+	Request = engine.Request
+	// EventLog is a ready-made Observer that renders the event stream to
+	// text lines; attach one with Observe.
+	EventLog = engine.EventLog
 	// QSMMachine is a shared-memory machine of the QSM family (QSM, s-QSM,
 	// QRQW, CRQW — selected by the constructor used).
 	QSMMachine = qsm.Machine
@@ -116,6 +132,17 @@ func NewBSP(p int, g, l int64, n, privCells int) (*BSPMachine, error) {
 // NewGSM builds the paper's lower-bound model with parameters α, β, γ.
 func NewGSM(p int, alpha, beta, gamma int64, n, cells int) (*GSMMachine, error) {
 	return gsm.New(gsm.Config{P: p, Alpha: alpha, Beta: beta, Gamma: gamma, N: n, Cells: cells})
+}
+
+// Observe attaches a fresh textual event log to a machine (any model) and
+// returns it; call before running phases. The log records the structured
+// per-phase event stream — phase starts, committed requests in
+// deterministic order, and phase costs — and is identical for every
+// Workers setting.
+func Observe(m Machine) *EventLog {
+	ev := &EventLog{}
+	m.AddObserver(ev)
+	return ev
 }
 
 // --- algorithms (Section 8 upper bounds) --------------------------------------
