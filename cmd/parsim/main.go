@@ -176,6 +176,9 @@ func run(cfg config) error {
 		}
 		fmt.Printf("placed %d items in %d cells over %d rounds\n",
 			len(res.Placed), res.OutSize, res.Rounds)
+		if slots := res.PlacedSlots(); len(slots) > 0 {
+			fmt.Printf("occupied cells span [%d, %d]\n", slots[0].Cell, slots[len(slots)-1].Cell)
+		}
 	case "listrank":
 		// Parity via the size-preserving list-ranking reduction.
 		m2, err := repro.NewQSM(2*(n+1), g, n, n)

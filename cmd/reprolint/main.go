@@ -1,0 +1,18 @@
+// Command reprolint is the project's static-analysis vet tool. It runs
+// the determinism/engine-contract suite (maporder, globalrand, wallclock,
+// commitpurity) under the `go vet -vettool` protocol:
+//
+//	go build -o bin/reprolint ./cmd/reprolint
+//	go vet -vettool=$(command -v reprolint || echo ./bin/reprolint) ./...
+//
+// Run `reprolint help` for the check list and the allowlist syntax.
+package main
+
+import (
+	"repro/internal/analysis/suite"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(suite.Analyzers()...)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol builds the reprolint binary and exercises the full
+// `go vet -vettool` protocol against the repository itself: the -V=full
+// identification handshake, the -flags query, and a whole-tree vet run
+// that must come back clean (the tree is lint-clean by construction; any
+// new violation fails here before it fails in CI).
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the whole tree")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "reprolint")
+	build := exec.Command(goTool, "build", "-o", bin, "repro/cmd/reprolint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reprolint: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	// cmd/go parses this line in work.Builder.toolID: at least three
+	// fields, f[1] == "version", and a devel version must end in a
+	// buildID= field.
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Errorf("-V=full output %q does not satisfy cmd/go's toolID parser", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("-flags printed %q, want []", got)
+	}
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	var stderr bytes.Buffer
+	vet.Stdout = os.Stdout
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool over the tree found violations or failed: %v\n%s", err, stderr.String())
+	}
+}

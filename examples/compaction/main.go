@@ -36,6 +36,11 @@ func main() {
 	}
 	fmt.Printf("dart LAC:   placed %d/%d items in %d cells over %d rounds\n",
 		len(res.Placed), h, res.OutSize, res.Rounds)
+	// PlacedSlots is the deterministic view of the placement map (sorted by
+	// output cell); never range over res.Placed directly in rendered output.
+	slots := res.PlacedSlots()
+	fmt.Printf("            first placement: tag %d → cell %d, last: tag %d → cell %d\n",
+		slots[0].Tag, slots[0].Cell, slots[len(slots)-1].Tag, slots[len(slots)-1].Cell)
 	fmt.Printf("            %v\n", md.Report())
 
 	// Deterministic prefix-sums compaction (exact and stable).

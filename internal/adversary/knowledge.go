@@ -132,6 +132,7 @@ func AnalyzeKnowledge(runner Runner, n, procs, cells int) (*Analysis, error) {
 				a.KnowCell[t][v] = know
 			}
 			// Degrees of the state indicator functions.
+			//lint:maporder-ok max over the indicator degrees is order-independent
 			for _, members := range distinct {
 				chi := boolfn.Indicator(n, members)
 				if d := chi.Degree(); d > a.MaxDegree[t] {

@@ -123,10 +123,13 @@ func (ls *LayerSet) Active(layer int) bool { return ls.active[layer] }
 // Size returns the number of active layers.
 func (ls *LayerSet) Size() int { return len(ls.active) }
 
-// Weight returns the total mixture weight of the active layers.
+// Weight returns the total mixture weight of the active layers. The sum
+// runs in layer order: floating-point addition is not associative, so a
+// map-order sum could differ in the last ulp between runs and perturb the
+// RandomRestrict/RandomFix draw thresholds.
 func (ls *LayerSet) Weight() float64 {
 	var w float64
-	for l := range ls.active {
+	for _, l := range orderedLayers(ls) {
 		w += ls.mix.LayerWeight(l)
 	}
 	return w

@@ -1,0 +1,195 @@
+// Package analysis is the project's static-analysis framework: a
+// deliberately small, dependency-free mirror of the golang.org/x/tools
+// go/analysis API shape. The container this repository builds in has no
+// module proxy access, so the framework (and the go vet -vettool driver in
+// the sibling unitchecker package) is implemented on the standard library
+// alone; analyzers written against it port to the real go/analysis with a
+// mechanical rename if x/tools ever becomes available.
+//
+// The suite exists to make the repository's determinism contract
+// machine-checked at compile time instead of merely sampled at test time:
+// cost reports and §5 event streams must be byte-identical for every
+// Workers setting (see DESIGN.md, "Determinism invariants"), so sources of
+// run-to-run nondeterminism — map iteration order, the global math/rand
+// source, the host clock, stray writes to the commit engines' internal
+// state — are flagged where they are written, not where they break a
+// golden file.
+//
+// Suppression: a finding can be allowlisted with a directive comment on
+// the flagged line or the line directly above it:
+//
+//	//lint:maporder-ok reduction is order-independent (max over values)
+//
+// The directive key is "<analyzer name>-ok" and the reason is mandatory: a
+// bare directive does not suppress and is itself reported, so every
+// exemption in the tree carries its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The zero framework runs Run once
+// per package with a fully type-checked Pass.
+type Analyzer struct {
+	// Name is the analyzer's identifier; it prefixes diagnostics and
+	// names the allowlist directive ("//lint:<Name>-ok reason").
+	Name string
+	// Doc is the one-line description shown by `reprolint help`.
+	Doc string
+	// AppliesTo, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts (test-variant suffixes like
+	// " [repro/x.test]" are stripped before the call). A nil AppliesTo
+	// runs everywhere.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the analysis and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed and type-checked state through an
+// analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Path is the package's import path with any test-variant suffix
+	// stripped.
+	Path      string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one finding. The driver owns ordering and output.
+	Report func(Diagnostic)
+
+	// directives indexes the per-file allowlist directives lazily:
+	// filename -> line -> reason (which may be empty for a malformed,
+	// reason-less directive).
+	directives map[string]map[int]string
+}
+
+// Reportf formats and records one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite
+// checks executable model code only; tests are free to iterate maps,
+// consult the clock and roll unseeded dice.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// directiveKey returns the allowlist directive key of the pass's analyzer.
+func (p *Pass) directiveKey() string { return p.Analyzer.Name + "-ok" }
+
+// Allowlisted reports whether the finding at pos is suppressed by a
+// reasoned "//lint:<name>-ok reason" directive on the same line or the
+// line directly above. Directives without a reason do not suppress (see
+// CheckDirectives).
+func (p *Pass) Allowlisted(file *ast.File, pos token.Pos) bool {
+	lines := p.fileDirectives(file)
+	position := p.Fset.Position(pos)
+	for _, l := range []int{position.Line, position.Line - 1} {
+		if reason, ok := lines[l]; ok && reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports every reason-less allowlist directive of this
+// analyzer in the pass's files. Analyzers call it once from Run so a bare
+// "//lint:<name>-ok" cannot silently disable a check.
+func (p *Pass) CheckDirectives() {
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		lines := p.fileDirectives(f)
+		nums := make([]int, 0, len(lines))
+		for l := range lines { //lint:maporder-ok lines are sorted before reporting
+			nums = append(nums, l)
+		}
+		sort.Ints(nums)
+		for _, l := range nums {
+			if lines[l] == "" {
+				p.Reportf(p.lineStart(f, name, l),
+					"allowlist directive //lint:%s requires a reason", p.directiveKey())
+			}
+		}
+	}
+}
+
+// lineStart returns a position on line l of file f (the file position of
+// the directive comment itself when resolvable, else the file start).
+func (p *Pass) lineStart(f *ast.File, filename string, l int) token.Pos {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if p.Fset.Position(c.Pos()).Line == l {
+				return c.Pos()
+			}
+		}
+	}
+	return f.Pos()
+}
+
+// fileDirectives builds (and caches) the line -> reason directive index
+// of one file for this analyzer.
+func (p *Pass) fileDirectives(f *ast.File) map[int]string {
+	name := p.Fset.Position(f.Pos()).Filename
+	if p.directives == nil {
+		p.directives = make(map[string]map[int]string)
+	}
+	if lines, ok := p.directives[name]; ok {
+		return lines
+	}
+	lines := make(map[int]string)
+	key := p.directiveKey()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			reason, ok := ParseDirective(c.Text, key)
+			if !ok {
+				continue
+			}
+			lines[p.Fset.Position(c.Pos()).Line] = reason
+		}
+	}
+	p.directives[name] = lines
+	return lines
+}
+
+// ParseDirective matches one comment against "//lint:<key> <reason>" and
+// returns the (possibly empty) reason. The directive must start the
+// comment: it is a machine-readable marker, not prose.
+func ParseDirective(comment, key string) (reason string, ok bool) {
+	text, found := strings.CutPrefix(comment, "//lint:")
+	if !found {
+		return "", false
+	}
+	text, found = strings.CutPrefix(text, key)
+	if !found {
+		return "", false
+	}
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		// A longer directive key ("maporder-okay"), not ours.
+		return "", false
+	}
+	return strings.TrimSpace(text), true
+}
+
+// StripVariant removes cmd/go's test-variant suffix from an import path:
+// "repro/x [repro/x.test]" -> "repro/x".
+func StripVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

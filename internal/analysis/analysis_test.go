@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment, key string
+		reason       string
+		ok           bool
+	}{
+		{"//lint:maporder-ok keys are sorted", "maporder-ok", "keys are sorted", true},
+		{"//lint:maporder-ok", "maporder-ok", "", true},
+		{"//lint:maporder-ok\treason after tab", "maporder-ok", "reason after tab", true},
+		{"//lint:maporder-okay not our key", "maporder-ok", "", false},
+		{"// lint:maporder-ok not a directive", "maporder-ok", "", false},
+		{"//lint:wallclock-ok other analyzer", "maporder-ok", "", false},
+		{"// plain comment", "maporder-ok", "", false},
+	}
+	for _, c := range cases {
+		reason, ok := ParseDirective(c.comment, c.key)
+		if reason != c.reason || ok != c.ok {
+			t.Errorf("ParseDirective(%q, %q) = (%q, %v), want (%q, %v)",
+				c.comment, c.key, reason, ok, c.reason, c.ok)
+		}
+	}
+}
+
+func TestStripVariant(t *testing.T) {
+	cases := map[string]string{
+		"repro/internal/engine":                              "repro/internal/engine",
+		"repro/internal/engine [repro/internal/engine.test]": "repro/internal/engine",
+	}
+	for in, want := range cases { //lint:maporder-ok assertions are independent per entry
+		if got := StripVariant(in); got != want {
+			t.Errorf("StripVariant(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// newPass parses src as a single file and returns a Pass collecting
+// diagnostics into diags. Type information is nil: the directive
+// machinery is purely syntactic.
+func newPass(t *testing.T, src string, diags *[]Diagnostic) (*Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "maporder"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d Diagnostic) { *diags = append(*diags, d) },
+	}
+	return pass, f
+}
+
+func TestBareDirectiveIsReportedAndDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) {
+	//lint:maporder-ok
+	for range m {
+	}
+}
+`
+	var diags []Diagnostic
+	pass, f := newPass(t, src, &diags)
+
+	pass.CheckDirectives()
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("CheckDirectives reported %v, want one 'requires a reason' finding", diags)
+	}
+	if got := pass.Fset.Position(diags[0].Pos).Line; got != 4 {
+		t.Errorf("reason-less directive reported at line %d, want 4", got)
+	}
+
+	// The bare directive must not allowlist the range on the next line.
+	rangeLine := 5
+	pos := posOnLine(pass.Fset, f, rangeLine)
+	if pass.Allowlisted(f, pos) {
+		t.Errorf("bare directive suppressed a finding on line %d", rangeLine)
+	}
+}
+
+func TestAllowlistedSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) {
+	for range m { //lint:maporder-ok same line
+	}
+	//lint:maporder-ok line above
+	for range m {
+	}
+	for range m {
+	}
+}
+`
+	var diags []Diagnostic
+	pass, f := newPass(t, src, &diags)
+	pass.CheckDirectives()
+	if len(diags) != 0 {
+		t.Fatalf("CheckDirectives reported %v for reasoned directives", diags)
+	}
+	for line, want := range map[int]bool{4: true, 7: true, 9: false} { //lint:maporder-ok assertions are independent per entry
+		if got := pass.Allowlisted(f, posOnLine(pass.Fset, f, line)); got != want {
+			t.Errorf("Allowlisted(line %d) = %v, want %v", line, got, want)
+		}
+	}
+}
+
+// posOnLine returns some token position on the requested line of f.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	var found token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found.IsValid() {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == line {
+			found = n.Pos()
+			return false
+		}
+		return true
+	})
+	if !found.IsValid() {
+		tf := fset.File(f.Pos())
+		found = tf.LineStart(line)
+	}
+	return found
+}

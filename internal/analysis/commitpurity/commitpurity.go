@@ -1,0 +1,182 @@
+// Package commitpurity guards the engine's sharded-merge invariant: the
+// internal state of the commit engines (engine.Mem, engine.Route, their
+// scratch buffers and per-processor contexts) may be written only from
+// the two-pass commit entry points and the request-recording methods.
+//
+// The determinism proof of the parallel phase commit (DESIGN.md §4) rests
+// on a closed-world argument: request buckets are filled in ascending
+// processor order, replayed in ascending chunk order, and nothing else
+// touches the engine state between the barrier and the apply. A write
+// from a new helper — a debug poke into Mem.mem, an eager inbox tweak, an
+// out-of-band scratch reset — re-opens that world silently; the runtime
+// determinism suite only notices if a sampled schedule happens to expose
+// it. This analyzer closes it at compile time: any assignment (or ++/--)
+// whose target is a field of a protected engine type is reported unless
+// the enclosing function is one of that type's sanctioned writers.
+//
+// The analyzer runs only on the engine package itself (unexported fields
+// make cross-package writes impossible). Extending a protected type with
+// a new sanctioned writer means editing the allowed-writers table here —
+// a deliberate speed bump that turns "mutate the engine" into a reviewed
+// contract change. One-off exceptions take //lint:commitpurity-ok <reason>.
+package commitpurity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer guards engine commit state against out-of-contract writes.
+var Analyzer = &analysis.Analyzer{
+	Name: "commitpurity",
+	Doc:  "flag writes to engine.Mem/engine.Route internal state outside the commit entry points",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/engine")
+	},
+	Run: run,
+}
+
+// allowedWriters maps each protected engine type to the functions that
+// may write its fields: the lifecycle entry points (Init*, Phase,
+// Superstep, RunPhase), the two-pass commit pipeline (commit, finish,
+// ensure), and the per-processor request recorders (MemCtx and Sends
+// methods). Everything else must go through these.
+var allowedWriters = map[string]map[string]bool{
+	"Core":     set("Init", "RunPhase", "RecordErr", "AddObserver", "observePhaseStart"),
+	"Mem":      set("InitMem", "Grow", "Phase"),
+	"memBuf":   set("ensure", "commit", "finish"),
+	"MemCtx":   set("Read", "Write", "Op", "failf", "reset"),
+	"Route":    set("InitRoute", "Superstep", "commit"),
+	"routeBuf": set("ensure", "commit"),
+	"Sends":    set("AddWork", "Stage", "Fail", "reset"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one function body (function literals inherit the
+// enclosing declaration's identity: the commit pipeline dispatches its
+// passes through sched.Blocks closures).
+func checkFunc(pass *analysis.Pass, f *ast.File, fd *ast.FuncDecl) {
+	fnName := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(pass, f, fnName, lhs, st.TokPos)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, f, fnName, st.X, st.TokPos)
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs if it writes a protected field from outside its
+// type's sanctioned writer set.
+func checkWrite(pass *analysis.Pass, f *ast.File, fnName string, lhs ast.Expr, tok token.Pos) {
+	sel := rootSelector(lhs)
+	if sel == nil {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner, field := fieldOwner(selection.Recv(), selection.Index())
+	writers, protected := allowedWriters[owner]
+	if !protected || writers[fnName] {
+		return
+	}
+	if pass.Allowlisted(f, tok) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"engine.%s.%s written in %s, outside the commit entry points (%s); route the mutation through them or annotate //lint:commitpurity-ok <reason>",
+		owner, field, fnName, writerList(writers))
+}
+
+// rootSelector unwraps indexing, dereference and parenthesisation around
+// an assignment target and returns the field selector being written
+// (m.mem[i] = v and b.touched[s] = t both write through the field).
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOwner resolves which named struct type declares the field a
+// selection writes, walking the embedding path so a write promoted
+// through Mem's embedded Core is attributed to Core.
+func fieldOwner(t types.Type, index []int) (owner, field string) {
+	for _, i := range index {
+		for {
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = p.Elem()
+		}
+		name := ""
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return "", ""
+		}
+		fv := st.Field(i)
+		owner, field = name, fv.Name()
+		t = fv.Type()
+	}
+	return owner, field
+}
+
+// writerList renders an allowed-writer set deterministically for the
+// diagnostic message.
+func writerList(writers map[string]bool) string {
+	names := make([]string, 0, len(writers))
+	for n := range writers { //lint:maporder-ok names are sorted before use
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

@@ -1,0 +1,25 @@
+package commitpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/commitpurity"
+)
+
+func TestCommitPurity(t *testing.T) {
+	analysistest.Run(t, commitpurity.Analyzer, "repro/internal/engine")
+}
+
+func TestAppliesOnlyToEngine(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/engine":     true,
+		"other/internal/engine":     true,
+		"repro/internal/compaction": false,
+		"repro/internal/engineered": false,
+	} { //lint:maporder-ok test assertions are independent per entry
+		if got := commitpurity.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package engine is a self-contained miniature of the real engine
+// package (same type names, same sanctioned-writer contract) so the
+// commitpurity fixture needs no cross-module imports.
+package engine
+
+// Core mirrors the shared lifecycle state.
+type Core struct {
+	failN int
+	err   error
+}
+
+func (c *Core) Init() {
+	c.failN = 0
+	c.err = nil
+}
+
+func (c *Core) RunPhase() {
+	c.failN++
+}
+
+func (c *Core) peek() int {
+	return c.failN // clean: reads are unrestricted
+}
+
+func (c *Core) poke() {
+	c.failN = 7 // want `engine\.Core\.failN written in poke, outside the commit entry points`
+}
+
+// Mem mirrors the sharded shared-memory engine; Core is embedded as in
+// the real package, so promoted writes must attribute to Core.
+type Mem struct {
+	Core
+	mem []int64
+}
+
+func (m *Mem) InitMem(n int) {
+	m.mem = make([]int64, n)
+}
+
+func (m *Mem) Phase() {
+	// Function literals inherit the enclosing declaration's identity:
+	// the real commit pipeline dispatches through closures.
+	apply := func(i int, v int64) { m.mem[i] = v }
+	apply(0, 1)
+}
+
+func (m *Mem) debugSet(i int, v int64) {
+	m.mem[i] = v // want `engine\.Mem\.mem written in debugSet, outside the commit entry points`
+}
+
+func (m *Mem) promotedWrite() {
+	m.failN = 3 // want `engine\.Core\.failN written in promotedWrite, outside the commit entry points`
+}
+
+func (m *Mem) bump() {
+	m.failN++ // want `engine\.Core\.failN written in bump, outside the commit entry points`
+}
+
+func (m *Mem) sanctioned() {
+	//lint:commitpurity-ok fixture exercises the allowlist
+	m.mem[0] = 2
+}
+
+type memBuf struct {
+	vals    []int64
+	touched map[int]bool
+}
+
+func (b *memBuf) ensure(n int) {
+	if b.touched == nil {
+		b.touched = make(map[int]bool, n)
+	}
+}
+
+func (b *memBuf) commit() {
+	b.vals = b.vals[:0]
+}
+
+func (b *memBuf) sneak() {
+	b.vals = append(b.vals, 9) // want `engine\.memBuf\.vals written in sneak, outside the commit entry points`
+	(b.touched)[1] = true      // want `engine\.memBuf\.touched written in sneak, outside the commit entry points`
+}
+
+// helper is not a protected type: its fields may be written anywhere.
+type helper struct {
+	n int
+}
+
+func (h *helper) anywhere() {
+	h.n++
+	h.n = 12
+}

@@ -1,0 +1,16 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/globalrand"
+)
+
+func TestOutsideBoundary(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, "a")
+}
+
+func TestConstructionBoundary(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, "repro/internal/workload")
+}

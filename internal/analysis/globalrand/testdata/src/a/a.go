@@ -1,0 +1,26 @@
+// Package a is outside the RNG construction boundary: both global-source
+// draws and generator construction are flagged.
+package a
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the irreproducible process-global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the irreproducible process-global source`
+}
+
+func mk(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New constructs a generator outside the RNG boundary` `rand\.NewSource constructs a generator outside the RNG boundary`
+}
+
+func injected(r *rand.Rand) float64 {
+	return r.Float64() // clean: method on an injected generator
+}
+
+func allowlisted(seed int64) *rand.Rand {
+	//lint:globalrand-ok fixture exercises a sanctioned local generator
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,15 @@
+// Package workload sits on the RNG construction boundary: rand.New with
+// an explicit seed is the approved pattern here, but drawing from the
+// process-global source is still flagged.
+package workload
+
+import "math/rand"
+
+// NewRand is the boundary pattern: explicit seed in, generator out.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // clean: construction boundary
+}
+
+func sloppy() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the irreproducible process-global source`
+}

@@ -1,0 +1,61 @@
+// Package maporder flags `range` statements over maps in non-test code.
+//
+// Map iteration order is randomized by the runtime, so any map range whose
+// effect is order-sensitive silently breaks the engine's Workers=1-vs-N
+// determinism contract and the cmd/tables golden output — the exact class
+// of bug the runtime suites (determinism_test.go, golden tables) can only
+// sample. The analyzer is deliberately strict: every map range in non-test
+// code is flagged, and order-independent ones must say so with
+//
+//	//lint:maporder-ok <why the iteration order cannot be observed>
+//
+// so the justification is reviewable where the iteration happens.
+// Order-sensitive sites should instead iterate sorted keys (see
+// compaction.PlacedSlots for the pattern). Note that floating-point
+// accumulation over a map is order-sensitive even though addition looks
+// commutative — associativity is what rounding breaks.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags range statements over maps in non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over maps in non-test code (nondeterministic iteration order)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Allowlisted(f, rs.For) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s has nondeterministic iteration order; iterate sorted keys or annotate //lint:maporder-ok <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}
+
+func TestMapOrderClean(t *testing.T) {
+	analysistest.RunClean(t, maporder.Analyzer, "b")
+}

@@ -1,0 +1,50 @@
+// Package a seeds maporder violations and suppressions.
+package a
+
+import "sort"
+
+func sum(m map[string]int) int {
+	var s int
+	for _, v := range m { // want `range over map map\[string\]int has nondeterministic iteration order`
+		s += v
+	}
+	return s
+}
+
+func maxOf(m map[string]int) int {
+	best := 0
+	for _, v := range m { //lint:maporder-ok max is order-independent
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	//lint:maporder-ok keys are sorted before return
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+type bag map[int]bool
+
+func drain(b bag) int {
+	n := 0
+	for range b { // want `range over map bag has nondeterministic iteration order`
+		n++
+	}
+	return n
+}
+
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

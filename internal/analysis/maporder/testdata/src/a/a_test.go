@@ -1,0 +1,11 @@
+// Test files are exempt: map iteration in a test cannot perturb model
+// output, so nothing in this file is flagged.
+package a
+
+func testHelperIterates(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

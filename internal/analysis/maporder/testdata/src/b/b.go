@@ -1,0 +1,43 @@
+// Package b is a clean fixture: only slice, channel, string and integer
+// ranges, plus keyed map access — nothing for maporder to flag.
+package b
+
+func total(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func lookupAll(m map[string]int, keys []string) []int {
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func drainChan(c chan int) int {
+	n := 0
+	for v := range c {
+		n += v
+	}
+	return n
+}
+
+func runes(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+func countdown() int {
+	n := 0
+	for range 10 {
+		n++
+	}
+	return n
+}

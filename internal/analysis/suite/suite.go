@@ -1,0 +1,23 @@
+// Package suite assembles the project's analyzers in reporting order. It
+// sits above the individual analyzer packages so the framework package
+// stays import-cycle-free and tools (cmd/reprolint, the suite tests) have
+// one place to pull the full set from.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/commitpurity"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/wallclock"
+)
+
+// Analyzers returns the full reprolint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		globalrand.Analyzer,
+		wallclock.Analyzer,
+		commitpurity.Analyzer,
+	}
+}

@@ -1,0 +1,250 @@
+// Package unitchecker implements the `go vet -vettool` driver protocol on
+// the standard library, mirroring golang.org/x/tools/go/analysis/
+// unitchecker (which this environment cannot vendor — no module proxy).
+//
+// cmd/go speaks to a vet tool in three ways:
+//
+//   - `tool -V=full` must print a version line ending in "buildID=<hex>"
+//     so the build cache can key on the tool's content
+//     (cmd/go/internal/work/buildid.go).
+//   - `tool -flags` must print a JSON description of the tool's flags to
+//     stdout; reprolint has none, so it prints "[]"
+//     (cmd/go/internal/vet/vetflag.go).
+//   - `tool <objdir>/vet.cfg` analyzes one package: the cfg file carries
+//     the file list, the import map and the export-data locations of all
+//     dependencies (cmd/go/internal/work/exec.go, vetConfig). Diagnostics
+//     go to stderr as "file:line:col: message" and the tool exits 2 when
+//     it found anything, 0 when the package is clean.
+//
+// cmd/go also schedules "vet" actions for dependencies so fact-based
+// analyzers can consume their outputs; those configs carry VetxOnly=true
+// and the tool only needs to produce its (empty, for this suite) facts
+// file without analyzing anything.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON emitted into vet.cfg by
+// cmd/go/internal/work.buildVetConfig. Only the fields this driver
+// consumes are listed; unknown fields are ignored by encoding/json.
+type Config struct {
+	ImportPath                string            // import path, possibly with " [variant]" suffix
+	GoFiles                   []string          // absolute paths of Go sources
+	ImportMap                 map[string]string // source import path -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	VetxOnly                  bool              // only facts are needed, skip analysis
+	VetxOutput                string            // where to write the facts file
+	GoVersion                 string            // language version for type checking
+	SucceedOnTypecheckFailure bool              // exit 0 quietly on type errors (go test's vet=default)
+}
+
+// Main is the entry point a vet tool binary delegates to:
+//
+//	func main() { unitchecker.Main(suite.Analyzers()...) }
+//
+// It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full":
+			printVersion(true)
+			os.Exit(0)
+		case "-V":
+			printVersion(false)
+			os.Exit(0)
+		case "-flags":
+			// reprolint accepts no analyzer flags; tell cmd/go so it
+			// rejects unknown `go vet -foo` flags itself.
+			fmt.Println("[]")
+			os.Exit(0)
+		case "help", "-help", "--help", "-h":
+			printHelp(analyzers)
+			os.Exit(0)
+		}
+		if strings.HasSuffix(os.Args[1], ".cfg") {
+			os.Exit(runConfig(os.Args[1], analyzers))
+		}
+	}
+	printHelp(analyzers)
+	os.Exit(2)
+}
+
+// printVersion emits the tool identification line cmd/go parses to build
+// its cache key. The "devel" form keys on a content hash of the
+// executable itself, so rebuilding reprolint invalidates cached vet
+// results — exactly the semantics a evolving in-repo tool wants.
+func printVersion(full bool) {
+	if !full {
+		fmt.Println("reprolint version devel")
+		return
+	}
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("reprolint version devel buildID=%x\n", h.Sum(nil))
+}
+
+func printHelp(analyzers []*analysis.Analyzer) {
+	fmt.Fprintln(os.Stderr, "reprolint: static checks for the repro determinism and engine contracts")
+	fmt.Fprintln(os.Stderr, "\nusage: go vet -vettool=$(command -v reprolint || echo ./bin/reprolint) ./...")
+	fmt.Fprintln(os.Stderr, "\nchecks:")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(os.Stderr, "\nsuppress a finding with //lint:<check>-ok <reason> on the flagged line or the line above.")
+}
+
+// runConfig analyzes the package described by one vet.cfg and returns the
+// process exit code (0 clean, 1 operational failure, 2 findings).
+func runConfig(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Dependency pass: cmd/go only wants this package's facts so a later
+	// analysis can import them. This suite carries no cross-package
+	// facts; produce the (empty) output and stop.
+	if cfg.VetxOnly {
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	diags, err := analyzePackage(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// go test's vet=default mode: the compiler will report the
+			// type error itself with better positions.
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if len(diags.list) == 0 {
+		return 0
+	}
+	diags.print(os.Stderr)
+	return 2
+}
+
+// diagnostics collects findings across analyzers with the FileSet needed
+// to render them.
+type diagnostics struct {
+	fset *token.FileSet
+	list []analysis.Diagnostic
+}
+
+func (d *diagnostics) print(w io.Writer) {
+	sort.SliceStable(d.list, func(i, j int) bool { return d.list[i].Pos < d.list[j].Pos })
+	for _, diag := range d.list {
+		fmt.Fprintf(w, "%s: %s\n", d.fset.Position(diag.Pos), diag.Message)
+	}
+}
+
+// analyzePackage parses and type-checks the cfg's package and runs every
+// applicable analyzer over it.
+func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*diagnostics, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data cmd/go already compiled: map
+	// the source path through ImportMap (vendoring, test variants), then
+	// open the listed package file. The gc importer resolves "unsafe"
+	// internally and never calls lookup for it.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	path := analysis.StripVariant(cfg.ImportPath)
+	pkg, err := tconf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	diags := &diagnostics{fset: fset}
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(path) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Path:      path,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags.list = append(diags.list, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// writeVetx produces the facts output cmd/go caches for downstream
+// packages. The suite defines no facts, so the file is empty; a missing
+// VetxOutput (possible for the root packages of a non-caching run) is
+// simply skipped.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+// Package a seeds wallclock violations and suppressions.
+package a
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the host clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the host clock`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until reads the host clock`
+}
+
+func toolTiming() time.Time {
+	//lint:wallclock-ok times the lint sweep itself, not model rounds
+	return time.Now()
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339) // clean: formatting reads no clock
+}
+
+func pause(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond // clean: duration arithmetic
+}

@@ -1,0 +1,63 @@
+// Package wallclock flags host-clock reads (time.Now, time.Since,
+// time.Until) in non-test code.
+//
+// Model time on the QSM, BSP and GSM is defined by the Section 2 cost
+// formulas — max(m_op, m_rw·g, κ) per phase, w + g·h + L per superstep —
+// and is accumulated by the engine from the barrier merge alone. The host
+// clock must never leak into model cost, round classification or the
+// event stream: a wall-clock term would vary across machines, loads and
+// Workers settings, destroying the byte-identical determinism contract
+// that makes Table 1 measurements reproducible. Benchmarks and the test
+// harness (_test.go files) are exempt; a deliberate wall-clock read in
+// tool code (e.g. timing a lint sweep) takes
+//
+//	//lint:wallclock-ok <reason>
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags host-clock reads in non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now/time.Since/time.Until where model time must come from the cost formulas",
+	Run:  run,
+}
+
+// clockFuncs are the package time functions that read the host clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+				return true
+			}
+			if pass.Allowlisted(f, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the host clock; model time and rounds must come from the QSM/BSP/GSM cost formulas (or annotate //lint:wallclock-ok <reason>)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package compaction
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/bsp"
 )
@@ -12,10 +13,30 @@ type BSPDartResult struct {
 	// Rounds is the number of dart rounds (each round is 2 supersteps).
 	Rounds int
 	// Placed maps every item tag to its (component, segment slot) in the
-	// final placement.
+	// final placement. Iterating the map directly is order-nondeterministic;
+	// order-sensitive consumers use PlacedSlots.
 	Placed map[int64][2]int
 	// OutSize is the total target space used across rounds.
 	OutSize int
+}
+
+// BSPPlacement is one compacted item: its tag and the (component, slot)
+// pair it won.
+type BSPPlacement struct {
+	Tag  int64
+	Comp int
+	Slot int
+}
+
+// PlacedSlots returns the placements ordered by global slot — the
+// deterministic iteration view of Placed.
+func (r *BSPDartResult) PlacedSlots() []BSPPlacement {
+	ps := make([]BSPPlacement, 0, len(r.Placed))
+	for tag, loc := range r.Placed { //lint:maporder-ok slice is sorted by slot before return
+		ps = append(ps, BSPPlacement{Tag: tag, Comp: loc[0], Slot: loc[1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Slot < ps[j].Slot })
+	return ps
 }
 
 // DartLACBSP compacts the ≤ n items (nonzero private cells of the

@@ -43,8 +43,27 @@ type DartResult struct {
 	OutBase, OutSize int
 	// Rounds is the number of dart rounds executed.
 	Rounds int
-	// Placed maps each item tag to its absolute output cell.
+	// Placed maps each item tag to its absolute output cell. Iterating the
+	// map directly is order-nondeterministic; order-sensitive consumers use
+	// PlacedSlots.
 	Placed map[int64]int
+}
+
+// Placement is one compacted item: its input tag and the output cell it won.
+type Placement struct {
+	Tag  int64
+	Cell int
+}
+
+// PlacedSlots returns the placements ordered by output cell — the
+// deterministic iteration view of Placed for ranking and rendering.
+func (r *DartResult) PlacedSlots() []Placement {
+	ps := make([]Placement, 0, len(r.Placed))
+	for tag, cell := range r.Placed { //lint:maporder-ok slice is sorted by cell before return
+		ps = append(ps, Placement{Tag: tag, Cell: cell})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Cell < ps[j].Cell })
+	return ps
 }
 
 // DartLAC compacts the ≤ n items (nonzero cells) of [base, base+n) into
@@ -235,9 +254,28 @@ type CLBResult struct {
 	Groups int
 	// DestRows[i] is the destination row assigned to the i-th such group's
 	// objects (each group of 4m objects fills 4 destination rows of m).
+	// Iterating the map directly is order-nondeterministic; order-sensitive
+	// consumers use RowAssignments.
 	DestRows map[int][4]int
 	// Rounds is the dart rounds the inner compaction used.
 	Rounds int
+}
+
+// GroupRows is one input group's destination-row assignment.
+type GroupRows struct {
+	Group int
+	Rows  [4]int
+}
+
+// RowAssignments returns the destination rows ordered by group index —
+// the deterministic iteration view of DestRows.
+func (r *CLBResult) RowAssignments() []GroupRows {
+	gs := make([]GroupRows, 0, len(r.DestRows))
+	for g, rows := range r.DestRows { //lint:maporder-ok slice is sorted by group before return
+		gs = append(gs, GroupRows{Group: g, Rows: rows})
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Group < gs[j].Group })
+	return gs
 }
 
 // SolveCLB solves the chromatic load-balancing instance on a QSM machine by
@@ -279,15 +317,7 @@ func SolveCLB(m *qsm.Machine, rng *rand.Rand, inst *workload.CLB, base int) (*CL
 	// Rank the claimed slots by position to obtain dense ranks (host-side
 	// ordering of the O(#groups) placements; in-model this is a DetLAC over
 	// the O(h)-sized dart output, which costs lower-order phases).
-	type placed struct {
-		tag  int64
-		cell int
-	}
-	var ps []placed
-	for tag, cell := range dart.Placed {
-		ps = append(ps, placed{tag, cell})
-	}
-	sort.Slice(ps, func(i, j int) bool { return ps[i].cell < ps[j].cell })
+	ps := dart.PlacedSlots()
 
 	res := &CLBResult{Color: color, Groups: len(ps), DestRows: make(map[int][4]int), Rounds: dart.Rounds}
 	if 4*len(ps) > n {
@@ -300,7 +330,7 @@ func SolveCLB(m *qsm.Machine, rng *rand.Rand, inst *workload.CLB, base int) (*CL
 	m.Grow(ptrs + 4*max(len(ps), 1))
 	rankOf := make(map[int]int, len(ps)) // item proc -> rank
 	for r, pl := range ps {
-		rankOf[int(pl.tag)-1] = r
+		rankOf[int(pl.Tag)-1] = r
 	}
 	m.Phase(func(c *qsm.Ctx) {
 		r, ok := rankOf[c.Proc()]
@@ -315,8 +345,7 @@ func SolveCLB(m *qsm.Machine, rng *rand.Rand, inst *workload.CLB, base int) (*CL
 		return nil, m.Err()
 	}
 	for r, pl := range ps {
-		res.DestRows[int(pl.tag)-1] = [4]int{4 * r, 4*r + 1, 4*r + 2, 4*r + 3}
-		_ = pl
+		res.DestRows[int(pl.Tag)-1] = [4]int{4 * r, 4*r + 1, 4*r + 2, 4*r + 3}
 	}
 	return res, nil
 }

@@ -51,9 +51,9 @@ func RenderAll(seed int64) (string, error) {
 		results[e.ID] = r
 	}
 
-	var ids []string
-	for id := range results {
-		ids = append(ids, id)
+	ids := make([]string, 0, len(results))
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
 

@@ -3,6 +3,7 @@ package gsmalg
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/gsm"
 )
@@ -14,7 +15,9 @@ const DartFactor = 4
 type LACResult struct {
 	// Rounds is the number of throw/read-back dart rounds.
 	Rounds int
-	// Placed maps item tags to their claimed output cells.
+	// Placed maps item tags to their claimed output cells. Iterating the
+	// map directly is order-nondeterministic; order-sensitive consumers use
+	// PlacedSlots.
 	Placed map[int64]int
 	// OutSize is the total target space allocated.
 	OutSize int
@@ -22,6 +25,23 @@ type LACResult struct {
 	// carries the destination of input cell i (Section 6.1's Enhanced CLB
 	// requirement — each input cell must point at its item's destination).
 	PointerBase int
+}
+
+// Placement is one compacted item: its tag and the output cell it claimed.
+type Placement struct {
+	Tag  int64
+	Cell int
+}
+
+// PlacedSlots returns the placements ordered by output cell — the
+// deterministic iteration view of Placed.
+func (r *LACResult) PlacedSlots() []Placement {
+	ps := make([]Placement, 0, len(r.Placed))
+	for tag, cell := range r.Placed { //lint:maporder-ok slice is sorted by cell before return
+		ps = append(ps, Placement{Tag: tag, Cell: cell})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Cell < ps[j].Cell })
+	return ps
 }
 
 // DartLACGSM compacts the items tagged in the n input cells [0, n) into
