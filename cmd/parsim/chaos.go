@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/chaos"
+)
+
+// runChaos implements the `parsim chaos` subcommand. With -model it runs
+// one scenario and prints its fault report; without, it runs the standard
+// sweep (seeds × fault mixes × all five machine constructors) and prints
+// the aggregate summary. Either way a robustness-invariant violation —
+// panic, hang, silent corruption, undiagnosable error — is the only
+// failure; fault-poisoned runs that diagnose themselves are expected
+// sweep outcomes.
+func runChaos(argv []string) error {
+	fs := flag.NewFlagSet("parsim chaos", flag.ExitOnError)
+	model := fs.String("model", "", "run one scenario on this model (qsm | sqsm | crqw | bsp | gsm); empty sweeps all")
+	alg := fs.String("alg", "parity", "single-scenario algorithm: parity | or | lac")
+	specStr := fs.String("specs", "mem~0.05", `single-scenario fault specs, e.g. "crash@2:p1,mem~0.05"`)
+	n := fs.Int("n", 48, "input size")
+	seed := fs.Int64("seed", 1, "scenario seed (and first sweep seed)")
+	seeds := fs.Int("seeds", 2, "number of consecutive sweep seeds")
+	degraded := fs.Bool("degraded", false, "mask crashes and re-partition over survivors (shared-memory models)")
+	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", chaos.DefaultDeadline, "per-run watchdog deadline")
+	verbose := fs.Bool("v", false, "print the per-run fault event log")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *model != "" {
+		specs, err := repro.ParseFaultSpecs(*specStr)
+		if err != nil {
+			return err
+		}
+		sc := chaos.Scenario{
+			Model: *model, Alg: *alg, N: *n, Seed: *seed,
+			Specs: specs, Degraded: *degraded,
+		}
+		o := chaos.Run(sc, *deadline, *workers)
+		fmt.Println(sc.Name())
+		switch {
+		case o.Verified:
+			fmt.Println("verified: answer matches the host-side oracle")
+		case o.Err != nil:
+			fmt.Printf("diagnosed: %v\n", o.Err)
+		}
+		if o.Report != nil {
+			fmt.Println(o.Report)
+		}
+		if *verbose && o.Stream != "" {
+			fmt.Println(o.Stream)
+		}
+		if err := o.Invariant(); err != nil {
+			return fmt.Errorf("robustness invariant violated: %w", err)
+		}
+		return nil
+	}
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+	scs, err := chaos.Scenarios(seedList, *n)
+	if err != nil {
+		return err
+	}
+	s := chaos.Sweep(scs, *deadline, *workers)
+	fmt.Println(s)
+	if len(s.Failures) > 0 {
+		return fmt.Errorf("robustness invariant violated in %d of %d runs", len(s.Failures), s.Runs)
+	}
+	return nil
+}

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	parsim -model sqsm -alg parity -n 1024 -p 1024 -g 4 [-L 16] [-fanin 2] [-seed 7] [-v] [-events]
+//	parsim chaos [-model qsm -alg parity -specs "crash@2:p1,mem~0.05" -degraded] [-seeds 2] [-n 48]
+//
+// The chaos subcommand runs seeded fault-injection scenarios (one with
+// -model, the full sweep without) and fails only on robustness-invariant
+// violations; see internal/chaos and DESIGN.md §6.
 //
 // -v prints the per-phase cost table; -events additionally prints the
 // model-generic observer event stream (every committed request in
@@ -24,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := runChaos(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "parsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	model := flag.String("model", "qsm", "qsm | sqsm | crqw | bsp")
 	alg := flag.String("alg", "parity", "parity | or | or-contention | prefix | lac-det | lac-dart | listrank | bsp-parity | bsp-or")
 	n := flag.Int("n", 1024, "input size")
@@ -199,6 +211,11 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown algorithm %q for shared-memory models", alg)
 	}
 
+	// A machine poisoned after the runner returned (e.g. by a bad final
+	// Peek) must exit non-zero, not render a poisoned report.
+	if err := m.Err(); err != nil {
+		return err
+	}
 	fmt.Println(m.Report().String())
 	if verbose {
 		fmt.Print(m.Report().Table())
@@ -242,6 +259,9 @@ func runBSP(cfg config, p int) error {
 		}
 		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
 	}
+	if err := m.Err(); err != nil {
+		return err
+	}
 	fmt.Println(m.Report().String())
 	if verbose {
 		fmt.Print(m.Report().Table())
@@ -281,6 +301,9 @@ func runGSM(cfg config) error {
 		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
 	default:
 		return fmt.Errorf("unknown GSM algorithm %q", cfg.alg)
+	}
+	if err := m.Err(); err != nil {
+		return err
 	}
 	fmt.Println(m.Report().String())
 	if cfg.verbose {

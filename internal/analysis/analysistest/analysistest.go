@@ -189,7 +189,7 @@ func parseWant(comment string) ([]*regexp.Regexp, error) {
 	for i, r := range raw {
 		re, err := regexp.Compile(r[1 : len(r)-1])
 		if err != nil {
-			return nil, fmt.Errorf("bad want pattern %s: %v", r, err)
+			return nil, fmt.Errorf("bad want pattern %s: %w", r, err)
 		}
 		pats[i] = re
 	}

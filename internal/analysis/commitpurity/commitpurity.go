@@ -44,14 +44,20 @@ var Analyzer = &analysis.Analyzer{
 // allowedWriters maps each protected engine type to the functions that
 // may write its fields: the lifecycle entry points (Init*, Phase,
 // Superstep, RunPhase), the two-pass commit pipeline (commit, finish,
-// ensure), and the per-processor request recorders (MemCtx and Sends
-// methods). Everything else must go through these.
+// ensure), the per-processor request recorders (MemCtx and Sends
+// methods), and the fault-injection/recovery machinery (InjectFaults
+// attachment, the barrier-side consult/accounting, and the
+// checkpoint/rollback/corruption path — all of which run on the
+// coordinating goroutine, see fault.go). Everything else must go through
+// these.
 var allowedWriters = map[string]map[string]bool{
-	"Core":     set("Init", "RunPhase", "RecordErr", "AddObserver", "observePhaseStart"),
-	"Mem":      set("InitMem", "Grow", "Phase"),
+	"Core": set("Init", "RunPhase", "RecordErr", "AddObserver", "observePhaseStart",
+		"InjectFaults", "consultInjector", "noteCommitted", "chargeRecovery",
+		"ckCore", "rewindCore", "retriesExhausted"),
+	"Mem":      set("InitMem", "Grow", "Phase", "Checkpoint", "Rollback", "corruptCell", "commit"),
 	"memBuf":   set("ensure", "commit", "finish"),
 	"MemCtx":   set("Read", "Write", "Op", "failf", "reset"),
-	"Route":    set("InitRoute", "Superstep", "commit"),
+	"Route":    set("InitRoute", "Superstep", "commit", "Checkpoint", "Rollback", "corruptInbox"),
 	"routeBuf": set("ensure", "commit"),
 	"Sends":    set("AddWork", "Stage", "Fail", "reset"),
 }

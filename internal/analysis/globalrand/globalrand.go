@@ -47,10 +47,14 @@ var constructors = map[string]bool{
 
 // constructionBoundary reports whether pkgPath may construct RNGs: the
 // packages that turn explicit config seeds into injected *rand.Rand
-// values.
+// values. internal/fault is on the boundary because a fault.Plan *is* a
+// seed turned into a generator (the seed is the identity of the fault
+// schedule and appears in every chaos report); internal/chaos derives
+// per-scenario plans from explicit sweep seeds the same way.
 func constructionBoundary(pkgPath string) bool {
 	switch pkgPath {
-	case "repro", "repro/internal/workload", "repro/internal/core":
+	case "repro", "repro/internal/workload", "repro/internal/core",
+		"repro/internal/fault", "repro/internal/chaos":
 		return true
 	}
 	return strings.HasPrefix(pkgPath, "repro/cmd/")

@@ -228,7 +228,7 @@ func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*diagnostics, 
 			Report:    func(d analysis.Diagnostic) { diags.list = append(diags.list, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
 	return diags, nil

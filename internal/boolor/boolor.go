@@ -102,6 +102,83 @@ func ContentionTree(m *qsm.Machine, base, n, fanin int) (int, error) {
 	return cur, m.Err()
 }
 
+// ContentionTreeDegraded is ContentionTree for machines running in
+// degraded fault mode: before every phase the strided work is
+// re-partitioned over the surviving processors, so crashes shift work to
+// survivors instead of silently dropping cells (a dropped read would turn
+// a 1-bearing cell into a silent 0 — the failure mode degradation
+// exists to prevent). Fails with a diagnosable error once every
+// processor has crashed.
+func ContentionTreeDegraded(m *qsm.Machine, base, n, fanin int) (int, error) {
+	if err := checkInput(m.MemSize(), base, n); err != nil {
+		return 0, err
+	}
+	if fanin < 2 {
+		return 0, fmt.Errorf("boolor: fan-in must be ≥ 2, got %d", fanin)
+	}
+	cur, width := base, n
+	for width > 1 {
+		next := m.MemSize()
+		nw := (width + fanin - 1) / fanin
+		m.Grow(next + nw)
+		curL, widthL := cur, width
+		vals := make([]int64, widthL)
+		// Ranks are recomputed before each of the two phases: a crash at
+		// the read barrier must not leave its slice unwritten in the
+		// write phase. vals is indexed by cell, not processor, so the two
+		// phases may stride differently.
+		rankA, nsA := survivorRanks(m)
+		if nsA == 0 {
+			return 0, fmt.Errorf("boolor: all %d processors crashed", m.P())
+		}
+		m.Phase(func(c *qsm.Ctx) {
+			r := rankA[c.Proc()]
+			if r < 0 {
+				return
+			}
+			for j := r; j < widthL; j += nsA {
+				vals[j] = c.Read(curL + j)
+			}
+		})
+		rankB, nsB := survivorRanks(m)
+		if nsB == 0 {
+			return 0, fmt.Errorf("boolor: all %d processors crashed", m.P())
+		}
+		m.Phase(func(c *qsm.Ctx) {
+			r := rankB[c.Proc()]
+			if r < 0 {
+				return
+			}
+			for j := r; j < widthL; j += nsB {
+				if vals[j] != 0 {
+					c.Write(next+j/fanin, 1)
+				}
+			}
+		})
+		if m.Err() != nil {
+			return 0, m.Err()
+		}
+		cur, width = next, nw
+	}
+	return cur, m.Err()
+}
+
+// survivorRanks maps each processor to its dense rank among the
+// survivors (−1 for masked processors) and returns the survivor count.
+func survivorRanks(m *qsm.Machine) ([]int, int) {
+	rank := make([]int, m.P())
+	ns := 0
+	for i := range rank {
+		if m.CrashedProc(i) {
+			rank[i] = -1
+		} else {
+			rank[i] = ns
+			ns++
+		}
+	}
+	return rank, ns
+}
+
 // RoundsSQSM is the p-processor rounds algorithm for the s-QSM (and, by the
 // same cost accounting, the QSM): a read tree with fan-in max(2, ⌈n/p⌉),
 // achieving the tight Θ(log n / log(n/p)) round bound.

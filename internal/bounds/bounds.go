@@ -31,7 +31,9 @@ type Args struct {
 
 // Lg returns log₂(max(x, 2)) — the guarded logarithm used by every formula.
 func Lg(x float64) float64 {
-	if x < 2 {
+	// The inverted comparison also clamps NaN (every comparison with NaN
+	// is false), keeping the evaluators total on arbitrary arguments.
+	if !(x >= 2) {
 		x = 2
 	}
 	return math.Log2(x)
@@ -56,7 +58,7 @@ func Log2Star(x float64) float64 {
 
 // pos clamps to ≥ 1, used for denominators.
 func pos(x float64) float64 {
-	if x < 1 {
+	if !(x >= 1) { // inverted so NaN clamps too
 		return 1
 	}
 	return x
@@ -64,11 +66,21 @@ func pos(x float64) float64 {
 
 // nonneg clamps to ≥ 0.
 func nonneg(x float64) float64 {
-	if x < 0 {
+	if !(x >= 0) { // inverted so NaN clamps too
 		return 0
 	}
 	return x
 }
+
+// gp and lp clamp the g and L machine parameters to their domain floor
+// of 1, and lOverG guards the BSP fan-in ratio L/g: arbitrary arguments
+// (zero or negative parameters, 0/0) evaluate at the domain edge instead
+// of flipping the bound's sign or producing NaN.
+func gp(a Args) float64 { return pos(float64(a.G)) }
+
+func lp(a Args) float64 { return pos(float64(a.L)) }
+
+func lOverG(a Args) float64 { return lp(a) / gp(a) }
 
 func q(a Args) float64 {
 	n, p := float64(a.N), float64(a.P)
@@ -84,43 +96,43 @@ func q(a Args) float64 {
 
 // QSMLACDet is Ω(g·√(log n / (log log n + log g))).
 func QSMLACDet(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * math.Sqrt(Lg(n)/pos(LgLg(n)+Lg(g)))
 }
 
 // QSMLACRand is Ω(g·log log n / log g).
 func QSMLACRand(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * LgLg(n) / pos(Lg(g))
 }
 
 // QSMLACRandNProcs is the n-processor strengthening Ω(g·log* n).
 func QSMLACRandNProcs(a Args) float64 {
-	return float64(a.G) * Log2Star(float64(a.N))
+	return gp(a) * Log2Star(float64(a.N))
 }
 
 // QSMORDet is Ω(g·log n / (log log n + log g)).
 func QSMORDet(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(LgLg(n)+Lg(g))
 }
 
 // QSMORRand is Ω(g·(log* n − log* g)).
 func QSMORRand(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * nonneg(Log2Star(n)-Log2Star(g))
 }
 
 // QSMParityDet is Ω(g·log n / log g); with unit-time concurrent reads this
 // bound is tight (Θ).
 func QSMParityDet(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(Lg(g))
 }
 
 // QSMParityRand is Ω(g·log n / (log log n + min(log log g, log log p))).
 func QSMParityRand(a Args) float64 {
-	n, g, p := float64(a.N), float64(a.G), float64(a.P)
+	n, g, p := float64(a.N), gp(a), float64(a.P)
 	return g * Lg(n) / pos(LgLg(n)+math.Min(LgLg(g), LgLg(p)))
 }
 
@@ -130,34 +142,34 @@ func QSMParityRand(a Args) float64 {
 
 // SQSMLACDet is Ω(g·√(log n / log log n)).
 func SQSMLACDet(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * math.Sqrt(Lg(n)/pos(LgLg(n)))
 }
 
 // SQSMLACRand is Ω(g·log log n).
 func SQSMLACRand(a Args) float64 {
-	return float64(a.G) * LgLg(float64(a.N))
+	return gp(a) * LgLg(float64(a.N))
 }
 
 // SQSMORDet is Ω(g·log n / log log n).
 func SQSMORDet(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(LgLg(n))
 }
 
 // SQSMORRand is Ω(g·log* n).
 func SQSMORRand(a Args) float64 {
-	return float64(a.G) * Log2Star(float64(a.N))
+	return gp(a) * Log2Star(float64(a.N))
 }
 
 // SQSMParityDet is Θ(g·log n) — tight.
 func SQSMParityDet(a Args) float64 {
-	return float64(a.G) * Lg(float64(a.N))
+	return gp(a) * Lg(float64(a.N))
 }
 
 // SQSMParityRand is Ω(g·log n / log log n).
 func SQSMParityRand(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(LgLg(n))
 }
 
@@ -167,39 +179,39 @@ func SQSMParityRand(a Args) float64 {
 
 // BSPLACDet is Ω(L·√(log q / (log log q + log(L/g)))).
 func BSPLACDet(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	qq := q(a)
 	return L * math.Sqrt(Lg(qq)/pos(LgLg(qq)+Lg(lg)))
 }
 
 // BSPLACRand is Ω(L·log log n / log(L/g)) for p = Ω(n/polylog n).
 func BSPLACRand(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	return L * LgLg(float64(a.N)) / pos(Lg(lg))
 }
 
 // BSPORDet is Ω(L·log q / (log log q + log(L/g))).
 func BSPORDet(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	qq := q(a)
 	return L * Lg(qq) / pos(LgLg(qq)+Lg(lg))
 }
 
 // BSPORRand is Ω(L·(log* q − log*(L/g))).
 func BSPORRand(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	return L * nonneg(Log2Star(q(a))-Log2Star(lg))
 }
 
 // BSPParityDet is Θ(L·log q / log(L/g)) — tight.
 func BSPParityDet(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	return L * Lg(q(a)) / pos(Lg(lg))
 }
 
 // BSPParityRand is Ω(L·√(log q / (log log q + log(L/g)))).
 func BSPParityRand(a Args) float64 {
-	L, lg := float64(a.L), float64(a.L)/float64(a.G)
+	L, lg := lp(a), lOverG(a)
 	qq := q(a)
 	return L * math.Sqrt(Lg(qq)/pos(LgLg(qq)+Lg(lg)))
 }
@@ -210,7 +222,7 @@ func BSPParityRand(a Args) float64 {
 
 // RoundsQSMLAC is Ω((log* n − log*(n/p)) + √(log n / log(gn/p))).
 func RoundsQSMLAC(a Args) float64 {
-	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	n, p, g := float64(a.N), float64(a.P), gp(a)
 	return nonneg(Log2Star(n)-Log2Star(n/p)) + math.Sqrt(Lg(n)/pos(Lg(g*n/p)))
 }
 
@@ -226,7 +238,7 @@ func RoundsBSPLAC(a Args) float64 { return RoundsSQSMLAC(a) }
 
 // RoundsQSMOR is Θ(log n / log(ng/p)) — tight.
 func RoundsQSMOR(a Args) float64 {
-	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	n, p, g := float64(a.N), float64(a.P), gp(a)
 	return Lg(n) / pos(Lg(n*g/p))
 }
 
@@ -241,7 +253,7 @@ func RoundsBSPOR(a Args) float64 { return RoundsSQSMOR(a) }
 
 // RoundsQSMParity is Ω(log n / (log(n/p) + min{log g, log log p})).
 func RoundsQSMParity(a Args) float64 {
-	n, p, g := float64(a.N), float64(a.P), float64(a.G)
+	n, p, g := float64(a.N), float64(a.P), gp(a)
 	return Lg(n) / pos(Lg(n/p)+math.Min(Lg(g), LgLg(p)))
 }
 
@@ -257,14 +269,14 @@ func RoundsBSPParity(a Args) float64 { return RoundsSQSMOR(a) }
 
 // UpperQSMParity is O(g·log n / log log g) (depth-2 circuit emulation).
 func UpperQSMParity(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(LgLg(g))
 }
 
 // UpperCRQWParity is O(g·log n / log g) with unit-time concurrent reads —
 // matches the Theorem 3.1 lower bound, making the row Θ.
 func UpperCRQWParity(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(Lg(g))
 }
 
@@ -273,32 +285,32 @@ func UpperSQSMParity(a Args) float64 { return SQSMParityDet(a) }
 
 // UpperBSPParity is O(L·log n / log(L/g)).
 func UpperBSPParity(a Args) float64 {
-	n, L, lg := float64(a.N), float64(a.L), float64(a.L)/float64(a.G)
+	n, L, lg := float64(a.N), lp(a), lOverG(a)
 	return L * Lg(n) / pos(Lg(lg))
 }
 
 // UpperQSMLAC is O(√(g·log n) + g·log log n) w.h.p.
 func UpperQSMLAC(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return math.Sqrt(g*Lg(n)) + g*LgLg(n)
 }
 
 // UpperSQSMLAC is O(g·√(log n)) w.h.p.
 func UpperSQSMLAC(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * math.Sqrt(Lg(n))
 }
 
 // UpperBSPLAC is O(√(L·g·log n)/log(L/g) + L·log log n/log(L/g)) w.h.p.
 func UpperBSPLAC(a Args) float64 {
-	n, g, L := float64(a.N), float64(a.G), float64(a.L)
+	n, g, L := float64(a.N), gp(a), lp(a)
 	lg := L / g
 	return math.Sqrt(L*g*Lg(n))/pos(Lg(lg)) + L*LgLg(n)/pos(Lg(lg))
 }
 
 // UpperQSMOR is O((g/log g)·log n).
 func UpperQSMOR(a Args) float64 {
-	n, g := float64(a.N), float64(a.G)
+	n, g := float64(a.N), gp(a)
 	return g * Lg(n) / pos(Lg(g))
 }
 

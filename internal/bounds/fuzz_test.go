@@ -1,0 +1,40 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBoundEvaluators drives every Table 1 formula (lower and upper
+// bounds) with arbitrary machine parameters: evaluators must never panic,
+// never return NaN and never go negative — the guarded logarithms and
+// positivity clamps must hold on the whole parameter space, not just the
+// benchmark grid.
+func FuzzBoundEvaluators(f *testing.F) {
+	f.Add(1024, 64, int64(4), int64(16))
+	f.Add(2, 1, int64(1), int64(1))
+	f.Add(1, 0, int64(0), int64(0))
+	f.Add(-8, -2, int64(-4), int64(-16))
+	f.Add(1<<30, 1<<20, int64(1)<<40, int64(1)<<40)
+	f.Fuzz(func(t *testing.T, n, p int, g, l int64) {
+		a := Args{N: n, P: p, G: g, L: l}
+		for _, e := range Registry {
+			evals := []struct {
+				what string
+				fn   func(Args) float64
+			}{{"Eval", e.Eval}, {"Upper", e.Upper}}
+			for _, ev := range evals {
+				if ev.fn == nil {
+					continue
+				}
+				v := ev.fn(a)
+				if math.IsNaN(v) {
+					t.Fatalf("%s %s(%+v) = NaN", e.ID, ev.what, a)
+				}
+				if v < 0 {
+					t.Fatalf("%s %s(%+v) = %g < 0", e.ID, ev.what, a, v)
+				}
+			}
+		}
+	})
+}

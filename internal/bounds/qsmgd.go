@@ -18,7 +18,7 @@ type GSMEval func(n int, alpha, beta, gamma float64) float64
 // QSMGDTime evaluates Claim 2.2's time transfer: for g > d the bound is
 // d·T_GSM(n, 1, g/d, 1); for d ≥ g it is g·T_GSM(n, d/g, 1, 1).
 func QSMGDTime(a GDArgs, t GSMEval) float64 {
-	g, d := float64(a.G), float64(a.D)
+	g, d := pos(float64(a.G)), pos(float64(a.D))
 	if d < 1 {
 		d = 1
 	}
@@ -31,7 +31,7 @@ func QSMGDTime(a GDArgs, t GSMEval) float64 {
 // QSMGDRounds evaluates Claim 2.2's rounds transfer: for g > d it is
 // R_GSM(n, 1, g/d, 1, p); for d ≥ g it is R_GSM(n, d/g, 1, 1, p).
 func QSMGDRounds(a GDArgs, r func(n, p int, alpha, beta, gamma float64) float64) float64 {
-	g, d := float64(a.G), float64(a.D)
+	g, d := pos(float64(a.G)), pos(float64(a.D))
 	if d < 1 {
 		d = 1
 	}

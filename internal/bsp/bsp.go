@@ -52,6 +52,9 @@ type Machine struct {
 	priv  [][]int64 // per-component private memory
 	trace *Trace
 	ctxs  []Ctx
+	// ckPriv is the private-memory half of a fault checkpoint (see
+	// bspModel.Snapshot); buffers are reused across supersteps.
+	ckPriv [][]int64
 }
 
 // Config parameterises a BSP machine.
@@ -211,6 +214,27 @@ func (md bspModel) Entity() string { return "component" }
 
 func (md bspModel) Render(msg Message) string {
 	return fmt.Sprintf("from=%d tag=%d val=%d", msg.From, msg.Tag, msg.Val)
+}
+
+// Snapshot and Restore implement engine.Snapshotter: superstep bodies
+// mutate private memories free-form, so a fault checkpoint must capture
+// them alongside the engine's inboxes — otherwise a rolled-back superstep
+// would re-apply its private-state mutations on retry.
+func (md bspModel) Snapshot() {
+	m := md.m
+	if m.ckPriv == nil {
+		m.ckPriv = make([][]int64, len(m.priv))
+	}
+	for i, p := range m.priv {
+		m.ckPriv[i] = append(m.ckPriv[i][:0], p...)
+	}
+}
+
+// Restore implements engine.Snapshotter.
+func (md bspModel) Restore() {
+	for i := range md.m.priv {
+		copy(md.m.priv[i], md.m.ckPriv[i])
+	}
 }
 
 // PhaseCost charges max(w, g·h, L); a superstep is a round iff it routes

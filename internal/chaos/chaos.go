@@ -1,0 +1,361 @@
+// Package chaos is the sweep harness of the fault-injection subsystem: it
+// runs Section 8 algorithms on the simulated machines under seeded fault
+// plans and checks the global robustness invariant — every run either
+// completes with a verified-correct answer or returns a diagnosable
+// machine error. No panics, no hangs (per-run deadlines), no silently
+// wrong output, and identical seeds produce byte-identical fault and
+// observer event streams at every Workers setting.
+//
+// The harness is deliberately adversarial plumbing, not model code: model
+// time still comes exclusively from the cost formulas (the per-run
+// deadline is a watchdog against harness hangs, not a cost measurement),
+// and all randomness flows through fault.Plan and seeded workload
+// generators.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/boolor"
+	"repro/internal/bsp"
+	"repro/internal/compaction"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/gsm"
+	"repro/internal/gsmalg"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+	"repro/internal/workload"
+)
+
+// DefaultDeadline is the per-run watchdog used when a Scenario run is
+// given no explicit deadline.
+const DefaultDeadline = 30 * time.Second
+
+// Scenario is one chaos run: an algorithm on a machine model under a
+// seeded fault plan. The seed drives both the workload and the plan, so a
+// Scenario is a complete, replayable description of the run.
+type Scenario struct {
+	// Model selects the machine constructor: qsm, sqsm, crqw, bsp or gsm.
+	Model string
+	// Alg selects the algorithm: parity, or, lac (shared-memory models);
+	// parity, or (bsp and gsm).
+	Alg string
+	// N is the input size.
+	N int
+	// Seed drives the workload generator and the fault plan.
+	Seed int64
+	// Specs is the declarative fault mix.
+	Specs []fault.Spec
+	// Degraded enables crash masking with survivor re-partitioning; only
+	// the shared-memory models have degraded runners, so it is ignored
+	// (strict mode) for bsp and gsm.
+	Degraded bool
+}
+
+// Name renders a stable scenario identifier for subtests and logs.
+func (s Scenario) Name() string {
+	parts := make([]string, len(s.Specs))
+	for i, sp := range s.Specs {
+		parts[i] = sp.String()
+	}
+	mode := "strict"
+	if s.Degraded {
+		mode = "degraded"
+	}
+	return fmt.Sprintf("%s/%s/n%d/seed%d/%s/%s",
+		s.Model, s.Alg, s.N, s.Seed, strings.Join(parts, "+"), mode)
+}
+
+// Outcome is the result of one chaos run, judged against the robustness
+// invariant: exactly one of Verified / diagnosable Err must hold, and
+// Panicked, TimedOut and Wrong must all be clear.
+type Outcome struct {
+	// Scenario echoes the run description.
+	Scenario Scenario
+	// Verified is true when the run completed and the answer matched the
+	// host-side oracle.
+	Verified bool
+	// Err is the machine/runner error of an unfinished run (nil iff the
+	// run completed).
+	Err error
+	// Wrong is true when the run completed but the answer failed the
+	// oracle — the silent-corruption case the invariant forbids.
+	Wrong bool
+	// Panicked carries the recovered panic value, if any.
+	Panicked string
+	// TimedOut is true when the run overran its deadline.
+	TimedOut bool
+	// FaultLines is the plan's deterministic injection log.
+	FaultLines []string
+	// Stream is the engine observer event stream.
+	Stream string
+	// Report is the assembled fault report (nil if machine construction
+	// failed).
+	Report *fault.Report
+}
+
+// Invariant returns nil when the outcome satisfies the robustness
+// invariant and a descriptive error otherwise.
+func (o *Outcome) Invariant() error {
+	switch {
+	case o.Panicked != "":
+		return fmt.Errorf("%s: panicked: %s", o.Scenario.Name(), o.Panicked)
+	case o.TimedOut:
+		return fmt.Errorf("%s: deadline overrun", o.Scenario.Name())
+	case o.Wrong:
+		return fmt.Errorf("%s: silently wrong output: %v", o.Scenario.Name(), o.Err)
+	case o.Verified && o.Err != nil:
+		return fmt.Errorf("%s: verified yet errored: %v", o.Scenario.Name(), o.Err)
+	case !o.Verified && o.Err == nil:
+		return fmt.Errorf("%s: no answer and no error", o.Scenario.Name())
+	case o.Err != nil && strings.TrimSpace(o.Err.Error()) == "":
+		return fmt.Errorf("%s: undiagnosable empty error", o.Scenario.Name())
+	}
+	return nil
+}
+
+// Run executes one scenario under a watchdog deadline, recovering panics
+// into the outcome. workers caps simulation parallelism (0 = GOMAXPROCS).
+// On deadline overrun the runner goroutine is abandoned (the simulators
+// have no cancellation); the overrun itself fails the sweep, so leaked
+// goroutines only ever exist on a run that is already a reported bug.
+func Run(sc Scenario, deadline time.Duration, workers int) *Outcome {
+	if deadline <= 0 {
+		deadline = DefaultDeadline
+	}
+	out := &Outcome{Scenario: sc}
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out.Panicked = fmt.Sprint(r)
+			}
+			close(done)
+		}()
+		execute(sc, workers, out)
+	}()
+	watchdog := time.NewTimer(deadline)
+	defer watchdog.Stop()
+	select {
+	case <-done:
+		return out
+	case <-watchdog.C:
+		return &Outcome{Scenario: sc, TimedOut: true}
+	}
+}
+
+// execute dispatches to the per-family runner. All of them attach the
+// plan, run the algorithm, check the oracle and collect the event
+// streams.
+func execute(sc Scenario, workers int, out *Outcome) {
+	plan := fault.NewPlan(sc.Seed, sc.Specs...)
+	switch sc.Model {
+	case "bsp":
+		runBSP(sc, workers, plan, out)
+	case "gsm":
+		runGSM(sc, workers, plan, out)
+	default:
+		runShared(sc, workers, plan, out)
+	}
+	out.FaultLines = plan.EventLines()
+}
+
+// finish applies the oracle verdict: a completed run must match want.
+func (o *Outcome) finish(err error, got, want int64, what string) {
+	if err != nil {
+		o.Err = err
+		return
+	}
+	if got != want {
+		o.Wrong = true
+		o.Err = fmt.Errorf("chaos: %s = %d, oracle says %d", what, got, want)
+		return
+	}
+	o.Verified = true
+}
+
+// runShared covers the QSM-family models (qsm, sqsm, crqw): parity tree,
+// OR contention tree and dart-throwing LAC, each with a degraded variant.
+func runShared(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+	var rule cost.Rule
+	switch sc.Model {
+	case "qsm":
+		rule = cost.RuleQSM
+	case "sqsm":
+		rule = cost.RuleSQSM
+	case "crqw":
+		rule = cost.RuleCRQW
+	default:
+		out.Err = fmt.Errorf("chaos: unknown model %q", sc.Model)
+		return
+	}
+	// p = n so the dart LAC (which needs one processor per cell) and the
+	// trees share one machine shape.
+	m, err := qsm.New(qsm.Config{Rule: rule, P: sc.N, G: 2, N: sc.N, MemCells: sc.N, Workers: workers})
+	if err != nil {
+		out.Err = err
+		return
+	}
+	ev := &engine.EventLog{}
+	m.AddObserver(ev)
+	m.InjectFaults(plan, engine.RetryPolicy{}, sc.Degraded)
+	defer func() {
+		out.Stream = ev.String()
+		out.Report = plan.Report(m)
+	}()
+
+	switch sc.Alg {
+	case "parity", "or":
+		bits := workload.Bits(sc.Seed, sc.N)
+		if err := m.Load(0, bits); err != nil {
+			out.Err = err
+			return
+		}
+		var addr int
+		var want int64
+		if sc.Alg == "parity" {
+			want = workload.Parity(bits)
+			if sc.Degraded {
+				addr, err = parity.TreeQSMDegraded(m, 0, sc.N, 2)
+			} else {
+				addr, err = parity.TreeQSM(m, 0, sc.N, 2)
+			}
+		} else {
+			want = workload.Or(bits)
+			if sc.Degraded {
+				addr, err = boolor.ContentionTreeDegraded(m, 0, sc.N, 4)
+			} else {
+				addr, err = boolor.ContentionTree(m, 0, sc.N, 4)
+			}
+		}
+		if err == nil {
+			out.finish(m.Err(), m.Peek(addr), want, sc.Alg)
+		} else {
+			out.Err = err
+		}
+	case "lac":
+		items, err := workload.Sparse(sc.Seed, sc.N, sc.N/4)
+		if err != nil {
+			out.Err = err
+			return
+		}
+		if err := m.Load(0, items); err != nil {
+			out.Err = err
+			return
+		}
+		// The dart RNG is algorithmic randomness (Section 8.3), separate
+		// from the plan RNG so fault draws never perturb dart throws.
+		rng := rand.New(rand.NewSource(sc.Seed + 1))
+		var res *compaction.DartResult
+		if sc.Degraded {
+			res, err = compaction.DartLACDegraded(m, rng, 0, sc.N)
+		} else {
+			res, err = compaction.DartLAC(m, rng, 0, sc.N)
+		}
+		switch {
+		case err != nil:
+			out.Err = err
+		case m.Err() != nil:
+			out.Err = m.Err()
+		default:
+			if verr := compaction.VerifyPlacement(items, res); verr != nil {
+				out.Wrong = true
+				out.Err = fmt.Errorf("chaos: lac placement: %w", verr)
+			} else {
+				out.Verified = true
+			}
+		}
+	default:
+		out.Err = fmt.Errorf("chaos: unknown shared-memory algorithm %q", sc.Alg)
+	}
+}
+
+// bspComponents is the fixed component count of BSP chaos runs.
+const bspComponents = 8
+
+// runBSP covers the BSP component-tree algorithms. BSP has no degraded
+// runners, so crashes always run strict and poison diagnosably.
+func runBSP(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+	bits := workload.Bits(sc.Seed, sc.N)
+	var priv int
+	var want int64
+	switch sc.Alg {
+	case "parity":
+		priv = parity.PrivNeedBSP(sc.N, bspComponents)
+		want = workload.Parity(bits)
+	case "or":
+		priv = boolor.PrivNeedBSP(sc.N, bspComponents)
+		want = workload.Or(bits)
+	default:
+		out.Err = fmt.Errorf("chaos: unknown BSP algorithm %q", sc.Alg)
+		return
+	}
+	m, err := bsp.New(bsp.Config{P: bspComponents, G: 2, L: 8, N: sc.N, PrivCells: priv, Workers: workers})
+	if err != nil {
+		out.Err = err
+		return
+	}
+	ev := &engine.EventLog{}
+	m.AddObserver(ev)
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	defer func() {
+		out.Stream = ev.String()
+		out.Report = plan.Report(m)
+	}()
+	if err := m.Scatter(bits); err != nil {
+		out.Err = err
+		return
+	}
+	var got int64
+	if sc.Alg == "parity" {
+		got, err = parity.RunBSP(m, sc.N, 4)
+	} else {
+		got, err = boolor.RunBSP(m, sc.N, 4)
+	}
+	out.finish(err, got, want, "bsp "+sc.Alg)
+}
+
+// runGSM covers the GSM information-gather algorithms; like BSP it always
+// runs strict.
+func runGSM(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+	bits := workload.Bits(sc.Seed, sc.N)
+	const gamma = 2
+	r := (sc.N + gamma - 1) / gamma
+	m, err := gsm.New(gsm.Config{
+		P: r, Alpha: 2, Beta: 2, Gamma: gamma, N: sc.N,
+		Cells: gsmalg.CellsNeedGather(r), Workers: workers,
+	})
+	if err != nil {
+		out.Err = err
+		return
+	}
+	ev := &engine.EventLog{}
+	m.AddObserver(ev)
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	defer func() {
+		out.Stream = ev.String()
+		out.Report = plan.Report(m)
+	}()
+	if err := m.LoadInputs(bits); err != nil {
+		out.Err = err
+		return
+	}
+	var got, want int64
+	switch sc.Alg {
+	case "parity":
+		want = workload.Parity(bits)
+		got, err = gsmalg.ParityGSM(m, sc.N, 4)
+	case "or":
+		want = workload.Or(bits)
+		got, err = gsmalg.ORGSM(m, sc.N, 4)
+	default:
+		out.Err = fmt.Errorf("chaos: unknown GSM algorithm %q", sc.Alg)
+		return
+	}
+	out.finish(err, got, want, "gsm "+sc.Alg)
+}

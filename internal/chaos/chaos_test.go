@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosSweep is the headline robustness gate (CI runs it with -race):
+// ≥ 200 seeded fault scenarios across all five machine constructors, each
+// run at Workers=1 and Workers=8. Every run must satisfy the robustness
+// invariant — verified-correct answer or diagnosable error, no panics, no
+// deadline overruns, no silent corruption — and the two Workers settings
+// must produce byte-identical fault schedules and observer event streams.
+func TestChaosSweep(t *testing.T) {
+	scs, err := Scenarios([]int64{1, 2}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 200 {
+		t.Fatalf("sweep has %d scenarios, acceptance floor is 200", len(scs))
+	}
+	deadline := 30 * time.Second
+
+	var verified, errored, injected, recovered, masked int
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			o1 := Run(sc, deadline, 1)
+			o8 := Run(sc, deadline, 8)
+			for _, o := range []*Outcome{o1, o8} {
+				if err := o.Invariant(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := strings.Join(o8.FaultLines, "\n"), strings.Join(o1.FaultLines, "\n"); got != want {
+				t.Fatalf("fault schedule diverges across Workers:\nW1:\n%s\nW8:\n%s", want, got)
+			}
+			if o1.Stream != o8.Stream {
+				t.Fatalf("observer stream diverges across Workers:\nW1:\n%s\nW8:\n%s", o1.Stream, o8.Stream)
+			}
+			if o1.Verified {
+				verified++
+			} else {
+				errored++
+			}
+			if o1.Report != nil {
+				injected += o1.Report.Injected
+				recovered += o1.Report.Recovered
+				masked += o1.Report.MaskedProcs
+			}
+		})
+	}
+	if verified == 0 || errored == 0 {
+		t.Fatalf("degenerate sweep: %d verified, %d errored — the matrix should exercise both paths", verified, errored)
+	}
+	if injected == 0 || recovered == 0 || masked == 0 {
+		t.Fatalf("degenerate sweep: injected=%d recovered=%d masked=%d — fault machinery not exercised", injected, recovered, masked)
+	}
+	t.Logf("sweep: %d scenarios ×2 workers settings — %d verified, %d diagnosable errors, %d faults, %d recovered, %d masked",
+		len(scs), verified, errored, injected, recovered, masked)
+}
+
+// Replaying the identical scenario must reproduce the identical outcome,
+// fault log and stream — the identical-seed ⇒ identical-event-stream leg
+// of the invariant.
+func TestChaosReplayDeterminism(t *testing.T) {
+	scs, err := Scenarios([]int64{42}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs[:20] {
+		a := Run(sc, DefaultDeadline, 0)
+		b := Run(sc, DefaultDeadline, 0)
+		if a.Stream != b.Stream || strings.Join(a.FaultLines, "\n") != strings.Join(b.FaultLines, "\n") {
+			t.Fatalf("%s: replay diverged", sc.Name())
+		}
+		if a.Verified != b.Verified || (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("%s: replay verdict diverged: %+v vs %+v", sc.Name(), a, b)
+		}
+	}
+}
+
+// The sweep aggregator reports invariant violations instead of dropping
+// them, and a panicking scenario is caught, not propagated.
+func TestChaosRunRecoversPanic(t *testing.T) {
+	o := Run(Scenario{Model: "qsm", Alg: "parity", N: 0, Seed: 1}, DefaultDeadline, 0)
+	if o.Panicked != "" {
+		t.Fatalf("n=0 should error cleanly, got panic %q", o.Panicked)
+	}
+	if o.Err == nil {
+		t.Fatal("n=0 should produce a diagnosable constructor error")
+	}
+}
+
+// Sweep summary accounting matches the per-outcome invariant results.
+func TestChaosSweepSummary(t *testing.T) {
+	scs, err := Scenarios([]int64{7}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sweep(scs[:26], DefaultDeadline, 0)
+	if len(s.Failures) != 0 {
+		t.Fatalf("sweep failures:\n%s", s)
+	}
+	if s.Runs != 26 || s.Verified+s.Errored != s.Runs {
+		t.Fatalf("inconsistent summary: %s", s)
+	}
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// mix is one named fault blend of the standard sweep. Degraded applies
+// only where degraded runners exist (the shared-memory models).
+type mix struct {
+	specs    string
+	degraded bool
+}
+
+// standardMixes is the sweep's fault matrix. Kinds that do not apply to a
+// machine family (memory faults on BSP, message faults on shared memory)
+// simply never fire there — the run is then a clean control.
+var standardMixes = []mix{
+	{"mem~0.05", false},          // sparse transient memory errors, strict retry
+	{"mem@1,mem@3", false},       // pinned transients on two phases
+	{"crash@2:p1", true},         // one masked crash, survivor re-partitioning
+	{"crash@1:p0,mem~0.1", true}, // masked crash plus transient noise
+	{"crash@1", false},           // strict crash: poison diagnosably
+	{"violation@2", false},       // injected contention-rule violation
+	{"budget@200", false},        // cost-budget ceiling
+	{"drop~0.1,dup~0.1", false},  // BSP message channel faults
+}
+
+// algsFor lists the algorithms swept per model family.
+func algsFor(model string) []string {
+	switch model {
+	case "bsp", "gsm":
+		return []string{"parity", "or"}
+	default:
+		return []string{"parity", "or", "lac"}
+	}
+}
+
+// Models is the full constructor matrix of the sweep.
+var Models = []string{"qsm", "sqsm", "crqw", "bsp", "gsm"}
+
+// Scenarios expands seeds × standard fault mixes × models × algorithms
+// into the standard sweep (len = |seeds| · |mixes| · (3·3 + 2·2) = 104
+// per seed). Degraded mixes fall back to strict on models without
+// degraded runners.
+func Scenarios(seeds []int64, n int) ([]Scenario, error) {
+	var out []Scenario
+	for _, mx := range standardMixes {
+		specs, err := fault.ParseSpecs(mx.specs)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad standard mix %q: %w", mx.specs, err)
+		}
+		for _, model := range Models {
+			degraded := mx.degraded && model != "bsp" && model != "gsm"
+			for _, alg := range algsFor(model) {
+				for _, seed := range seeds {
+					out = append(out, Scenario{
+						Model: model, Alg: alg, N: n, Seed: seed,
+						Specs: specs, Degraded: degraded,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Summary aggregates a sweep: how many runs verified, errored
+// diagnosably, recovered transients or masked crashes — and every
+// invariant violation (empty Failures = sweep passed).
+type Summary struct {
+	Runs, Verified, Errored int
+	Injected, Recovered     int
+	MaskedProcs             int
+	Failures                []string
+}
+
+// String renders the sweep summary (and failures, if any).
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos sweep: %d runs, %d verified, %d diagnosable errors, %d faults injected, %d recovered, %d procs masked",
+		s.Runs, s.Verified, s.Errored, s.Injected, s.Recovered, s.MaskedProcs)
+	for _, f := range s.Failures {
+		b.WriteString("\n  FAIL ")
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+// Sweep runs every scenario under the deadline and aggregates outcomes.
+// Scenarios run sequentially — the simulators parallelize internally via
+// Workers, and sequential runs keep the summary order deterministic.
+func Sweep(scs []Scenario, deadline time.Duration, workers int) *Summary {
+	s := &Summary{}
+	for _, sc := range scs {
+		o := Run(sc, deadline, workers)
+		s.Runs++
+		if err := o.Invariant(); err != nil {
+			s.Failures = append(s.Failures, err.Error())
+			continue
+		}
+		if o.Verified {
+			s.Verified++
+		} else {
+			s.Errored++
+		}
+		if o.Report != nil {
+			s.Injected += o.Report.Injected
+			s.Recovered += o.Report.Recovered
+			s.MaskedProcs += o.Report.MaskedProcs
+		}
+	}
+	return s
+}

@@ -151,6 +151,168 @@ func DartLAC(m *qsm.Machine, rng *rand.Rand, base, n int) (*DartResult, error) {
 	return res, m.Err()
 }
 
+// DartLACDegraded is DartLAC for machines running in degraded fault
+// mode: work is re-partitioned over the surviving processors before
+// every phase, and each round's live darts are dealt round-robin to
+// survivors, so the darts of a crashed processor migrate instead of
+// being lost. The written tag identifies the dart (origin+1), not the
+// throwing processor, so a dart's win test is owner-independent. A dart
+// whose read-back is lost to a crash simply stays live and is rethrown.
+// Fails with a diagnosable error once every processor has crashed.
+func DartLACDegraded(m *qsm.Machine, rng *rand.Rand, base, n int) (*DartResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("compaction: n must be ≥ 1, got %d", n)
+	}
+	if base < 0 || base+n > m.MemSize() {
+		return nil, fmt.Errorf("compaction: input [%d,%d) outside memory", base, base+n)
+	}
+	if m.P() < n {
+		return nil, fmt.Errorf("compaction: dart LAC needs ≥ n=%d processors, have %d", n, m.P())
+	}
+
+	surv, rank := survivorRanks(m)
+	if len(surv) == 0 {
+		return nil, fmt.Errorf("compaction: all %d processors crashed", m.P())
+	}
+	ns := len(surv)
+	vals := make([]int64, n)
+	m.Phase(func(c *qsm.Ctx) {
+		r := rank[c.Proc()]
+		if r < 0 {
+			return
+		}
+		for j := r; j < n; j += ns {
+			vals[j] = c.Read(base + j)
+		}
+	})
+	if m.Err() != nil {
+		return nil, m.Err()
+	}
+	type dart struct {
+		item int
+		tag  int64
+	}
+	var live []dart
+	for i, v := range vals {
+		if v != 0 {
+			live = append(live, dart{item: i, tag: int64(i) + 1})
+		}
+	}
+
+	res := &DartResult{OutBase: m.MemSize(), Placed: make(map[int64]int)}
+	maxRounds := 4*log2ceil(n) + 8
+
+	for len(live) > 0 {
+		if res.Rounds >= maxRounds {
+			return nil, fmt.Errorf("compaction: dart LAC did not converge in %d rounds (%d items left)",
+				maxRounds, len(live))
+		}
+		res.Rounds++
+		segBase := m.MemSize()
+		segSize := DartFactor * len(live)
+		m.Grow(segBase + segSize)
+		res.OutSize += segSize
+
+		surv, rank = survivorRanks(m)
+		if len(surv) == 0 {
+			return nil, fmt.Errorf("compaction: all %d processors crashed (round %d, %d items live)",
+				m.P(), res.Rounds, len(live))
+		}
+		// Deal darts round-robin to survivors; slots drawn host-side per
+		// dart in live order (deterministic for the run's crash history).
+		assign := make([][]int, m.P())
+		slotOf := make([]int, len(live))
+		for k := range live {
+			pr := surv[k%len(surv)]
+			assign[pr] = append(assign[pr], k)
+			slotOf[k] = segBase + rng.Intn(segSize)
+		}
+		// Phase A: throw (queued writes; an arbitrary writer per cell wins).
+		m.Phase(func(c *qsm.Ctx) {
+			for _, k := range assign[c.Proc()] {
+				c.Write(slotOf[k], live[k].tag)
+			}
+		})
+		// Phase B: read back; winners claim their slot. A crash between
+		// the phases leaves won[k] = 0 for its darts — they stay live.
+		won := make([]int64, len(live))
+		m.Phase(func(c *qsm.Ctx) {
+			for _, k := range assign[c.Proc()] {
+				won[k] = c.Read(slotOf[k])
+			}
+		})
+		if m.Err() != nil {
+			return nil, m.Err()
+		}
+		var next []dart
+		for k, d := range live {
+			if won[k] == d.tag {
+				res.Placed[d.tag] = slotOf[k]
+			} else {
+				next = append(next, d)
+			}
+		}
+		live = next
+	}
+	return res, m.Err()
+}
+
+// survivorRanks returns the surviving processor ids and a per-processor
+// dense-rank map (−1 for masked processors).
+func survivorRanks(m *qsm.Machine) (surv []int, rank []int) {
+	surv = m.Survivors()
+	rank = make([]int, m.P())
+	for i := range rank {
+		rank[i] = -1
+	}
+	for r, pr := range surv {
+		rank[pr] = r
+	}
+	return surv, rank
+}
+
+// VerifyPlacement checks a dart-compaction result for soundness against
+// the input the machine compacted: every item (nonzero input cell) is
+// placed exactly once, inside the output window, with its own tag, and no
+// two items share a cell. It is the chaos harness's correctness oracle
+// for LAC runs (and a fuzz target: it must reject any mutation of a valid
+// placement without panicking).
+func VerifyPlacement(input []int64, r *DartResult) error {
+	if r == nil {
+		return fmt.Errorf("compaction: nil result")
+	}
+	items := 0
+	for _, v := range input {
+		if v != 0 {
+			items++
+		}
+	}
+	if len(r.Placed) != items {
+		return fmt.Errorf("compaction: placed %d items, input has %d", len(r.Placed), items)
+	}
+	if r.OutSize < 0 || r.OutBase < 0 {
+		return fmt.Errorf("compaction: invalid output window [%d,+%d)", r.OutBase, r.OutSize)
+	}
+	ps := r.PlacedSlots()
+	for i, pl := range ps {
+		if pl.Tag < 1 || pl.Tag > int64(len(input)) {
+			return fmt.Errorf("compaction: tag %d outside input [1,%d]", pl.Tag, len(input))
+		}
+		if input[pl.Tag-1] == 0 {
+			return fmt.Errorf("compaction: tag %d names an empty input cell", pl.Tag)
+		}
+		if pl.Cell < r.OutBase || pl.Cell >= r.OutBase+r.OutSize {
+			return fmt.Errorf("compaction: tag %d placed at cell %d outside [%d,%d)",
+				pl.Tag, pl.Cell, r.OutBase, r.OutBase+r.OutSize)
+		}
+		if i > 0 && ps[i-1].Cell == pl.Cell {
+			return fmt.Errorf("compaction: tags %d and %d share cell %d",
+				ps[i-1].Tag, pl.Tag, pl.Cell)
+		}
+	}
+	return nil
+}
+
 // DetLAC compacts exactly: the k items of [base, base+n) end up in cells
 // [out, out+k) in input order (stable), where out is returned along with k.
 // It is the deterministic prefix-sums algorithm of Section 8, with the

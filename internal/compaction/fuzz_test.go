@@ -1,0 +1,92 @@
+package compaction
+
+import (
+	"testing"
+)
+
+// FuzzVerifyPlacement feeds the LAC placement verifier arbitrary inputs
+// and structured mutations of valid placements: it must never panic,
+// accept every genuinely valid placement, and reject every mutation class
+// (dropped item, cell collision, out-of-window cell, foreign tag) — the
+// soundness the chaos harness relies on when it uses the verifier as its
+// correctness oracle.
+func FuzzVerifyPlacement(f *testing.F) {
+	f.Add([]byte{8, 0, 0b10110100}, int64(3))
+	f.Add([]byte{1, 1, 0xFF}, int64(0))
+	f.Add([]byte{64, 4, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55}, int64(9))
+	f.Add([]byte{}, int64(1))
+	f.Fuzz(func(t *testing.T, data []byte, slotSeed int64) {
+		if len(data) < 2 {
+			// Degenerate bytes: just exercise the nil/empty paths.
+			if err := VerifyPlacement(nil, nil); err == nil {
+				t.Fatal("nil result accepted")
+			}
+			if err := VerifyPlacement(nil, &DartResult{Placed: map[int64]int{}}); err != nil {
+				t.Fatalf("empty placement of empty input rejected: %v", err)
+			}
+			return
+		}
+		n := 1 + int(data[0])%64
+		mutation := int(data[1]) % 5
+		bits := data[2:]
+
+		// Build the input and its canonical valid placement: item tags in
+		// increasing cell order inside a window with one slack cell.
+		input := make([]int64, n)
+		res := &DartResult{OutBase: n + int(slotSeed%7+7)%7, Placed: map[int64]int{}}
+		cell := res.OutBase
+		for i := range input {
+			if len(bits) > 0 && bits[i%len(bits)]&(1<<(i%8)) != 0 {
+				input[i] = int64(i) + 1
+				res.Placed[int64(i)+1] = cell
+				cell++
+			}
+		}
+		res.OutSize = cell - res.OutBase + 1
+
+		if err := VerifyPlacement(input, res); err != nil {
+			t.Fatalf("valid placement rejected: %v", err)
+		}
+		if len(res.Placed) == 0 {
+			return
+		}
+		// Pick the victim tag deterministically from the fuzz input.
+		var victim int64
+		for tag := range res.Placed { //lint:maporder-ok any deterministic-per-input victim works; min below makes it order-free
+			if victim == 0 || tag < victim {
+				victim = tag
+			}
+		}
+		switch mutation {
+		case 0:
+			// No mutation: already checked above.
+			return
+		case 1:
+			delete(res.Placed, victim) // dropped item
+		case 2:
+			// Collide two cells: stack the victim on the highest tag's cell
+			// (needs ≥ 2 items; otherwise shrink the window to zero so the
+			// sole item lands outside it).
+			if len(res.Placed) > 1 {
+				var other int64
+				for tag := range res.Placed { //lint:maporder-ok max below makes it order-free
+					if tag != victim && tag > other {
+						other = tag
+					}
+				}
+				res.Placed[victim] = res.Placed[other]
+			} else {
+				res.OutSize = 0
+			}
+		case 3:
+			res.Placed[victim] = res.OutBase + res.OutSize + 3 // out of window
+		case 4:
+			delete(res.Placed, victim)
+			res.Placed[int64(n)+99] = res.OutBase // foreign tag, same count
+		}
+		if err := VerifyPlacement(input, res); err == nil {
+			t.Fatalf("mutation %d accepted: input=%v placed=%v window=[%d,+%d)",
+				mutation, input, res.Placed, res.OutBase, res.OutSize)
+		}
+	})
+}

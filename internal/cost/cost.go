@@ -132,6 +132,46 @@ func (r *Report) Add(pc PhaseCost) {
 // NumPhases returns the number of executed phases.
 func (r *Report) NumPhases() int { return len(r.Phases) }
 
+// Mark captures the aggregate state of a report at a phase boundary, so a
+// rolled-back phase can be uncharged exactly. It is the cost half of the
+// engine's checkpoint/rollback machinery.
+type Mark struct {
+	Phases    int
+	TotalTime Time
+	Work      int64
+	Rounds    int
+	AllRounds bool
+}
+
+// Mark snapshots the report's aggregates.
+func (r *Report) Mark() Mark {
+	return Mark{
+		Phases:    len(r.Phases),
+		TotalTime: r.TotalTime,
+		Work:      r.Work,
+		Rounds:    r.Rounds,
+		AllRounds: r.AllRounds,
+	}
+}
+
+// Rewind restores the report to a previously captured Mark, discarding
+// every phase charged since. Rewinding to a mark from a different report
+// (or after the phase slice has been truncated below the mark) is a
+// programming error; Rewind clamps rather than panics.
+func (r *Report) Rewind(m Mark) {
+	if m.Phases < 0 {
+		m.Phases = 0
+	}
+	if m.Phases > len(r.Phases) {
+		m.Phases = len(r.Phases)
+	}
+	r.Phases = r.Phases[:m.Phases]
+	r.TotalTime = m.TotalTime
+	r.Work = m.Work
+	r.Rounds = m.Rounds
+	r.AllRounds = m.AllRounds
+}
+
 // String renders a compact one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf("%s[n=%d p=%d g=%d L=%d]: time=%d phases=%d rounds=%d allRounds=%v work=%d",

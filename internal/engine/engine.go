@@ -79,6 +79,11 @@ type Machine interface {
 	Report() *cost.Report
 	// AddObserver attaches a structured event observer.
 	AddObserver(Observer)
+	// InjectFaults attaches a fault injector and recovery policy (see
+	// fault.go); call before the first phase.
+	InjectFaults(inj Injector, rp RetryPolicy, degraded bool)
+	// FaultStats returns the engine-side fault accounting of the run.
+	FaultStats() FaultStats
 }
 
 // Core is the lifecycle state shared by every simulated machine. Machine
@@ -99,6 +104,24 @@ type Core struct {
 	// error in chunk order), collected during body dispatch.
 	failN []int32
 	failE []error
+
+	// Fault-injection and recovery state (see fault.go). inj, retry and
+	// degraded are set once by InjectFaults; crashed/ncrashed track
+	// degraded-mode masking (written only at the commit barrier, read by
+	// the next phase's dispatch — ordered by the goroutine-start edge);
+	// attempt is the 1-based per-phase attempt counter; lastFault is the
+	// most recent transient fault error, kept for the retries-exhausted
+	// message; ckMark/ckOk are the Core half of the phase checkpoint.
+	inj       Injector
+	retry     RetryPolicy
+	degraded  bool
+	crashed   []bool
+	ncrashed  int
+	fstats    FaultStats
+	attempt   int
+	lastFault error
+	ckMark    cost.Mark
+	ckOk      bool
 }
 
 // Init prepares the core for a machine with the given model, parameters,
@@ -139,6 +162,23 @@ func (c *Core) RecordErr(err error) {
 // Report returns the accumulated cost report.
 func (c *Core) Report() *cost.Report { return &c.report }
 
+// PhaseStatus is what a commit closure tells RunPhase about the barrier's
+// outcome.
+type PhaseStatus int
+
+const (
+	// PhaseCommitted means the phase charged and its writes/deliveries
+	// applied.
+	PhaseCommitted PhaseStatus = iota
+	// PhaseAborted means the phase detected a model violation or a
+	// permanent fault and poisoned the machine; nothing committed.
+	PhaseAborted
+	// PhaseRetry means an injected transient fault was detected after
+	// commit and the machine rolled back to the last committed phase; the
+	// phase should be re-executed under the RetryPolicy.
+	PhaseRetry
+)
+
 // RunPhase executes the model-generic phase lifecycle: the phase-start
 // observer event, chunked dispatch of the per-processor bodies, failure
 // merging with error poisoning, and — only if every body succeeded — the
@@ -147,39 +187,64 @@ func (c *Core) Report() *cost.Report { return &c.report }
 // its failure tally: how many bodies failed and the first failure in
 // processor order. Callers must check Err before invoking (an erred
 // machine skips phases entirely).
-func (c *Core) RunPhase(workers, p int, chunk func(lo, hi int) (int32, error), commit func()) {
-	c.observePhaseStart()
-	nb := sched.NumBlocks(workers, p)
-	if len(c.failN) < nb {
-		c.failN = make([]int32, nb)
-		c.failE = make([]error, nb)
-	}
-	sched.Blocks(workers, p, func(w, lo, hi int) {
-		c.failN[w], c.failE[w] = chunk(lo, hi)
-	})
-	// Failed processors short-circuit the commit: nothing is counted and
-	// nothing commits. The first error in processor order wins (chunk
-	// indexes ascend with the processor range); the number of other
-	// failing processors is preserved in the message.
-	nfail := 0
-	var first error
-	for w := 0; w < nb; w++ {
-		if c.failN[w] > 0 {
-			if first == nil {
-				first = c.failE[w]
+//
+// A commit that returns PhaseRetry (transient fault, already rolled back
+// by the commit closure) charges a model-time recovery stall and
+// re-dispatches the same bodies, up to RetryPolicy.MaxAttempts; model
+// discipline (requests are a function of start-of-phase state) makes the
+// re-execution idempotent. Poisoning always routes through RecordErr, so
+// the first recorded error is stable: repeated Err() calls and
+// post-failure phase attempts observe the same wrapped chain.
+func (c *Core) RunPhase(workers, p int, chunk func(lo, hi int) (int32, error), commit func() PhaseStatus) {
+	c.attempt = 1
+	for {
+		c.observePhaseStart()
+		nb := sched.NumBlocks(workers, p)
+		if len(c.failN) < nb {
+			c.failN = make([]int32, nb)
+			c.failE = make([]error, nb)
+		}
+		sched.Blocks(workers, p, func(w, lo, hi int) {
+			c.failN[w], c.failE[w] = chunk(lo, hi)
+		})
+		// Failed processors short-circuit the commit: nothing is counted
+		// and nothing commits. The first error in processor order wins
+		// (chunk indexes ascend with the processor range); the number of
+		// other failing processors is preserved in the message.
+		nfail := 0
+		var first error
+		for w := 0; w < nb; w++ {
+			if c.failN[w] > 0 {
+				if first == nil {
+					first = c.failE[w]
+				}
+				nfail += int(c.failN[w])
 			}
-			nfail += int(c.failN[w])
+		}
+		if nfail > 0 {
+			if nfail > 1 {
+				c.RecordErr(fmt.Errorf("%w (and %d other %ss failed)",
+					first, nfail-1, c.model.Entity()))
+			} else {
+				c.RecordErr(first)
+			}
+			return
+		}
+		switch commit() {
+		case PhaseRetry:
+			if c.attempt >= c.retry.attempts() {
+				c.retriesExhausted()
+				return
+			}
+			c.chargeRecovery()
+			c.attempt++
+		case PhaseCommitted:
+			c.noteCommitted()
+			return
+		default:
+			return
 		}
 	}
-	if nfail > 0 {
-		if nfail > 1 {
-			c.err = fmt.Errorf("%w (and %d other %ss failed)", first, nfail-1, c.model.Entity())
-		} else {
-			c.err = first
-		}
-		return
-	}
-	commit()
 }
 
 // chargePhase applies the model's cost rule to the merge outcome and

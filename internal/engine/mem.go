@@ -53,6 +53,11 @@ type Mem[V any] struct {
 	ctxs []*MemCtx[V]
 	// cb holds the reusable scratch of the sharded commit pipeline.
 	cb memBuf[V]
+	// ckMem is the memory snapshot of the last Checkpoint (reused across
+	// phases). A shallow element copy suffices: the engine's Apply
+	// contract replaces cell values rather than mutating them in place
+	// (last-writer-wins stores, GSM's copy-on-write Merge).
+	ckMem []V
 }
 
 // InitMem prepares the engine for a machine with the given model,
@@ -182,12 +187,21 @@ func (m *Mem[V]) Phase(body func(c *MemCtx[V])) {
 		}
 	}
 	workers := m.phaseWorkers()
+	if m.InjectorActive() {
+		m.Checkpoint()
+	}
 	m.RunPhase(workers, p, func(lo, hi int) (int32, error) {
 		var nf int32
 		var first error
 		for i := lo; i < hi; i++ {
 			c := m.ctxs[i]
 			c.reset()
+			if m.CrashedProc(i) {
+				// Masked processors idle: no body, no requests. The
+				// crash flag is written at the previous phase's barrier,
+				// so masking is visible here race-free.
+				continue
+			}
 			body(c)
 			if c.fail != nil {
 				if first == nil {
@@ -197,7 +211,43 @@ func (m *Mem[V]) Phase(body func(c *MemCtx[V])) {
 			}
 		}
 		return nf, first
-	}, func() { m.commit(workers) })
+	}, func() PhaseStatus { return m.commit(workers) })
+}
+
+// Checkpoint snapshots the shared memory and cost aggregates at a
+// committed-phase boundary, so a transient fault in the next phase can
+// roll back to exactly this state.
+func (m *Mem[V]) Checkpoint() {
+	m.ckMem = append(m.ckMem[:0], m.mem...)
+	if s, ok := any(m.model).(Snapshotter); ok {
+		s.Snapshot()
+	}
+	m.ckCore()
+}
+
+// Rollback restores the last Checkpoint: memory contents and the cost
+// report (phases, total time, work, round counts) return to the
+// checkpointed values. It reports whether a checkpoint was set. Memory
+// must not have been resized since the checkpoint (Grow happens between
+// phases, checkpoints at phase start).
+func (m *Mem[V]) Rollback() bool {
+	if !m.rewindCore() {
+		return false
+	}
+	copy(m.mem, m.ckMem)
+	if s, ok := any(m.model).(Snapshotter); ok {
+		s.Restore()
+	}
+	return true
+}
+
+// corruptCell damages one committed cell (zero value) to model a
+// transient memory fault; Rollback repairs it.
+func (m *Mem[V]) corruptCell(addr int) {
+	if addr >= 0 && addr < len(m.mem) {
+		var zero V
+		m.mem[addr] = zero
+	}
 }
 
 // ForAll is a convenience wrapper: it runs a phase in which only
@@ -269,13 +319,15 @@ func growSlices[T any](s [][]T, n int) [][]T {
 	return s
 }
 
-// commit merges per-processor buffers, validates access rules, charges
-// the phase and applies writes. The merge runs in two parallel passes:
-// bucket requests by address shard (over processor chunks), then count
-// contention, resolve winners and detect violations per shard. Results
-// are identical for every Workers setting: buckets are filled in
-// processor order and scanned in chunk order.
-func (m *Mem[V]) commit(workers int) {
+// commit merges per-processor buffers, validates access rules, consults
+// the fault injector, charges the phase and applies writes. The merge
+// runs in two parallel passes: bucket requests by address shard (over
+// processor chunks), then count contention, resolve winners and detect
+// violations per shard. Results are identical for every Workers setting:
+// buckets are filled in processor order and scanned in chunk order, and
+// the injector consult happens exactly once per attempt on the
+// coordinating goroutine.
+func (m *Mem[V]) commit(workers int) PhaseStatus {
 	ctxs := m.ctxs
 	b := &m.cb
 	sh, nm := b.ensure(len(m.mem), workers, len(ctxs))
@@ -377,7 +429,38 @@ func (m *Mem[V]) commit(workers int) {
 		m.RecordErr(fmt.Errorf("%w: cell %d both read and written in phase %d",
 			m.model.Violation(), violAddr, m.Report().NumPhases()))
 		m.finish(workers, nm, ns, false)
-		return
+		return PhaseAborted
+	}
+
+	if m.InjectorActive() {
+		switch v := m.consultInjector(len(m.mem)); v.Class {
+		case FaultPermanent:
+			// Injected contention-rule violations wrap the model's own
+			// sentinel (multi-%w), so they satisfy errors.Is for both the
+			// fault sentinel and the model's Violation — exactly like a
+			// real access-rule breach. Other permanent faults keep the
+			// package prefix wording.
+			if v.Violation {
+				m.RecordErr(fmt.Errorf("%w: %w in phase %d",
+					m.model.Violation(), v.Err, m.Report().NumPhases()))
+			} else {
+				m.RecordErr(fmt.Errorf("%s: phase %d: %w",
+					m.model.Prefix(), m.Report().NumPhases(), v.Err))
+			}
+			m.finish(workers, nm, ns, false)
+			return PhaseAborted
+		case FaultTransient:
+			// The fault fires after the commit applies: charge, let the
+			// writes land, damage the target cell — then "detect" it at
+			// the barrier and roll back to the phase-start checkpoint.
+			// The aborted attempt emits no Request and no PhaseEnd
+			// events, per the Observer contract.
+			m.chargePhase(Outcome{MaxOps: mOp, MaxRW: mRW, KRead: kr, KWrite: kw})
+			m.finish(workers, nm, ns, true)
+			m.corruptCell(v.Addr)
+			m.Rollback()
+			return PhaseRetry
+		}
 	}
 
 	pc := m.chargePhase(Outcome{MaxOps: mOp, MaxRW: mRW, KRead: kr, KWrite: kw})
@@ -386,6 +469,7 @@ func (m *Mem[V]) commit(workers int) {
 	}
 	m.finish(workers, nm, ns, true)
 	m.observePhaseEnd(pc)
+	return PhaseCommitted
 }
 
 // emitRequests renders the phase's requests as observer events, grouped

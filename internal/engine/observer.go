@@ -63,7 +63,12 @@ type Request struct {
 //
 // A phase that fails (a processor body errs) or aborts on a model
 // violation emits no Request events and no PhaseEnd — exactly the phases
-// that never commit.
+// that never commit. Under fault injection (see fault.go) the same rule
+// holds per attempt: a transient-aborted attempt emits its PhaseStart but
+// no Request and no PhaseEnd; the recovery stall that follows is a
+// request-free committed phase (PhaseStart then PhaseEnd); the retried
+// attempt then starts at the next phase index. The full stream, faults
+// included, stays byte-identical for every Workers setting.
 type Observer interface {
 	PhaseStart(phase int)
 	Request(phase int, r Request)

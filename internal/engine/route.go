@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/cost"
 	"repro/internal/sched"
 )
@@ -71,6 +73,9 @@ type Route[M any] struct {
 	spare [][]M
 	// rb holds the reusable scratch of the sharded routing commit.
 	rb routeBuf[M]
+	// ckInbox is the inbox snapshot of the last Checkpoint (per-component
+	// message copies, buffers reused across supersteps).
+	ckInbox [][]M
 }
 
 // InitRoute prepares the engine for a machine with the given model,
@@ -106,12 +111,21 @@ func (r *Route[M]) Superstep(body func(i int, s *Sends[M])) {
 		}
 	}
 	workers := r.Workers()
+	if r.InjectorActive() {
+		r.Checkpoint()
+	}
 	r.RunPhase(workers, p, func(lo, hi int) (int32, error) {
 		var nf int32
 		var first error
 		for i := lo; i < hi; i++ {
 			s := r.sends[i]
 			s.reset()
+			if r.CrashedProc(i) {
+				// Masked components idle: no work, no sends. The crash
+				// flag is written at the previous superstep's barrier,
+				// so masking is visible here race-free.
+				continue
+			}
 			body(i, s)
 			if s.fail != nil {
 				if first == nil {
@@ -121,7 +135,55 @@ func (r *Route[M]) Superstep(body func(i int, s *Sends[M])) {
 			}
 		}
 		return nf, first
-	}, func() { r.commit(workers) })
+	}, func() PhaseStatus { return r.commit(workers) })
+}
+
+// Checkpoint snapshots the inboxes and cost aggregates at a committed-
+// superstep boundary, so a transient fault in the next superstep can roll
+// back to exactly this state.
+func (r *Route[M]) Checkpoint() {
+	if len(r.ckInbox) < len(r.inbox) {
+		r.ckInbox = growSlices(r.ckInbox, len(r.inbox))
+	}
+	for i, in := range r.inbox {
+		r.ckInbox[i] = append(r.ckInbox[i][:0], in...)
+	}
+	if s, ok := any(r.model).(Snapshotter); ok {
+		s.Snapshot()
+	}
+	r.ckCore()
+}
+
+// Rollback restores the last Checkpoint: inbox contents and the cost
+// report return to the checkpointed values (this superstep's deliveries
+// are discarded; re-execution restages them from the restored
+// start-of-superstep state). It reports whether a checkpoint was set.
+func (r *Route[M]) Rollback() bool {
+	if !r.rewindCore() {
+		return false
+	}
+	for i := range r.inbox {
+		r.inbox[i] = append(r.inbox[i][:0], r.ckInbox[i]...)
+	}
+	if s, ok := any(r.model).(Snapshotter); ok {
+		s.Restore()
+	}
+	return true
+}
+
+// corruptInbox damages one component's delivered inbox to model a faulty
+// message channel: drop the first delivery, or duplicate it. Rollback
+// repairs it.
+func (r *Route[M]) corruptInbox(comp int, drop bool) {
+	if comp < 0 || comp >= len(r.inbox) || len(r.inbox[comp]) == 0 {
+		return
+	}
+	in := r.inbox[comp]
+	if drop {
+		r.inbox[comp] = in[:len(in)-1]
+	} else {
+		r.inbox[comp] = append(in, in[0])
+	}
 }
 
 // routeBuf is the reusable scratch of the sharded message-routing commit.
@@ -158,11 +220,13 @@ func (b *routeBuf[M]) ensure(p, nm, ns int) {
 	}
 }
 
-// commit measures the h-relation, charges the superstep and routes staged
-// messages. Buckets are filled in sender order and replayed in chunk
-// order, so each inbox receives its messages grouped by ascending sender
-// id — the same deterministic delivery order for every Workers setting.
-func (r *Route[M]) commit(workers int) {
+// commit measures the h-relation, consults the fault injector, charges
+// the superstep and routes staged messages. Buckets are filled in sender
+// order and replayed in chunk order, so each inbox receives its messages
+// grouped by ascending sender id — the same deterministic delivery order
+// for every Workers setting; the injector consult happens exactly once
+// per attempt on the coordinating goroutine.
+func (r *Route[M]) commit(workers int) PhaseStatus {
 	p := r.P()
 	b := &r.rb
 	nm := sched.NumBlocks(workers, p)
@@ -234,6 +298,31 @@ func (r *Route[M]) commit(workers int) {
 		h = max(h, b.hrecv[s])
 	}
 
+	if r.InjectorActive() {
+		switch v := r.consultInjector(0); v.Class {
+		case FaultPermanent:
+			// Nothing delivers; the machine poisons with the fault
+			// error. Staged buckets were already drained into next by
+			// pass 2, which ping-pongs on the retry-free path; here we
+			// simply abandon next's contents (buffers are reused).
+			r.RecordErr(fmt.Errorf("%s: superstep %d: %w",
+				r.model.Name(), r.Report().NumPhases(), v.Err))
+			return PhaseAborted
+		case FaultTransient:
+			// The fault fires after delivery: charge, swap the inboxes,
+			// damage the target component's deliveries (drop or
+			// duplicate) — then "detect" it at the barrier and roll back
+			// to the superstep-start checkpoint. The aborted attempt
+			// emits no Request and no PhaseEnd events.
+			r.chargePhase(Outcome{MaxOps: w, MaxRW: h})
+			r.spare = r.inbox
+			r.inbox = next
+			r.corruptInbox(v.Addr, v.Drop)
+			r.Rollback()
+			return PhaseRetry
+		}
+	}
+
 	pc := r.chargePhase(Outcome{MaxOps: w, MaxRW: h})
 	if r.Observing() {
 		r.emitRequests()
@@ -241,6 +330,7 @@ func (r *Route[M]) commit(workers int) {
 	r.spare = r.inbox
 	r.inbox = next
 	r.observePhaseEnd(pc)
+	return PhaseCommitted
 }
 
 // emitRequests renders the superstep's sends as observer events, grouped

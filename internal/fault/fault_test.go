@@ -1,0 +1,298 @@
+package fault_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/qsm"
+)
+
+// newQSM builds a small QSM machine for fault tests.
+func newQSM(t *testing.T, p, cells, workers int) *qsm.Machine {
+	t.Helper()
+	m, err := qsm.New(qsm.Config{Rule: cost.RuleQSM, P: p, G: 2, N: p, MemCells: cells, Workers: workers})
+	if err != nil {
+		t.Fatalf("qsm.New: %v", err)
+	}
+	return m
+}
+
+// runDoubler runs a two-phase-per-step pipeline: each processor reads its
+// input cell, then writes double the value to its output cell, repeated
+// for steps iterations (cells layout: p inputs at 0, p outputs at p).
+func runDoubler(m *qsm.Machine, steps int) {
+	p := m.P()
+	vals := make([]int64, p)
+	for s := 0; s < steps; s++ {
+		m.Phase(func(c *qsm.Ctx) { vals[c.Proc()] = c.Read(c.Proc()) })
+		m.Phase(func(c *qsm.Ctx) { c.Write(p+c.Proc(), 2*vals[c.Proc()]) })
+	}
+}
+
+func TestTransientRecovery(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	if err := m.Load(0, []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(7, fault.Spec{Kind: fault.MemTransient, Phase: 1, Proc: -1})
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	runDoubler(m, 2)
+	if err := m.Err(); err != nil {
+		t.Fatalf("machine erred despite recovery: %v", err)
+	}
+	got := m.PeekRange(4, 4)
+	for i, v := range got {
+		if v != 2*int64(i+1) {
+			t.Fatalf("cell %d = %d after recovery, want %d", 4+i, v, 2*int64(i+1))
+		}
+	}
+	r := plan.Report(m)
+	if r.Transient != 1 || r.Recovered != 1 || r.Retries != 1 {
+		t.Fatalf("report transient=%d recovered=%d retries=%d, want 1/1/1\n%s",
+			r.Transient, r.Recovered, r.Retries, r)
+	}
+	if r.RecoveryCost <= 0 {
+		t.Fatalf("recovery cost %d, want > 0 (model-time stall)", r.RecoveryCost)
+	}
+	// The stall phase is charged in the report: 4 steady phases + 1 stall.
+	if got, want := m.Report().NumPhases(), 5; got != want {
+		t.Fatalf("NumPhases = %d, want %d (4 committed + 1 recovery stall)", got, want)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	plan := fault.NewPlan(11, fault.Spec{Kind: fault.MemTransient, Phase: -1, Proc: -1, Prob: 1.0})
+	m.InjectFaults(plan, engine.RetryPolicy{MaxAttempts: 2}, false)
+	runDoubler(m, 1)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("machine should poison after exhausting retries")
+	}
+	if !errors.Is(err, fault.ErrTransient) {
+		t.Fatalf("errors.Is(err, ErrTransient) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("error should name the attempt count: %v", err)
+	}
+	// Stable error: repeated Err calls and post-failure phases observe the
+	// identical chain.
+	m.Phase(func(c *qsm.Ctx) { c.Write(0, 99) })
+	if again := m.Err(); !errors.Is(again, fault.ErrTransient) || again.Error() != err.Error() {
+		t.Fatalf("poisoned error not stable: %v vs %v", err, again)
+	}
+}
+
+func TestCrashStrictPoisons(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	plan := fault.NewPlan(3, fault.Spec{Kind: fault.Crash, Phase: 0, Proc: 1})
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	runDoubler(m, 1)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("strict-mode crash should poison the machine")
+	}
+	if !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("errors.Is(err, ErrCrash) = false for %v", err)
+	}
+}
+
+func TestCrashDegradedMasks(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	plan := fault.NewPlan(3, fault.Spec{Kind: fault.Crash, Phase: 0, Proc: 1})
+	m.InjectFaults(plan, engine.RetryPolicy{}, true)
+	// Phase 0: everyone writes its own cell (crash fires at this barrier;
+	// the phase still commits). Phase 1 on: proc 1 is masked.
+	m.Phase(func(c *qsm.Ctx) { c.Write(c.Proc(), 10+int64(c.Proc())) })
+	m.Phase(func(c *qsm.Ctx) { c.Write(4+c.Proc(), 20+int64(c.Proc())) })
+	if err := m.Err(); err != nil {
+		t.Fatalf("degraded machine should keep running: %v", err)
+	}
+	if got := m.CrashedCount(); got != 1 {
+		t.Fatalf("CrashedCount = %d, want 1", got)
+	}
+	if !m.CrashedProc(1) {
+		t.Fatal("proc 1 should be masked")
+	}
+	if got := m.Survivors(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Survivors = %v, want [0 2 3]", got)
+	}
+	// Crash phase committed in full; masked proc contributed nothing after.
+	if v := m.Peek(1); v != 11 {
+		t.Fatalf("cell 1 = %d, want 11 (crash phase commits)", v)
+	}
+	if v := m.Peek(5); v != 0 {
+		t.Fatalf("cell 5 = %d, want 0 (masked proc writes nothing)", v)
+	}
+	r := plan.Report(m)
+	if r.Crashes != 1 || r.MaskedProcs != 1 {
+		t.Fatalf("report crashes=%d masked=%d, want 1/1", r.Crashes, r.MaskedProcs)
+	}
+}
+
+func TestInjectedViolationWrapsModelSentinel(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	plan := fault.NewPlan(5, fault.Spec{Kind: fault.Violation, Phase: 0, Proc: -1})
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	runDoubler(m, 1)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("injected violation should poison the machine")
+	}
+	if !errors.Is(err, qsm.ErrViolation) {
+		t.Fatalf("errors.Is(err, qsm.ErrViolation) = false for %v", err)
+	}
+	if !errors.Is(err, fault.ErrInjectedViolation) {
+		t.Fatalf("errors.Is(err, fault.ErrInjectedViolation) = false for %v", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	m := newQSM(t, 4, 8, 1)
+	plan := fault.NewPlan(5, fault.Spec{Kind: fault.Budget, Budget: 4})
+	m.InjectFaults(plan, engine.RetryPolicy{}, false)
+	runDoubler(m, 4)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("budget exhaustion should poison the machine")
+	}
+	if !errors.Is(err, fault.ErrBudget) {
+		t.Fatalf("errors.Is(err, ErrBudget) = false for %v", err)
+	}
+}
+
+// runBSPRelay: each component sends its value right (ring) and folds the
+// received value into private memory; repeated relays move values around.
+func runBSPRelay(m *bsp.Machine, steps int) {
+	p := m.P()
+	for s := 0; s < steps; s++ {
+		m.Superstep(func(c *bsp.Ctx) {
+			v := c.Priv()[0]
+			if s > 0 {
+				in := c.Incoming()
+				v = 0
+				for _, msg := range in {
+					v += msg.Val
+				}
+				c.Priv()[0] = v
+			}
+			c.Work(1)
+			c.Send((c.Comp()+1)%p, 0, v)
+		})
+	}
+	// Final fold of the last superstep's deliveries.
+	m.Superstep(func(c *bsp.Ctx) {
+		var v int64
+		for _, msg := range c.Incoming() {
+			v += msg.Val
+		}
+		c.Priv()[0] = v
+		c.Work(1)
+	})
+}
+
+func TestBSPMessageFaultRecovery(t *testing.T) {
+	for _, kind := range []fault.Kind{fault.MsgDrop, fault.MsgDup} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := bsp.New(bsp.Config{P: 4, G: 2, L: 8, N: 4, PrivCells: 2, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Scatter([]int64{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			plan := fault.NewPlan(13, fault.Spec{Kind: kind, Phase: 1, Proc: -1})
+			m.InjectFaults(plan, engine.RetryPolicy{}, false)
+			runBSPRelay(m, 2)
+			if err := m.Err(); err != nil {
+				t.Fatalf("machine erred despite recovery: %v", err)
+			}
+			// Two sending supersteps: each value moved 2 hops right.
+			for i := 0; i < 4; i++ {
+				want := int64((i+4-2)%4 + 1)
+				if got := m.Peek(i, 0); got != want {
+					t.Fatalf("comp %d priv[0] = %d, want %d", i, got, want)
+				}
+			}
+			r := plan.Report(m)
+			if r.Transient != 1 || r.Recovered != 1 {
+				t.Fatalf("report transient=%d recovered=%d, want 1/1\n%s",
+					r.Transient, r.Recovered, r)
+			}
+		})
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	specs := []fault.Spec{
+		{Kind: fault.MemTransient, Phase: -1, Proc: -1, Prob: 0.4},
+		{Kind: fault.Crash, Phase: 5, Proc: -1},
+	}
+	run := func(workers int) ([]string, []string, error) {
+		m := newQSM(t, 8, 16, workers)
+		log := &engine.EventLog{}
+		m.AddObserver(log)
+		plan := fault.NewPlan(42, specs...)
+		m.InjectFaults(plan, engine.RetryPolicy{}, true)
+		p := m.P()
+		vals := make([]int64, p)
+		for s := 0; s < 6; s++ {
+			m.Phase(func(c *qsm.Ctx) { vals[c.Proc()] = c.Read(c.Proc()) })
+			m.Phase(func(c *qsm.Ctx) { c.Write(p+c.Proc(), vals[c.Proc()]+1) })
+		}
+		return plan.EventLines(), log.Lines, m.Err()
+	}
+	ev1, log1, err1 := run(1)
+	ev8, log8, err8 := run(8)
+	if (err1 == nil) != (err8 == nil) {
+		t.Fatalf("err mismatch: %v vs %v", err1, err8)
+	}
+	if strings.Join(ev1, "\n") != strings.Join(ev8, "\n") {
+		t.Fatalf("fault schedules differ between Workers=1 and 8:\n%v\nvs\n%v", ev1, ev8)
+	}
+	if strings.Join(log1, "\n") != strings.Join(log8, "\n") {
+		t.Fatal("observer event streams differ between Workers=1 and 8")
+	}
+	if len(ev1) == 0 {
+		t.Fatal("expected at least one injected fault at seed 42")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want fault.Spec
+	}{
+		{"crash@3", fault.Spec{Kind: fault.Crash, Phase: 3, Proc: -1}},
+		{"crash@3:p1", fault.Spec{Kind: fault.Crash, Phase: 3, Proc: 1}},
+		{"crash~0.1", fault.Spec{Kind: fault.Crash, Phase: -1, Proc: -1, Prob: 0.1}},
+		{"mem@2", fault.Spec{Kind: fault.MemTransient, Phase: 2, Proc: -1}},
+		{"mem~0.25", fault.Spec{Kind: fault.MemTransient, Phase: -1, Proc: -1, Prob: 0.25}},
+		{"drop~0.5", fault.Spec{Kind: fault.MsgDrop, Phase: -1, Proc: -1, Prob: 0.5}},
+		{"dup~1", fault.Spec{Kind: fault.MsgDup, Phase: -1, Proc: -1, Prob: 1}},
+		{"violation@0", fault.Spec{Kind: fault.Violation, Phase: 0, Proc: -1}},
+		{"budget@500", fault.Spec{Kind: fault.Budget, Phase: -1, Proc: -1, Budget: 500}},
+	}
+	for _, c := range cases {
+		got, err := fault.ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if specs, err := fault.ParseSpecs("crash@3,mem~0.1"); err != nil || len(specs) != 2 {
+		t.Fatalf("ParseSpecs = %v, %v", specs, err)
+	}
+	for _, bad := range []string{"", "crash", "wat@3", "mem~2", "crash@-1", "budget~0.5", "crash@1:px"} {
+		if _, err := fault.ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// ParseSpec parses the compact spec syntax used by `parsim chaos`:
+//
+//	crash@K[:pI]   crash at phase K (processor I, or drawn from the seed)
+//	crash~Q        crash each phase with probability Q
+//	mem@K          transient memory error at phase K
+//	mem~Q          transient memory error each phase with probability Q
+//	drop~Q         dropped superstep message with probability Q
+//	dup~Q          duplicated superstep message with probability Q
+//	violation@K    injected contention-rule violation at phase K
+//	budget@T       poison when model time exceeds T
+//
+// ParseSpecs parses a comma-separated list.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	var kindStr, argStr string
+	var pinned bool
+	switch {
+	case strings.Contains(s, "@"):
+		parts := strings.SplitN(s, "@", 2)
+		kindStr, argStr, pinned = parts[0], parts[1], true
+	case strings.Contains(s, "~"):
+		parts := strings.SplitN(s, "~", 2)
+		kindStr, argStr = parts[0], parts[1]
+	default:
+		return Spec{}, fmt.Errorf("fault: spec %q needs @phase or ~prob", s)
+	}
+
+	var kind Kind
+	switch kindStr {
+	case "crash":
+		kind = Crash
+	case "mem":
+		kind = MemTransient
+	case "drop":
+		kind = MsgDrop
+	case "dup":
+		kind = MsgDup
+	case "violation":
+		kind = Violation
+	case "budget":
+		kind = Budget
+	default:
+		return Spec{}, fmt.Errorf("fault: unknown kind %q in spec %q", kindStr, s)
+	}
+
+	spec := Spec{Kind: kind, Phase: -1, Proc: -1}
+	if kind == Budget {
+		if !pinned {
+			return Spec{}, fmt.Errorf("fault: budget spec %q needs @time", s)
+		}
+		t, err := strconv.ParseInt(argStr, 10, 64)
+		if err != nil || t < 0 {
+			return Spec{}, fmt.Errorf("fault: bad budget in spec %q", s)
+		}
+		spec.Budget = cost.Time(t)
+		return spec, nil
+	}
+	if pinned {
+		phaseStr := argStr
+		if kind == Crash {
+			if i := strings.Index(argStr, ":p"); i >= 0 {
+				proc, err := strconv.Atoi(argStr[i+2:])
+				if err != nil || proc < 0 {
+					return Spec{}, fmt.Errorf("fault: bad processor in spec %q", s)
+				}
+				spec.Proc = proc
+				phaseStr = argStr[:i]
+			}
+		}
+		phase, err := strconv.Atoi(phaseStr)
+		if err != nil || phase < 0 {
+			return Spec{}, fmt.Errorf("fault: bad phase in spec %q", s)
+		}
+		spec.Phase = phase
+		return spec, nil
+	}
+	q, err := strconv.ParseFloat(argStr, 64)
+	if err != nil || q < 0 || q > 1 {
+		return Spec{}, fmt.Errorf("fault: bad probability in spec %q", s)
+	}
+	spec.Prob = q
+	return spec, nil
+}
+
+// ParseSpecs parses a comma-separated spec list ("crash@3,mem~0.1").
+func ParseSpecs(s string) ([]Spec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Spec
+	for _, part := range strings.Split(s, ",") {
+		spec, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

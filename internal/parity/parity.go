@@ -66,6 +66,74 @@ func TreeQSM(m *qsm.Machine, base, n, fanin int) (int, error) {
 	return cur, m.Err()
 }
 
+// TreeQSMDegraded is TreeQSM for machines running in degraded fault mode:
+// before every phase the work is re-partitioned over the surviving
+// (non-crashed) processors, so a processor crash shifts its tree slice to
+// the survivors instead of silently dropping it. The charged m_rw rises
+// as survivors take over more work — the natural model-time price of
+// degradation. Fails with a diagnosable error if every processor has
+// crashed.
+func TreeQSMDegraded(m *qsm.Machine, base, n, fanin int) (int, error) {
+	if err := checkInput(m.MemSize(), base, n); err != nil {
+		return 0, err
+	}
+	if fanin < 2 || fanin > MaxFanin {
+		return 0, fmt.Errorf("parity: fan-in %d outside [2,%d]", fanin, MaxFanin)
+	}
+	cur, width := base, n
+	for width > 1 {
+		rank, ns := survivorRanks(m)
+		if ns == 0 {
+			return 0, fmt.Errorf("parity: all %d processors crashed", m.P())
+		}
+		next := m.MemSize()
+		nw := (width + fanin - 1) / fanin
+		m.Grow(next + nw)
+		curL, widthL := cur, width
+		m.Phase(func(c *qsm.Ctx) {
+			r := rank[c.Proc()]
+			if r < 0 {
+				return
+			}
+			for j := r; j < nw; j += ns {
+				var s int64
+				for i := 0; i < fanin; i++ {
+					ch := j*fanin + i
+					if ch >= widthL {
+						break
+					}
+					s ^= c.Read(curL+ch) & 1
+					c.Op(1)
+				}
+				c.Write(next+j, s)
+			}
+		})
+		if m.Err() != nil {
+			return 0, m.Err()
+		}
+		cur, width = next, nw
+	}
+	return cur, m.Err()
+}
+
+// survivorRanks maps each processor to its dense rank among the
+// survivors (−1 for masked processors) and returns the survivor count.
+// Degraded runners recompute it before every phase: a crash lands at a
+// phase barrier and masks from the next phase on.
+func survivorRanks(m *qsm.Machine) ([]int, int) {
+	rank := make([]int, m.P())
+	ns := 0
+	for i := range rank {
+		if m.CrashedProc(i) {
+			rank[i] = -1
+		} else {
+			rank[i] = ns
+			ns++
+		}
+	}
+	return rank, ns
+}
+
 // TreeQSMRounds is the p-processor rounds algorithm: fan-in max(2, ⌈n/p⌉).
 func TreeQSMRounds(m *qsm.Machine, base, n int) (int, error) {
 	k := (n + m.P() - 1) / m.P()

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzWorkloadGenerators drives every seeded generator with arbitrary
+// sizes (including negative and zero): no generator may panic, and the
+// structural invariants of each workload must hold whenever an input is
+// produced.
+func FuzzWorkloadGenerators(f *testing.F) {
+	f.Add(int64(7), 64, 16)
+	f.Add(int64(1), 0, 0)
+	f.Add(int64(-3), -17, -4)
+	f.Add(int64(1998), 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, n, h int) {
+		// Bound sizes so the fuzzer explores shapes, not allocator limits;
+		// the modulus keeps negatives negative to exercise the guards.
+		n %= 4096
+		h %= 4096
+
+		bits := Bits(seed, n)
+		if n > 0 && len(bits) != n {
+			t.Fatalf("Bits: len %d, want %d", len(bits), n)
+		}
+		for _, b := range bits {
+			if b != 0 && b != 1 {
+				t.Fatalf("Bits: non-bit value %d", b)
+			}
+		}
+		if got := Or(ZeroBits(n)); got != 0 {
+			t.Fatalf("Or(ZeroBits) = %d", got)
+		}
+		if oh := OneHot(seed, n); n > 0 {
+			if got := Parity(oh); got != 1 {
+				t.Fatalf("OneHot: parity %d, want exactly one 1", got)
+			}
+		}
+		if sp, err := Sparse(seed, n, h); err == nil {
+			if CountItems(sp) != h {
+				t.Fatalf("Sparse: %d items, want %d", CountItems(sp), h)
+			}
+			for i, v := range sp {
+				if v != 0 && v != int64(i)+1 {
+					t.Fatalf("Sparse: cell %d holds foreign tag %d", i, v)
+				}
+			}
+		} else if n >= 0 && h >= 0 && h <= n {
+			t.Fatalf("Sparse rejected valid n=%d h=%d: %v", n, h, err)
+		}
+		for _, v := range Uniform01(seed, n) {
+			if v < 1 || v >= Denom01 {
+				t.Fatalf("Uniform01: %d outside [1,%d)", v, Denom01)
+			}
+		}
+		if next, head := RandomList(seed, n); n > 0 {
+			ranks := ListRanks(next, head)
+			seen := make([]bool, n)
+			for _, r := range ranks {
+				if r < 0 || r >= int64(n) || seen[r] {
+					t.Fatalf("ListRanks: rank %d invalid or repeated", r)
+				}
+				seen[r] = true
+			}
+		} else if next != nil || head != -1 {
+			t.Fatalf("RandomList(n=%d) = (%v, %d), want (nil, -1)", n, next, head)
+		}
+		if p := Permutation(seed, n); n > 0 {
+			seen := make([]bool, n)
+			for _, v := range p {
+				if v < 0 || v >= int64(n) || seen[v] {
+					t.Fatalf("Permutation: value %d invalid or repeated", v)
+				}
+				seen[v] = true
+			}
+		}
+	})
+}

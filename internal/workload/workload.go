@@ -12,8 +12,12 @@ import (
 	"math/rand"
 )
 
-// Bits returns n random bits as int64 0/1 values.
+// Bits returns n random bits as int64 0/1 values. Non-positive n yields
+// the empty input (generators never panic on degenerate sizes).
 func Bits(seed int64, n int) []int64 {
+	if n < 1 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]int64, n)
 	for i := range out {
@@ -22,11 +26,21 @@ func Bits(seed int64, n int) []int64 {
 	return out
 }
 
-// ZeroBits returns the all-zero input of length n (the hard OR instance).
-func ZeroBits(n int) []int64 { return make([]int64, n) }
+// ZeroBits returns the all-zero input of length n (the hard OR instance);
+// empty for non-positive n.
+func ZeroBits(n int) []int64 {
+	if n < 1 {
+		return nil
+	}
+	return make([]int64, n)
+}
 
-// OneHot returns n bits with exactly one 1 at a seeded random position.
+// OneHot returns n bits with exactly one 1 at a seeded random position;
+// empty for non-positive n.
 func OneHot(seed int64, n int) []int64 {
+	if n < 1 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]int64, n)
 	out[rng.Intn(n)] = 1
@@ -56,6 +70,9 @@ func Or(bits []int64) int64 {
 // with their origin index) at seeded random positions; empty cells hold 0.
 // This is the h-LAC input of Section 6.2.
 func Sparse(seed int64, n, h int) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative array size n=%d", n)
+	}
 	if h < 0 || h > n {
 		return nil, fmt.Errorf("workload: h=%d items out of range [0,%d]", h, n)
 	}
@@ -125,6 +142,9 @@ func (c *CLB) ColorCounts() []int {
 // denominator Denom01 — the Padded Sort input. Values are strictly positive
 // so 0 can serve as the NULL padding value.
 func Uniform01(seed int64, n int) []int64 {
+	if n < 1 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]int64, n)
 	for i := range out {
@@ -138,8 +158,11 @@ const Denom01 = 1 << 30
 
 // RandomList returns a random singly-linked list over n nodes as a successor
 // array: next[i] is the index of i's successor, and the last node points to
-// itself. Used by list ranking.
+// itself. Used by list ranking. Non-positive n yields (nil, -1).
 func RandomList(seed int64, n int) (next []int64, head int) {
+	if n < 1 {
+		return nil, -1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
 	next = make([]int64, n)
@@ -172,6 +195,9 @@ func ListRanks(next []int64, head int) []int64 {
 // Permutation returns a random permutation of 0..n-1 as int64 (a sorting
 // input with distinct keys).
 func Permutation(seed int64, n int) []int64 {
+	if n < 1 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	p := rng.Perm(n)
 	out := make([]int64, n)

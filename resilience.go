@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"repro/internal/boolor"
+	"repro/internal/compaction"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/gsm"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+)
+
+// This file is the facade of the fault-injection and recovery subsystem
+// (internal/fault + the engine's checkpoint/rollback machinery; see
+// DESIGN.md §6). A FaultPlan — a seeded RNG plus declarative fault specs
+// — attaches to any machine via InjectFaults; the engine consults it once
+// per phase attempt at the commit barrier, so the fault schedule, the
+// recovery behavior and the observer event stream are byte-identical for
+// every Workers setting at a given seed.
+
+// Fault-injection types, re-exported for users of the public API.
+type (
+	// FaultPlan is a deterministic, seeded fault schedule implementing
+	// Injector; build one with NewFaultPlan and attach it with a
+	// machine's InjectFaults. A plan is single-use: one plan per run.
+	FaultPlan = fault.Plan
+	// FaultSpec declares one fault source (kind + phase/probability).
+	FaultSpec = fault.Spec
+	// FaultKind enumerates the declarative fault kinds.
+	FaultKind = fault.Kind
+	// FaultEvent is one injected fault in the plan's deterministic log.
+	FaultEvent = fault.Event
+	// FaultReport summarises a faulted run: injected/recovered/masked
+	// counts and the model-time recovery overhead.
+	FaultReport = fault.Report
+	// Injector is the engine-level injection hook; FaultPlan is the
+	// standard implementation.
+	Injector = engine.Injector
+	// RetryPolicy bounds transient-fault recovery: attempts per phase and
+	// the model-time backoff charged per retry (never wall clock).
+	RetryPolicy = engine.RetryPolicy
+)
+
+// Fault kinds accepted by FaultSpec.
+const (
+	// FaultCrash fails one processor (masked in degraded mode, poisoning
+	// otherwise).
+	FaultCrash = fault.Crash
+	// FaultMemTransient is a transient memory error: rolled back and
+	// retried (shared-memory machines).
+	FaultMemTransient = fault.MemTransient
+	// FaultMsgDrop / FaultMsgDup are transient superstep message faults
+	// (BSP machines).
+	FaultMsgDrop = fault.MsgDrop
+	FaultMsgDup  = fault.MsgDup
+	// FaultViolation injects a contention-rule violation.
+	FaultViolation = fault.Violation
+	// FaultBudget poisons the machine when model time exceeds the spec's
+	// Budget.
+	FaultBudget = fault.Budget
+)
+
+// Fault sentinels: identify an injected fault's kind through a machine's
+// Err chain with errors.Is.
+var (
+	ErrFaultCrash     = fault.ErrCrash
+	ErrFaultTransient = fault.ErrTransient
+	ErrFaultMessage   = fault.ErrMessage
+	ErrFaultViolation = fault.ErrInjectedViolation
+	ErrFaultBudget    = fault.ErrBudget
+)
+
+// Model violation sentinels, re-exported so facade users can classify a
+// machine error without importing the simulator packages: errors.Is(err,
+// ErrQSMViolation) identifies a QSM-family memory-access-rule breach
+// (real or injected) through the full wrapped chain.
+var (
+	ErrQSMViolation = qsm.ErrViolation
+	ErrGSMViolation = gsm.ErrViolation
+)
+
+// NewFaultPlan builds a deterministic fault plan from a seed and specs;
+// specs are evaluated in order at each phase barrier and the first that
+// fires decides the verdict. Attach with m.InjectFaults(plan, policy,
+// degraded); retrieve the run summary with plan.Report(m).
+func NewFaultPlan(seed int64, specs ...FaultSpec) *FaultPlan {
+	return fault.NewPlan(seed, specs...)
+}
+
+// ParseFaultSpecs parses the compact comma-separated spec syntax used by
+// `parsim chaos` ("crash@3,mem~0.1"); see fault.ParseSpec for the
+// grammar.
+func ParseFaultSpecs(s string) ([]FaultSpec, error) {
+	return fault.ParseSpecs(s)
+}
+
+// --- degraded-mode runners ----------------------------------------------------
+
+// ParityTreeDegraded runs the k-ary XOR tree on a machine in degraded
+// fault mode: work is re-partitioned over surviving processors before
+// every phase, so crashes shift load instead of dropping tree slices.
+// Returns the result cell address and the plan's fault report.
+func ParityTreeDegraded(m *QSMMachine, plan *FaultPlan, base, n, fanin int) (int, *FaultReport, error) {
+	addr, err := parity.TreeQSMDegraded(m, base, n, fanin)
+	return addr, plan.Report(m), err
+}
+
+// ORContentionTreeDegraded runs the write-contention OR tree in degraded
+// fault mode (survivor re-partitioning per phase). Returns the result
+// cell address and the plan's fault report.
+func ORContentionTreeDegraded(m *QSMMachine, plan *FaultPlan, base, n, fanin int) (int, *FaultReport, error) {
+	addr, err := boolor.ContentionTreeDegraded(m, base, n, fanin)
+	return addr, plan.Report(m), err
+}
+
+// CompactDartsDegraded runs the randomized dart-throwing LAC in degraded
+// fault mode: each round's live darts are dealt round-robin to surviving
+// processors, so a crashed processor's darts migrate instead of being
+// lost. Returns the compaction result and the plan's fault report.
+func CompactDartsDegraded(m *QSMMachine, plan *FaultPlan, seed int64, base, n int) (*DartCompactionResult, *FaultReport, error) {
+	res, err := compaction.DartLACDegraded(m, newRand(seed), base, n)
+	return res, plan.Report(m), err
+}
+
+// VerifyDartPlacement checks a dart-compaction result for soundness
+// against the compacted input: every item placed exactly once, in the
+// output window, no two items sharing a cell. The chaos harness uses it
+// as the LAC correctness oracle.
+func VerifyDartPlacement(input []int64, r *DartCompactionResult) error {
+	return compaction.VerifyPlacement(input, r)
+}

@@ -1,0 +1,183 @@
+package repro_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	repro "repro"
+)
+
+func loadBits(t *testing.T, m *repro.QSMMachine, bits []int64) {
+	t.Helper()
+	if err := m.Load(0, bits); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+}
+
+// Degraded parity survives two pinned crashes with a correct answer and a
+// report that accounts for the masked processors.
+func TestFacadeDegradedParityTree(t *testing.T) {
+	bits := make([]int64, 64)
+	var want int64
+	for i := range bits {
+		bits[i] = int64((i*7 + 3) % 2)
+		want ^= bits[i]
+	}
+	m, err := repro.NewQSM(8, 2, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, bits)
+	plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultCrash, Phase: 1, Proc: 2},
+		repro.FaultSpec{Kind: repro.FaultCrash, Phase: 3, Proc: 5})
+	m.InjectFaults(plan, repro.RetryPolicy{}, true)
+
+	addr, rep, err := repro.ParityTreeDegraded(m, plan, 0, 64, 2)
+	if err != nil {
+		t.Fatalf("ParityTreeDegraded: %v", err)
+	}
+	if got := m.Peek(addr); got != want {
+		t.Fatalf("parity = %d, want %d", got, want)
+	}
+	if rep.Crashes != 2 || rep.MaskedProcs != 2 {
+		t.Fatalf("report crashes=%d masked=%d, want 2/2\n%s", rep.Crashes, rep.MaskedProcs, rep)
+	}
+}
+
+// Degraded OR stays correct when a crash lands between the read and write
+// phases of a contention-tree level — the case survivor re-ranking per
+// phase exists for.
+func TestFacadeDegradedORContentionTree(t *testing.T) {
+	bits := make([]int64, 32) // single 1 — any dropped cell flips the answer
+	bits[17] = 1
+	m, err := repro.NewSQSM(4, 2, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, bits)
+	plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultCrash, Phase: 0, Proc: 1},
+		repro.FaultSpec{Kind: repro.FaultCrash, Phase: 3, Proc: 0})
+	m.InjectFaults(plan, repro.RetryPolicy{}, true)
+
+	addr, rep, err := repro.ORContentionTreeDegraded(m, plan, 0, 32, 4)
+	if err != nil {
+		t.Fatalf("ORContentionTreeDegraded: %v", err)
+	}
+	if got := m.Peek(addr); got != 1 {
+		t.Fatalf("OR = %d, want 1\n%s", got, rep)
+	}
+	if rep.MaskedProcs != 2 {
+		t.Fatalf("masked = %d, want 2", rep.MaskedProcs)
+	}
+}
+
+// Degraded dart compaction re-deals a crashed processor's darts to the
+// survivors; the placement verifier is the correctness oracle.
+func TestFacadeDegradedCompactDarts(t *testing.T) {
+	input := make([]int64, 48)
+	for i := range input {
+		if i%3 != 0 {
+			input[i] = int64(i + 1)
+		}
+	}
+	m, err := repro.NewQSM(48, 2, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, input)
+	plan := repro.NewFaultPlan(7, repro.FaultSpec{Kind: repro.FaultCrash, Phase: 2, Proc: 3})
+	m.InjectFaults(plan, repro.RetryPolicy{}, true)
+
+	res, rep, err := repro.CompactDartsDegraded(m, plan, 99, 0, 48)
+	if err != nil {
+		t.Fatalf("CompactDartsDegraded: %v", err)
+	}
+	if err := repro.VerifyDartPlacement(input, res); err != nil {
+		t.Fatalf("placement verification: %v\n%s", err, rep)
+	}
+	if rep.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", rep.Crashes)
+	}
+}
+
+// All processors crashing yields a diagnosable error, never a silent zero.
+func TestFacadeDegradedAllCrashed(t *testing.T) {
+	m, err := repro.NewQSM(2, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, []int64{1, 0, 1, 1, 0, 0, 1, 0})
+	plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultCrash, Phase: 0, Proc: 0},
+		repro.FaultSpec{Kind: repro.FaultCrash, Phase: 1, Proc: 1})
+	m.InjectFaults(plan, repro.RetryPolicy{}, true)
+
+	_, _, err = repro.ParityTreeDegraded(m, plan, 0, 8, 2)
+	if err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("err = %v, want all-crashed diagnosis", err)
+	}
+}
+
+// An injected contention-rule violation is identifiable through the facade
+// by BOTH the model sentinel and the fault sentinel.
+func TestFacadeViolationSentinels(t *testing.T) {
+	m, err := repro.NewQSM(4, 2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, make([]int64, 16))
+	plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultViolation, Phase: 1})
+	m.InjectFaults(plan, repro.RetryPolicy{}, false)
+
+	_, err = repro.ParityTree(m, 0, 16, 2)
+	if err == nil {
+		t.Fatal("want poisoned machine, got nil")
+	}
+	if !errors.Is(err, repro.ErrQSMViolation) {
+		t.Errorf("errors.Is(err, ErrQSMViolation) = false; err = %v", err)
+	}
+	if !errors.Is(err, repro.ErrFaultViolation) {
+		t.Errorf("errors.Is(err, ErrFaultViolation) = false; err = %v", err)
+	}
+}
+
+// Strict-mode crashes and exhausted transient retries surface their fault
+// sentinels through the facade error chain.
+func TestFacadeFaultSentinels(t *testing.T) {
+	m, err := repro.NewQSM(4, 2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m, make([]int64, 16))
+	plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultCrash, Phase: 0, Proc: 2})
+	m.InjectFaults(plan, repro.RetryPolicy{}, false) // strict: crash poisons
+
+	_, err = repro.ParityTree(m, 0, 16, 2)
+	if !errors.Is(err, repro.ErrFaultCrash) {
+		t.Errorf("errors.Is(err, ErrFaultCrash) = false; err = %v", err)
+	}
+
+	m2, err := repro.NewQSM(4, 2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadBits(t, m2, make([]int64, 16))
+	plan2 := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultMemTransient, Phase: -1, Prob: 1})
+	m2.InjectFaults(plan2, repro.RetryPolicy{MaxAttempts: 2}, false)
+
+	_, err = repro.ParityTree(m2, 0, 16, 2)
+	if !errors.Is(err, repro.ErrFaultTransient) {
+		t.Errorf("errors.Is(err, ErrFaultTransient) = false; err = %v", err)
+	}
+}
+
+// Round-trip the chaos spec syntax through the facade.
+func TestFacadeParseFaultSpecs(t *testing.T) {
+	specs, err := repro.ParseFaultSpecs("crash@3:p1,mem~0.25,budget@1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Kind != repro.FaultCrash || specs[1].Prob != 0.25 {
+		t.Fatalf("unexpected specs: %+v", specs)
+	}
+}
