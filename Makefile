@@ -1,0 +1,24 @@
+# Convenience targets; everything here is a thin alias over the go tool.
+
+.PHONY: build test race lint lint-sarif baseline
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Whole-tree static analysis, gated on the suppression-debt ledger.
+lint:
+	go run ./cmd/reprolint -baseline .reprolint-baseline.json ./...
+
+# Same run, but also emit the SARIF report CI uploads as an artifact.
+lint-sarif:
+	go run ./cmd/reprolint -baseline .reprolint-baseline.json -sarif reprolint.sarif ./...
+
+# Regenerate the suppression-debt ledger from the current findings.
+baseline:
+	go run ./cmd/reprolint -baseline .reprolint-baseline.json -write-baseline ./...

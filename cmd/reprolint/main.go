@@ -1,6 +1,17 @@
-// Command reprolint is the project's static-analysis vet tool. It runs
-// the determinism/engine-contract suite (maporder, globalrand, wallclock,
-// commitpurity) under the `go vet -vettool` protocol:
+// Command reprolint is the project's static-analysis tool. It enforces
+// the determinism/engine contracts (maporder, globalrand, wallclock,
+// commitpurity) and, since PR 5, the interprocedural fault/checkpoint/
+// sentinel contracts (sentinelwrap, snapshotdeep, costbalance,
+// injectoronce, observerpurity) built on per-function fact summaries.
+//
+// It runs two ways. As a standalone driver over package patterns:
+//
+//	go run ./cmd/reprolint ./...
+//	go run ./cmd/reprolint -json ./...
+//	go run ./cmd/reprolint -sarif reprolint.sarif -baseline .reprolint-baseline.json ./...
+//
+// and as a plain `go vet -vettool` (which the standalone mode spawns
+// under the hood, so results and caching are identical):
 //
 //	go build -o bin/reprolint ./cmd/reprolint
 //	go vet -vettool=$(command -v reprolint || echo ./bin/reprolint) ./...
@@ -9,10 +20,50 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/driver"
 	"repro/internal/analysis/suite"
 	"repro/internal/analysis/unitchecker"
 )
 
 func main() {
-	unitchecker.Main(suite.Analyzers()...)
+	analyzers := suite.Analyzers()
+	if protocolInvocation(os.Args[1:]) {
+		unitchecker.Main(analyzers...) // never returns
+	}
+
+	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print aggregated findings as a JSON array on stdout")
+	sarif := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file`")
+	baseline := fs.String("baseline", "", "tolerate findings recorded in baseline `file`; fail only on new ones")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from the current findings")
+	fs.Parse(os.Args[1:])
+
+	os.Exit(driver.Run(driver.Options{
+		Patterns:      fs.Args(),
+		JSON:          *jsonOut,
+		SARIF:         *sarif,
+		Baseline:      *baseline,
+		WriteBaseline: *writeBaseline,
+		Analyzers:     analyzers,
+	}, os.Stdout, os.Stderr))
+}
+
+// protocolInvocation reports whether the arguments are a cmd/go vettool
+// handshake (-V/-flags/vet.cfg, plus the help spellings unitchecker
+// already renders) rather than a standalone driver run.
+func protocolInvocation(args []string) bool {
+	for _, a := range args {
+		switch a {
+		case "-V", "-V=full", "-flags", "help", "-help", "--help", "-h":
+			return true
+		}
+		if strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
 }

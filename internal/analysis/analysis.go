@@ -34,6 +34,20 @@ import (
 	"strings"
 )
 
+// FactSet is one analyzer's per-function summaries for one package: it
+// maps a function symbol (interproc.Symbol form — "F" for functions,
+// "T.M" for methods) to an opaque string payload. Payloads are the
+// analyzer's own compressed summary language ("rewinds", a sorted
+// comma-joined type list, a "file:line: description" anchor, …).
+type FactSet map[string]string
+
+// PackageFacts is everything the suite learned about one package:
+// analyzer name -> that analyzer's FactSet. It is what the unitchecker
+// driver serializes into the package's .vetx facts file (JSON, map keys
+// sorted by encoding/json, so the bytes — and cmd/go's cache keys built
+// from them — are deterministic).
+type PackageFacts map[string]FactSet
+
 // Analyzer describes one static check. The zero framework runs Run once
 // per package with a fully type-checked Pass.
 type Analyzer struct {
@@ -71,10 +85,51 @@ type Pass struct {
 	// Report records one finding. The driver owns ordering and output.
 	Report func(Diagnostic)
 
+	// DepFacts holds the fact files of this package's dependencies,
+	// keyed by canonical import path (the driver loads them from the
+	// .vetx files cmd/go lists in vet.cfg's PackageVetx). Nil when the
+	// driver has no facts (fixture tests, leaf packages).
+	DepFacts map[string]PackageFacts
+
+	// facts collects the summaries this analyzer exports for the
+	// current package; the driver harvests them via ExportedFacts and
+	// writes them to the package's facts file for dependents.
+	facts FactSet
+
 	// directives indexes the per-file allowlist directives lazily:
 	// filename -> line -> reason (which may be empty for a malformed,
 	// reason-less directive).
 	directives map[string]map[int]string
+}
+
+// ExportFact records an interprocedural summary for a function of the
+// current package under this analyzer's name. sym is the function's
+// symbol (interproc.Symbol form); payload is the analyzer's own summary
+// encoding. Facts flow to dependent packages through the unitchecker
+// export-data path, so analysis stays modular: a package is analyzed
+// once, and its summaries are reused by every importer.
+func (p *Pass) ExportFact(sym, payload string) {
+	if p.facts == nil {
+		p.facts = make(FactSet)
+	}
+	p.facts[sym] = payload
+}
+
+// ExportedFacts returns the facts this analyzer exported during Run (nil
+// if none). The driver serializes them into the package's facts file.
+func (p *Pass) ExportedFacts() FactSet { return p.facts }
+
+// DepFact looks up the fact this analyzer exported for function sym of
+// dependency pkgPath in an earlier (cached) analysis. The empty result
+// is indistinguishable from "no fact": analyzers treat absence as the
+// conservative default.
+func (p *Pass) DepFact(pkgPath, sym string) (string, bool) {
+	pf, ok := p.DepFacts[pkgPath]
+	if !ok {
+		return "", false
+	}
+	payload, ok := pf[p.Analyzer.Name][sym]
+	return payload, ok
 }
 
 // Reportf formats and records one finding.

@@ -1,0 +1,42 @@
+// Contract-analyzer fixture tests. Each fixture package under
+// testdata/src seeds positive findings (matched by // want regexps),
+// negative cases on the surrounding lines, and at least one reasoned
+// //lint:<check>-ok suppression. The observerpurity fixture lives at
+// the import path repro/internal/engine because that analyzer protects
+// types by package-path suffix.
+package analysistest_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/costbalance"
+	"repro/internal/analysis/injectoronce"
+	"repro/internal/analysis/observerpurity"
+	"repro/internal/analysis/sentinelwrap"
+	"repro/internal/analysis/snapshotdeep"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analysistest.Run(t, sentinelwrap.Analyzer, "sentinelwrap/a")
+}
+
+func TestSentinelWrapClean(t *testing.T) {
+	analysistest.RunClean(t, sentinelwrap.Analyzer, "sentinelwrap/clean")
+}
+
+func TestSnapshotDeep(t *testing.T) {
+	analysistest.Run(t, snapshotdeep.Analyzer, "snapshotdeep/a")
+}
+
+func TestCostBalance(t *testing.T) {
+	analysistest.Run(t, costbalance.Analyzer, "costbalance/a")
+}
+
+func TestInjectorOnce(t *testing.T) {
+	analysistest.Run(t, injectoronce.Analyzer, "injectoronce/a")
+}
+
+func TestObserverPurity(t *testing.T) {
+	analysistest.Run(t, observerpurity.Analyzer, "repro/internal/engine")
+}

@@ -1,0 +1,80 @@
+// Package a seeds costbalance violations: every cost-accounting Mark
+// must flow into a Rewind/Commit or escape into a struct whose type
+// knows how to rewind it.
+package a
+
+// Mark is the fixture stand-in for cost.Mark.
+type Mark struct{ n int }
+
+// Report is the fixture stand-in for cost.Report.
+type Report struct {
+	phases []int
+	depth  int
+}
+
+func (r *Report) Mark() Mark { return Mark{n: len(r.phases)} }
+
+func (r *Report) Rewind(m Mark) {
+	r.phases = r.phases[:m.n]
+}
+
+func (r *Report) Commit(m Mark) { r.depth = m.n }
+
+func work(r *Report) { r.phases = append(r.phases, 1) }
+
+func discard(r *Report) {
+	r.Mark() // want `result of Mark\(\) discarded`
+}
+
+func leak(r *Report) {
+	m := r.Mark() // want `mark m is captured but never rewound`
+	_ = m
+	work(r)
+}
+
+// balanced consumes the mark directly: no finding.
+func balanced(r *Report) {
+	m := r.Mark()
+	work(r)
+	r.Rewind(m)
+}
+
+// committed consumes through the Commit spelling: no finding.
+func committed(r *Report) {
+	m := r.Mark()
+	work(r)
+	r.Commit(m)
+}
+
+// viaHelper consumes through an interprocedural fact: restore carries
+// the "rewinds" summary, so passing m to it counts.
+func viaHelper(r *Report) {
+	m := r.Mark()
+	work(r)
+	restore(r, m)
+}
+
+func restore(r *Report, m Mark) { r.Rewind(m) }
+
+// holder stores a Mark but no method ever rewinds it.
+type holder struct {
+	ck Mark // want `stores a cost mark in field ck but no method of holder ever rewinds`
+}
+
+func (h *holder) save(r *Report) { h.ck = r.Mark() }
+
+// checkpoint stores a Mark and undoes through it: no finding.
+type checkpoint struct {
+	ck Mark
+}
+
+func (c *checkpoint) save(r *Report) { c.ck = r.Mark() }
+func (c *checkpoint) undo(r *Report) { r.Rewind(c.ck) }
+
+// probe keeps a Mark purely for comparison; the debt is documented.
+type probe struct {
+	//lint:costbalance-ok diagnostic snapshot, compared against later marks, never rewound
+	at Mark
+}
+
+func (p *probe) observe(r *Report) { p.at = r.Mark() }

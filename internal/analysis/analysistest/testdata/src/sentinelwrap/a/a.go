@@ -1,0 +1,60 @@
+// Package a seeds sentinelwrap violations: sentinel-derived errors must
+// cross every boundary wrapped with %w (or errors.Join), never %v/%s or
+// a flattening .Error().
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the package sentinel.
+var ErrBudget = errors.New("budget exhausted")
+
+// fail wraps the sentinel properly; callers inherit the carrier fact.
+func fail(stage string) error {
+	return fmt.Errorf("stage %s: %w", stage, ErrBudget)
+}
+
+func dropDirect() error {
+	return fmt.Errorf("run: %v", ErrBudget) // want `sentinel ErrBudget formatted with %v drops the error chain`
+}
+
+func dropTransitive() error {
+	return fmt.Errorf("outer: %v", fail("inner")) // want `error carrying sentinel ErrBudget formatted with %v`
+}
+
+func dropLocal() error {
+	err := fail("x")
+	return fmt.Errorf("outer: %s", err) // want `error carrying sentinel ErrBudget formatted with %s`
+}
+
+func dropParam(err error) error {
+	return fmt.Errorf("wrap: %v", err) // want `incoming error err formatted with %v`
+}
+
+func flatten() error {
+	err := fail("y")
+	return errors.New(err.Error()) // want `\.Error\(\) on error carrying sentinel ErrBudget flattens`
+}
+
+// wrapOK keeps the chain: no finding.
+func wrapOK() error {
+	return fmt.Errorf("outer: %w", fail("ok"))
+}
+
+// joinOK keeps both chains: no finding.
+func joinOK(err error) error {
+	return errors.Join(ErrBudget, err)
+}
+
+// formatValueOK formats plain values, not errors: no finding.
+func formatValueOK(n int) error {
+	return fmt.Errorf("n = %d out of range", n)
+}
+
+// summaryOK deliberately renders the chain into a display string.
+func summaryOK() error {
+	//lint:sentinelwrap-ok human-readable summary line, chain not needed downstream
+	return fmt.Errorf("summary: %v", ErrBudget)
+}

@@ -1,0 +1,28 @@
+// Package clean wraps every sentinel with %w: nothing to report.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCrash is the package sentinel.
+var ErrCrash = errors.New("processor crashed")
+
+func runPhase(k int) error {
+	if k < 0 {
+		return fmt.Errorf("phase %d: %w", k, ErrCrash)
+	}
+	return nil
+}
+
+func retry(k int) error {
+	if err := runPhase(k); err != nil {
+		return fmt.Errorf("retrying: %w", err)
+	}
+	return nil
+}
+
+func describe(k int) string {
+	return fmt.Sprintf("phase %d", k)
+}

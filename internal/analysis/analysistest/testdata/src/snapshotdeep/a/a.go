@@ -1,0 +1,67 @@
+// Package a seeds snapshotdeep violations: snapshot paths must deep-copy
+// reference state, never alias it.
+package a
+
+type buffers struct {
+	live []int
+	ck   []int
+	m    map[string]int
+	ckm  map[string]int
+}
+
+type machine struct {
+	b buffers
+}
+
+// Snapshot carries a seeded shallow-copy mutant and the sanctioned
+// deep-copy idioms side by side.
+func (m *machine) Snapshot() {
+	m.b.ck = m.b.live // want `stores a shallow slice alias`
+	m.b.ck = m.b.ck[:0]
+	m.b.ck = append(m.b.ck[:0], m.b.live...)
+	saveMap(&m.b)
+	m.share(m.b.live)
+}
+
+func (m *machine) Restore() {
+	copy(m.b.live, m.b.ck)
+	for k := range m.b.ckm {
+		m.b.m[k] = m.b.ckm[k]
+	}
+}
+
+// saveMap is reachable from Snapshot: its alias write is on the path.
+func saveMap(b *buffers) {
+	b.ckm = b.m // want `stores a shallow map alias`
+}
+
+// offPath aliases too, but no snapshot path reaches it: not reported.
+func offPath(b *buffers) {
+	b.ckm = b.m
+}
+
+// share is reachable from Snapshot and aliases deliberately.
+func (m *machine) share(src []int) {
+	//lint:snapshotdeep-ok read-only view for the verifier, never restored
+	m.b.live = src
+}
+
+// journal roots through the Checkpoint/Rollback pair.
+type journal struct {
+	rows  []int
+	saved []int
+}
+
+func (j *journal) Checkpoint() {
+	j.saved = j.rows[1:] // want `stores a shallow slice alias`
+}
+
+func (j *journal) Rollback() {
+	j.rows = append(j.rows[:0], j.saved...)
+}
+
+// half has Snapshot but no Restore: not a Snapshotter, so its alias
+// stays unreported (nothing rolls back through it).
+type half struct{ a, b []int }
+
+func (h *half) Snapshot() { h.a = h.b }

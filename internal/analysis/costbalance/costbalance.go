@@ -1,0 +1,304 @@
+// Package costbalance enforces the Mark/Rewind discipline of the cost
+// report: a mark captured with cost.Report.Mark pins a rollback point,
+// and the exactness guarantee of the fault engine (DESIGN.md §6 — an
+// aborted attempt leaves *zero* residue in the report) holds only if
+// every captured mark is eventually consumed by a Rewind/Commit or
+// escapes into state that a later rewind reads. A mark that is captured
+// and dropped is a checkpoint that can never be rolled back to; a Mark()
+// call whose result is discarded is pure dead weight that usually means
+// the Rewind went missing in a refactor.
+//
+// Three rules, matched structurally (a Mark method is any niladic method
+// returning a type named Mark; a consumer is any function named Rewind
+// or Commit taking a Mark first) so fixtures need no repro imports:
+//
+//  1. a Mark() call as a bare statement discards the rollback point;
+//  2. a local variable holding a mark must be consumed: passed to a
+//     Rewind/Commit, passed to a function that transitively rewinds
+//     (via the interprocedural "rewinds" facts), stored into a field,
+//     returned, or placed in a composite literal;
+//  3. a struct field of type Mark must be consumed by at least one
+//     method of that struct (transitively, via the same facts) — a
+//     stored checkpoint nobody rewinds is rule 2 at type scope.
+package costbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
+)
+
+// Analyzer enforces that captured cost marks are rewound or committed.
+var Analyzer = &analysis.Analyzer{
+	Name: "costbalance",
+	Doc:  "flag cost.Report marks that are captured but never rewound or committed",
+	Run:  run,
+}
+
+// rewindsFact is the payload exported for functions that (transitively)
+// consume a mark.
+const rewindsFact = "rewinds"
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	g := interproc.Build(pass)
+
+	// "rewinds" fixpoint: seeded by direct Rewind/Commit calls,
+	// propagated to callers within the package and, through the facts
+	// files, across packages.
+	local := make(map[string]bool)
+	for _, sym := range g.Order {
+		if callsConsumer(pass, g.Funcs[sym]) {
+			local[sym] = true
+		}
+	}
+	rewinds := g.Propagate(local, func(c interproc.Callee) bool {
+		payload, ok := pass.DepFact(c.PkgPath, c.Sym)
+		return ok && payload == rewindsFact
+	})
+	for _, sym := range g.Order {
+		if rewinds[sym] {
+			pass.ExportFact(sym, rewindsFact)
+		}
+	}
+
+	for _, sym := range g.Order {
+		info := g.Funcs[sym]
+		if pass.InTestFile(info.Decl.Pos()) {
+			continue
+		}
+		checkBody(pass, g, rewinds, info)
+	}
+	checkMarkFields(pass, g, rewinds)
+	return nil
+}
+
+// isMarkCall matches a call to a Mark-shaped method: niladic, one result
+// whose type is named Mark (cost.Report.Mark and any structural twin).
+func isMarkCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := interproc.CalleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Mark" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isMarkType(sig.Results().At(0).Type())
+}
+
+// isMarkType reports whether t (possibly behind a pointer) is a named
+// type called Mark.
+func isMarkType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Mark"
+}
+
+// isConsumerCall matches a call to a Rewind/Commit-shaped function: its
+// name is Rewind or Commit and its first parameter is a Mark.
+func isConsumerCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := interproc.CalleeFunc(pass, call)
+	if fn == nil || (fn.Name() != "Rewind" && fn.Name() != "Commit") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() >= 1 && isMarkType(sig.Params().At(0).Type())
+}
+
+func callsConsumer(pass *analysis.Pass, info *interproc.FuncInfo) bool {
+	found := false
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isConsumerCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkBody applies rules 1 and 2 to one function.
+func checkBody(pass *analysis.Pass, g *interproc.Graph, rewinds map[string]bool, info *interproc.FuncInfo) {
+	// Rule 1: Mark() as a bare statement.
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok || !isMarkCall(pass, call) || pass.Allowlisted(info.File, st.Pos()) {
+			return true
+		}
+		pass.Reportf(st.Pos(),
+			"result of Mark() discarded; store the mark and balance it with Rewind/Commit, or annotate //lint:costbalance-ok <reason>")
+		return true
+	})
+
+	// Rule 2: collect mark-holding locals, then verify each is consumed.
+	marks := make(map[types.Object]*ast.Ident)
+	var order []types.Object
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isMarkCall(pass, call) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue // reassignment of a field/param: escapes by definition
+			}
+			if _, seen := marks[obj]; !seen {
+				marks[obj] = id
+				order = append(order, obj)
+			}
+		}
+		return true
+	})
+	if len(marks) == 0 {
+		return
+	}
+	consumed := consumedObjects(pass, g, rewinds, info)
+	for _, obj := range order {
+		id := marks[obj]
+		if consumed[obj] || pass.Allowlisted(info.File, id.Pos()) {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"mark %s is captured but never rewound, committed, stored or returned; balance it with Rewind/Commit or annotate //lint:costbalance-ok <reason>", id.Name)
+	}
+}
+
+// consumedObjects returns the local objects that escape or are consumed:
+// passed to a Rewind/Commit or a transitively-rewinding callee, stored
+// through a selector, returned, or placed in a composite literal.
+func consumedObjects(pass *analysis.Pass, g *interproc.Graph, rewinds map[string]bool, info *interproc.FuncInfo) map[types.Object]bool {
+	consumed := make(map[types.Object]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				consumed[obj] = true
+			}
+		}
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isConsumerCall(pass, x) || calleeRewinds(pass, g, rewinds, x) {
+				for _, arg := range x.Args {
+					mark(arg)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue // local-to-local copy is not consumption
+				}
+				if i < len(x.Rhs) {
+					mark(x.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				mark(r)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					mark(kv.Value)
+				} else {
+					mark(el)
+				}
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+// calleeRewinds reports whether the call's target transitively consumes
+// a mark, per the local fixpoint or the dependency facts.
+func calleeRewinds(pass *analysis.Pass, g *interproc.Graph, rewinds map[string]bool, call *ast.CallExpr) bool {
+	fn := interproc.CalleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sym := interproc.Symbol(fn)
+	if fn.Pkg().Path() == pass.Pkg.Path() {
+		return rewinds[sym]
+	}
+	payload, ok := pass.DepFact(fn.Pkg().Path(), sym)
+	return ok && payload == rewindsFact
+}
+
+// checkMarkFields applies rule 3: every struct field of type Mark needs
+// at least one method of the owning struct that transitively rewinds.
+func checkMarkFields(pass *analysis.Pass, g *interproc.Graph, rewinds map[string]bool) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructFields(pass, g, rewinds, f, ts, st)
+			}
+		}
+	}
+}
+
+func checkStructFields(pass *analysis.Pass, g *interproc.Graph, rewinds map[string]bool, f *ast.File, ts *ast.TypeSpec, st *ast.StructType) {
+	if ts.Name.Name == "Mark" {
+		return // the Mark type itself, not a holder
+	}
+	var markFields []*ast.Field
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && tv.Type != nil && isMarkType(tv.Type) {
+			markFields = append(markFields, field)
+		}
+	}
+	if len(markFields) == 0 {
+		return
+	}
+	prefix := ts.Name.Name + "."
+	for _, sym := range g.Order {
+		if len(sym) > len(prefix) && sym[:len(prefix)] == prefix && rewinds[sym] {
+			return // some method of the struct consumes the stored mark
+		}
+	}
+	for _, field := range markFields {
+		if pass.Allowlisted(f, field.Pos()) {
+			continue
+		}
+		name := "_"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(),
+			"type %s stores a cost mark in field %s but no method of %s ever rewinds or commits it; add the Rewind/Commit path or annotate //lint:costbalance-ok <reason>",
+			ts.Name.Name, name, ts.Name.Name)
+	}
+}

@@ -1,0 +1,314 @@
+// Package driver is the standalone front end of cmd/reprolint: it runs
+// the whole suite over a package pattern by spawning `go vet -vettool`
+// on its own executable, then aggregates the structured findings that
+// the unitchecker protocol side wrote into the REPROLINT_DIAGDIR side
+// channel (go vet buffers and reorders per-package tool output, so
+// scraping stderr would lose positions and interleave packages).
+//
+// On top of the aggregate it offers the machine-readable outputs the CI
+// gate consumes:
+//
+//	go run ./cmd/reprolint ./...                    # human text, exit 2 on findings
+//	go run ./cmd/reprolint -json ./...              # findings as a JSON array on stdout
+//	go run ./cmd/reprolint -sarif out.sarif ./...   # SARIF 2.1.0 report
+//	go run ./cmd/reprolint -baseline .reprolint-baseline.json ./...
+//
+// Baseline mode implements suppression-debt accounting: known findings
+// (matched by analyzer, repo-relative file and message — line numbers
+// churn too much to pin) are tolerated but counted as debt; only *new*
+// findings fail the run. -write-baseline rewrites the file from the
+// current findings, which is how debt is ratcheted down. Baselined
+// findings appear in SARIF with baselineState "unchanged", new ones as
+// "new".
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/unitchecker"
+)
+
+// Options configures one standalone run.
+type Options struct {
+	// Patterns are the package patterns to vet (default ./...).
+	Patterns []string
+	// JSON prints the aggregated findings as a JSON array on stdout.
+	JSON bool
+	// SARIF, when non-empty, writes a SARIF 2.1.0 report to the path.
+	SARIF string
+	// Baseline, when non-empty, reads the baseline file and fails only
+	// on findings not recorded there.
+	Baseline string
+	// WriteBaseline rewrites the Baseline file from the current findings.
+	WriteBaseline bool
+	// Analyzers names and describes the suite (for SARIF rules).
+	Analyzers []*analysis.Analyzer
+	// Dir is the working directory for the vet run ("" = current).
+	Dir string
+}
+
+// Run executes the suite and returns the process exit code: 0 clean (or
+// fully baselined), 1 operational failure, 2 new findings.
+func Run(opts Options, stdout, stderr *os.File) int {
+	start := time.Now() //lint:wallclock-ok tool sweep timing, never model time
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: resolving own executable: %v\n", err)
+		return 1
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: go tool not found: %v\n", err)
+		return 1
+	}
+	diagDir, err := os.MkdirTemp("", "reprolint-diag-")
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(diagDir)
+
+	vet := exec.Command(goTool, append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	vet.Dir = opts.Dir
+	vet.Env = append(os.Environ(), unitchecker.DiagDirEnv+"="+diagDir)
+	var vetOut bytes.Buffer
+	vet.Stdout = &vetOut
+	vet.Stderr = &vetOut
+	vetErr := vet.Run()
+
+	findings, err := collect(diagDir, opts.Dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	if vetErr != nil && len(findings) == 0 {
+		// go vet failed but no finding reached the side channel: an
+		// operational error (bad pattern, type error), not lint findings.
+		fmt.Fprintf(stderr, "reprolint: go vet failed: %v\n%s", vetErr, vetOut.String())
+		return 1
+	}
+
+	baseline, err := loadBaseline(opts.Baseline)
+	if err != nil {
+		if !(opts.WriteBaseline && errors.Is(err, os.ErrNotExist)) {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 1
+		}
+		baseline = nil // -write-baseline creates the file fresh
+	}
+	if opts.WriteBaseline && opts.Baseline != "" {
+		if err := writeBaseline(opts.Baseline, findings); err != nil {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "reprolint: wrote %d finding(s) to %s\n", len(findings), opts.Baseline)
+		// Gate against the ledger just written: the ratchet update is
+		// the point of the run, so it exits clean by construction.
+		if baseline, err = loadBaseline(opts.Baseline); err != nil {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 1
+		}
+	}
+	verdict := applyBaseline(findings, baseline)
+	if opts.SARIF != "" {
+		if err := writeSARIF(opts.SARIF, opts.Analyzers, verdict); err != nil {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 1
+		}
+	}
+	if opts.JSON {
+		data, err := json.MarshalIndent(findings, "", "\t")
+		if err != nil {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+	}
+
+	elapsed := time.Since(start).Round(time.Millisecond) //lint:wallclock-ok tool sweep timing, never model time
+	return report(verdict, opts, elapsed, stderr)
+}
+
+// report prints the human summary and picks the exit code.
+func report(v verdict, opts Options, elapsed time.Duration, stderr *os.File) int {
+	if !opts.JSON {
+		for _, f := range v.fresh {
+			fmt.Fprintf(stderr, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	switch {
+	case opts.Baseline == "":
+		if n := len(v.fresh); n > 0 {
+			fmt.Fprintf(stderr, "reprolint: %d finding(s) in %s\n", n, elapsed)
+			return 2
+		}
+		fmt.Fprintf(stderr, "reprolint: clean in %s\n", elapsed)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "reprolint: %d new finding(s), %d baselined (suppression debt), %d stale baseline entr%s, in %s\n",
+			len(v.fresh), len(v.baselined), v.stale, plural(v.stale, "y", "ies"), elapsed)
+		if len(v.fresh) > 0 {
+			return 2
+		}
+		return 0
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// collect merges the per-package findings files from the side-channel
+// directory, relativizes paths against dir, deduplicates (a package and
+// its test variant re-analyze the same files) and sorts.
+func collect(diagDir, dir string) ([]unitchecker.Finding, error) {
+	entries, err := os.ReadDir(diagDir)
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		if dir, err = os.Getwd(); err != nil {
+			return nil, err
+		}
+	}
+	seen := make(map[unitchecker.Finding]bool)
+	var out []unitchecker.Finding
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(diagDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var fs []unitchecker.Finding
+		if err := json.Unmarshal(data, &fs); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", e.Name(), err)
+		}
+		for _, f := range fs {
+			if rel, err := filepath.Rel(dir, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+				f.File = filepath.ToSlash(rel)
+			}
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// BaselineEntry identifies one tolerated finding. Line/column are
+// deliberately absent: edits above a finding must not invalidate the
+// baseline match.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// BaselineFile is the checked-in suppression-debt ledger.
+type BaselineFile struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func loadBaseline(path string) (map[BaselineEntry]int, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var bf BaselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	counts := make(map[BaselineEntry]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		counts[e]++
+	}
+	return counts, nil
+}
+
+func writeBaseline(path string, findings []unitchecker.Finding) error {
+	bf := BaselineFile{
+		Comment:  "reprolint suppression-debt ledger: tolerated findings, matched by analyzer+file+message. Regenerate with -write-baseline; the goal is an empty list.",
+		Findings: make([]BaselineEntry, 0, len(findings)),
+	}
+	for _, f := range findings {
+		bf.Findings = append(bf.Findings, BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message})
+	}
+	data, err := json.MarshalIndent(&bf, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// verdict splits findings against the baseline multiset.
+type verdict struct {
+	fresh     []unitchecker.Finding // not in the baseline: fail the run
+	baselined []unitchecker.Finding // tolerated debt
+	stale     int                   // baseline entries with no live finding
+}
+
+func applyBaseline(findings []unitchecker.Finding, baseline map[BaselineEntry]int) verdict {
+	var v verdict
+	remaining := make(map[BaselineEntry]int, len(baseline))
+	total := 0
+	for e, n := range baseline { //lint:maporder-ok multiset copy, order-free
+		remaining[e] = n
+		total += n
+	}
+	for _, f := range findings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if remaining[e] > 0 {
+			remaining[e]--
+			v.baselined = append(v.baselined, f)
+		} else {
+			v.fresh = append(v.fresh, f)
+		}
+	}
+	v.stale = total - (len(findings) - len(v.fresh))
+	if v.stale < 0 {
+		v.stale = 0
+	}
+	return v
+}

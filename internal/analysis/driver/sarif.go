@@ -1,0 +1,118 @@
+// SARIF 2.1.0 output: the minimal valid document shape GitHub code
+// scanning and the schema at
+// https://json.schemastore.org/sarif-2.1.0.json accept — version,
+// $schema, one run with a tool.driver (name + rules) and results
+// carrying ruleId, level, message and a physical location. Baselined
+// findings get baselineState "unchanged", new ones "new", so a viewer
+// can filter the suppression debt.
+package driver
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/unitchecker"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	Level         string          `json:"level"`
+	Message       sarifText       `json:"message"`
+	Locations     []sarifLocation `json:"locations"`
+	BaselineState string          `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the verdict as a SARIF 2.1.0 file.
+func writeSARIF(path string, analyzers []*analysis.Analyzer, v verdict) error {
+	log := buildSARIF(analyzers, v)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+func buildSARIF(analyzers []*analysis.Analyzer, v verdict) *sarifLog {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(v.fresh)+len(v.baselined))
+	add := func(f unitchecker.Finding, state string) {
+		results = append(results, sarifResult{
+			RuleID:        f.Analyzer,
+			Level:         "error",
+			Message:       sarifText{Text: f.Message},
+			BaselineState: state,
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	for _, f := range v.fresh {
+		add(f, "new")
+	}
+	for _, f := range v.baselined {
+		add(f, "unchanged")
+	}
+	return &sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "reprolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,222 @@
+// Package observerpurity keeps observers read-only: an implementation of
+// the engine Observer hook (PhaseStart/Request/PhaseEnd) receives the
+// deterministic per-phase event stream and may accumulate its own state
+// (trace rows, event lines), but must never write engine or machine
+// state. Observers run on the coordinating goroutine between commit
+// passes, so a write from one is invisible to the race detector and to
+// commitpurity's single-package scope — it would corrupt the very state
+// whose determinism the event stream certifies.
+//
+// The check is effect-based and interprocedural: every function gets a
+// write-effect summary (the set of protected types whose fields it
+// writes, where protected means "declared in the engine package"),
+// propagated through the call graph and serialized as facts across
+// packages. A type is an observer if it declares the structural
+// Observer triple — PhaseStart(phase), Request(phase, r),
+// PhaseEnd(phase, pc) — and each of those methods must have an empty
+// transitive write-effect set, minus effects on the observer's own type
+// (engine.EventLog appending to itself is the intended pattern).
+package observerpurity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
+)
+
+// Analyzer verifies Observer implementations never write engine state.
+var Analyzer = &analysis.Analyzer{
+	Name: "observerpurity",
+	Doc:  "flag Observer implementations whose methods (transitively) write engine state",
+	Run:  run,
+}
+
+// protectedSuffix marks the packages whose types an observer must not
+// write: the shared machine runtime.
+const protectedSuffix = "internal/engine"
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	g := interproc.Build(pass)
+
+	local := make(map[string]map[string]bool)
+	for _, sym := range g.Order {
+		if set := writeEffects(pass, g.Funcs[sym]); len(set) > 0 {
+			local[sym] = set
+		}
+	}
+	effects := g.PropagateSets(local, func(c interproc.Callee) []string {
+		payload, ok := pass.DepFact(c.PkgPath, c.Sym)
+		if !ok {
+			return nil
+		}
+		return interproc.DecodePayload(payload)
+	})
+	for _, sym := range g.Order {
+		if set := effects[sym]; len(set) > 0 {
+			pass.ExportFact(sym, interproc.JoinPayload(interproc.Members(set)))
+		}
+	}
+
+	for _, obs := range observerTypes(pass, g) {
+		own := pass.Pkg.Path() + "." + obs
+		for _, method := range observerMethods {
+			sym := obs + "." + method
+			info, ok := g.Funcs[sym]
+			if !ok || pass.InTestFile(info.Decl.Pos()) {
+				continue
+			}
+			var foreign []string
+			for _, eff := range interproc.Members(effects[sym]) {
+				if eff != own {
+					foreign = append(foreign, eff)
+				}
+			}
+			if len(foreign) == 0 || pass.Allowlisted(info.File, info.Decl.Pos()) {
+				continue
+			}
+			pass.Reportf(info.Decl.Pos(),
+				"observer method %s (transitively) writes engine state %s; observers are read-only — accumulate into the observer's own state or annotate //lint:observerpurity-ok <reason>",
+				sym, strings.Join(foreign, ", "))
+		}
+	}
+	return nil
+}
+
+// writeEffects collects the protected types whose fields info writes,
+// keyed "pkgpath.TypeName". Writes through embedded fields are
+// attributed to the declaring type, as in commitpurity.
+func writeEffects(pass *analysis.Pass, info *interproc.FuncInfo) map[string]bool {
+	set := make(map[string]bool)
+	record := func(e ast.Expr) {
+		sel := rootSelector(e)
+		if sel == nil {
+			return
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		if owner := protectedOwner(selection.Recv(), selection.Index()); owner != "" {
+			set[owner] = true
+		}
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(st.X)
+		}
+		return true
+	})
+	return set
+}
+
+// rootSelector unwraps indexing, dereference and parenthesisation around
+// an assignment target down to the field selector being written.
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// protectedOwner walks the selection's embedding path and returns the
+// "pkgpath.TypeName" of the protected type declaring the written field,
+// or "" when the write does not touch protected state.
+func protectedOwner(t types.Type, index []int) string {
+	owner := ""
+	for _, i := range index {
+		for {
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = p.Elem()
+		}
+		key := ""
+		if n, ok := t.(*types.Named); ok {
+			if pkg := n.Obj().Pkg(); pkg != nil && strings.HasSuffix(pkg.Path(), protectedSuffix) {
+				key = pkg.Path() + "." + n.Obj().Name()
+			}
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		fv := st.Field(i)
+		owner = key
+		t = fv.Type()
+	}
+	return owner
+}
+
+// observerMethods is the structural Observer triple, matched by name and
+// parameter count so fixtures need no engine import.
+var observerMethods = []string{"PhaseStart", "Request", "PhaseEnd"}
+
+var observerArity = map[string]int{"PhaseStart": 1, "Request": 2, "PhaseEnd": 2}
+
+// observerTypes lists the receiver type names declaring all three
+// observer methods with the expected arities, in declaration order.
+func observerTypes(pass *analysis.Pass, g *interproc.Graph) []string {
+	found := make(map[string]map[string]bool)
+	var order []string
+	for _, sym := range g.Order {
+		info := g.Funcs[sym]
+		if info.Decl.Recv == nil {
+			continue
+		}
+		name := info.Decl.Name.Name
+		want, ok := observerArity[name]
+		if !ok || info.Decl.Type.Params.NumFields() == 0 {
+			continue
+		}
+		if params(info.Decl.Type) != want {
+			continue
+		}
+		recv := strings.TrimSuffix(sym, "."+name)
+		if found[recv] == nil {
+			found[recv] = make(map[string]bool)
+			order = append(order, recv)
+		}
+		found[recv][name] = true
+	}
+	var out []string
+	for _, recv := range order {
+		if len(found[recv]) == len(observerMethods) {
+			out = append(out, recv)
+		}
+	}
+	return out
+}
+
+// params counts the declared parameters of a function type (grouped
+// parameters count once each).
+func params(ft *ast.FuncType) int {
+	n := 0
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}

@@ -1,0 +1,443 @@
+// Package sentinelwrap enforces the facade's dual-sentinel contract: an
+// error that originates from a sentinel (a package-level error variable,
+// a model Violation(), fault.ErrInjectedViolation, …) must cross every
+// function boundary wrapped with %w (or errors.Join) so that errors.Is
+// still sees the sentinel at the facade. Formatting such an error with
+// %v/%s — or flattening it through .Error() — severs the chain silently:
+// the program still prints the right words, but resilience.go's
+// errors.Is contract (see DESIGN.md §6) goes dark.
+//
+// The check is interprocedural: each function that can return a
+// sentinel-carrying error exports a fact listing the sentinels (sorted,
+// comma-joined), propagated through the call graph within a package and
+// through the unitchecker facts files across packages. At a formatting
+// site the analyzer flags any error-typed argument under a non-%w verb
+// when the argument is tainted — a sentinel variable, a call carrying a
+// sentinel fact, a model Violation() result, a stored error field, an
+// error parameter, or a local assigned from any of those. Deliberate
+// chain breaks take //lint:sentinelwrap-ok <reason>.
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
+)
+
+// Analyzer enforces %w/errors.Join wrapping of sentinel-derived errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "flag sentinel-derived errors formatted with %v/%s/.Error() instead of wrapped with %w",
+	Run:  run,
+}
+
+// payloadCap bounds the sentinel list serialized per function so fact
+// files stay small; the sorted prefix is deterministic.
+const payloadCap = 4
+
+func run(pass *analysis.Pass) error {
+	pass.CheckDirectives()
+	g := interproc.Build(pass)
+
+	// Seed: sentinels each function mentions in its return statements,
+	// then propagate through call edges (a caller of a sentinel-carrying
+	// function may itself return that sentinel).
+	local := make(map[string]map[string]bool)
+	for _, sym := range g.Order {
+		if set := returnedSentinels(pass, g.Funcs[sym]); len(set) > 0 {
+			local[sym] = set
+		}
+	}
+	carries := g.PropagateSets(local, func(c interproc.Callee) []string {
+		payload, ok := pass.DepFact(c.PkgPath, c.Sym)
+		if !ok {
+			return nil
+		}
+		return interproc.DecodePayload(payload)
+	})
+	for _, sym := range g.Order {
+		if set := carries[sym]; len(set) > 0 {
+			names := interproc.Members(set)
+			if len(names) > payloadCap {
+				names = names[:payloadCap]
+			}
+			pass.ExportFact(sym, interproc.JoinPayload(names))
+		}
+	}
+
+	for _, sym := range g.Order {
+		info := g.Funcs[sym]
+		if pass.InTestFile(info.Decl.Pos()) {
+			continue
+		}
+		t := newTaints(pass, carries, info.Decl)
+		checkFormatting(pass, t, info)
+	}
+	return nil
+}
+
+// returnedSentinels collects the sentinel names function info can return
+// directly: package-level error variables returned as-is, or wrapped
+// through fmt.Errorf("%w") / errors.Join chains. Sentinels that arrive
+// via callees are added by the caller's fixpoint, not here.
+func returnedSentinels(pass *analysis.Pass, info *interproc.FuncInfo) map[string]bool {
+	set := make(map[string]bool)
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			collectCarried(pass, res, set)
+		}
+		return true
+	})
+	return set
+}
+
+// collectCarried adds to set the sentinel names expression e carries: a
+// package-level error variable, the %w-wrapped arguments of fmt.Errorf,
+// or any argument of errors.Join.
+func collectCarried(pass *analysis.Pass, e ast.Expr, set map[string]bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if name, ok := sentinelVar(pass, x); ok {
+			set[name] = true
+		}
+	case *ast.SelectorExpr:
+		if name, ok := sentinelVar(pass, x.Sel); ok && pass.TypesInfo.Selections[x] == nil {
+			set[name] = true
+		}
+	case *ast.CallExpr:
+		fn := interproc.CalleeFunc(pass, x)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		switch {
+		case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" && len(x.Args) > 1:
+			verbs, ok := verbArgs(formatOf(pass, x))
+			if !ok {
+				return
+			}
+			for _, v := range verbs {
+				if v.verb == 'w' && 1+v.arg < len(x.Args) {
+					collectCarried(pass, x.Args[1+v.arg], set)
+				}
+			}
+		case fn.Pkg().Path() == "errors" && fn.Name() == "Join":
+			for _, arg := range x.Args {
+				collectCarried(pass, arg, set)
+			}
+		}
+	}
+}
+
+// sentinelVar reports whether id names a package-level error variable
+// (the repository's sentinel idiom) and returns its name.
+func sentinelVar(pass *analysis.Pass, id *ast.Ident) (string, bool) {
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return "", false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// taints is the per-function flow-insensitive taint state: which local
+// variables hold (possibly) sentinel-derived errors, and the function's
+// parameter set (incoming errors are conservatively tainted).
+type taints struct {
+	pass    *analysis.Pass
+	carries map[string]map[string]bool
+	locals  map[types.Object]string
+	params  map[types.Object]bool
+}
+
+func newTaints(pass *analysis.Pass, carries map[string]map[string]bool, fd *ast.FuncDecl) *taints {
+	t := &taints{
+		pass:    pass,
+		carries: carries,
+		locals:  make(map[types.Object]string),
+		params:  make(map[types.Object]bool),
+	}
+	addField := func(f *ast.Field) {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isErrorType(obj.Type()) {
+				t.params[obj] = true
+			}
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		addField(f)
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			addField(f) // a named error result is written before return
+		}
+	}
+	// Local taint fixpoint over assignments, in source order; each round
+	// can only grow the set, and chains are bounded by the body size.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || t.locals[obj] != "" {
+					continue
+				}
+				if desc, tainted := t.of(as.Rhs[i]); tainted {
+					t.locals[obj] = desc
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+// of reports whether expression e is (possibly) sentinel-derived, with a
+// human-readable description of the taint source.
+func (t *taints) of(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := t.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return "", false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !isErrorType(v.Type()) {
+			return "", false
+		}
+		if name, ok := sentinelVar(t.pass, x); ok {
+			return "sentinel " + name, true
+		}
+		if desc := t.locals[obj]; desc != "" {
+			return desc, true
+		}
+		if t.params[obj] {
+			return "incoming error " + x.Name, true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if sel := t.pass.TypesInfo.Selections[x]; sel != nil {
+			if sel.Kind() == types.FieldVal && isErrorType(sel.Type()) {
+				return "stored error " + types.ExprString(x), true
+			}
+			return "", false
+		}
+		if name, ok := sentinelVar(t.pass, x.Sel); ok {
+			return "sentinel " + name, true
+		}
+		return "", false
+	case *ast.CallExpr:
+		fn := interproc.CalleeFunc(t.pass, x)
+		if fn == nil {
+			return "", false
+		}
+		if isViolationMethod(fn) {
+			return "model Violation() error", true
+		}
+		sents := t.calleeSentinels(fn)
+		if len(sents) > 0 {
+			return "error carrying sentinel " + strings.Join(sents, "/"), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// calleeSentinels returns the sentinel fact of fn — from this package's
+// fixpoint for local functions, from the dependency facts otherwise.
+func (t *taints) calleeSentinels(fn *types.Func) []string {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	sym := interproc.Symbol(fn)
+	if fn.Pkg().Path() == t.pass.Pkg.Path() {
+		return interproc.Members(t.carries[sym])
+	}
+	payload, ok := t.pass.DepFact(fn.Pkg().Path(), sym)
+	if !ok {
+		return nil
+	}
+	return interproc.DecodePayload(payload)
+}
+
+// isViolationMethod matches the model contract seed: an interface method
+// `Violation() error` (engine.Machine's accessor for the access-rule
+// violation), whose result always merits the %w treatment.
+func isViolationMethod(fn *types.Func) bool {
+	if fn.Name() != "Violation" || !interproc.IsInterfaceMethod(fn) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		isErrorType(sig.Results().At(0).Type())
+}
+
+// checkFormatting reports tainted error arguments under non-%w verbs in
+// fmt.Errorf calls, and .Error() flattening inside error constructors.
+func checkFormatting(pass *analysis.Pass, t *taints, info *interproc.FuncInfo) {
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := interproc.CalleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+			checkErrorf(pass, t, info, call)
+		case fn.Pkg().Path() == "errors" && fn.Name() == "New" && len(call.Args) == 1:
+			checkFlatten(pass, t, info, call.Args[0])
+		}
+		return true
+	})
+}
+
+func checkErrorf(pass *analysis.Pass, t *taints, info *interproc.FuncInfo, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	verbs, ok := verbArgs(formatOf(pass, call))
+	if !ok {
+		return // non-constant or indexed format: stay silent, not wrong
+	}
+	for _, v := range verbs {
+		i := 1 + v.arg
+		if i >= len(call.Args) || v.verb == 'w' {
+			continue
+		}
+		arg := call.Args[i]
+		checkFlatten(pass, t, info, arg)
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		desc, tainted := t.of(arg)
+		if !tainted || pass.Allowlisted(info.File, arg.Pos()) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"%s formatted with %%%c drops the error chain; wrap with %%w so errors.Is still sees the sentinels, or annotate //lint:sentinelwrap-ok <reason>",
+			desc, v.verb)
+	}
+}
+
+// checkFlatten reports arg when it is a .Error() call on a tainted error:
+// stringifying inside an error constructor severs the chain just like %v.
+func checkFlatten(pass *analysis.Pass, t *taints, info *interproc.FuncInfo, arg ast.Expr) {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return
+	}
+	desc, tainted := t.of(sel.X)
+	if !tainted || pass.Allowlisted(info.File, arg.Pos()) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		".Error() on %s flattens it to a string inside an error constructor; wrap the error with %%w instead, or annotate //lint:sentinelwrap-ok <reason>", desc)
+}
+
+// formatOf returns the constant format string of a fmt.Errorf call, or ""
+// when it is not statically known.
+func formatOf(pass *analysis.Pass, call *ast.CallExpr) string {
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// verbArg is one format verb and the 0-based index of the variadic
+// argument it consumes.
+type verbArg struct {
+	verb rune
+	arg  int
+}
+
+// verbArgs parses a printf format string into its verb/argument pairing.
+// ok is false when the format cannot be paired statically: empty
+// (non-constant) or using explicit argument indexes ("%[2]d").
+func verbArgs(format string) ([]verbArg, bool) {
+	if format == "" {
+		return nil, false
+	}
+	var out []verbArg
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags, width and precision; '*' consumes an argument.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '\'' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verbArg{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out, true
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}

@@ -7,17 +7,28 @@ package suite
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/commitpurity"
+	"repro/internal/analysis/costbalance"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/injectoronce"
 	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/observerpurity"
+	"repro/internal/analysis/sentinelwrap"
+	"repro/internal/analysis/snapshotdeep"
 	"repro/internal/analysis/wallclock"
 )
 
-// Analyzers returns the full reprolint suite.
+// Analyzers returns the full reprolint suite: the per-file determinism
+// checks of PR 3 first, then the interprocedural contract analyzers.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.Analyzer,
 		globalrand.Analyzer,
 		wallclock.Analyzer,
 		commitpurity.Analyzer,
+		sentinelwrap.Analyzer,
+		snapshotdeep.Analyzer,
+		costbalance.Analyzer,
+		injectoronce.Analyzer,
+		observerpurity.Analyzer,
 	}
 }

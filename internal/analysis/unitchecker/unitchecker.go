@@ -8,23 +8,38 @@
 //     so the build cache can key on the tool's content
 //     (cmd/go/internal/work/buildid.go).
 //   - `tool -flags` must print a JSON description of the tool's flags to
-//     stdout; reprolint has none, so it prints "[]"
-//     (cmd/go/internal/vet/vetflag.go).
-//   - `tool <objdir>/vet.cfg` analyzes one package: the cfg file carries
-//     the file list, the import map and the export-data locations of all
-//     dependencies (cmd/go/internal/work/exec.go, vetConfig). Diagnostics
-//     go to stderr as "file:line:col: message" and the tool exits 2 when
-//     it found anything, 0 when the package is clean.
+//     stdout, in stable (sorted) order so repeated queries hash
+//     identically (cmd/go/internal/vet/vetflag.go).
+//   - `tool [flags] <objdir>/vet.cfg` analyzes one package: the cfg file
+//     carries the file list, the import map and the export-data locations
+//     of all dependencies (cmd/go/internal/work/exec.go, vetConfig).
+//     Diagnostics go to stderr as "file:line:col: message" and the tool
+//     exits 2 when it found anything, 0 when the package is clean.
 //
 // cmd/go also schedules "vet" actions for dependencies so fact-based
 // analyzers can consume their outputs; those configs carry VetxOnly=true
-// and the tool only needs to produce its (empty, for this suite) facts
-// file without analyzing anything.
+// and name the facts file to produce in VetxOutput. Since PR 5 the suite
+// is fact-based: each analyzer's per-function summaries are serialized as
+// JSON into the .vetx file (analysis.PackageFacts; map keys sorted by
+// encoding/json, so the bytes — and the cmd/go cache keys derived from
+// them — are deterministic), and dependency facts arrive back through
+// vet.cfg's PackageVetx map. Facts are computed for this module's
+// packages only; standard-library dependencies get an empty facts file,
+// which analyzers treat as the conservative "no facts" default.
+//
+// Two driver niceties for the reprolint front end (cmd/reprolint):
+// identical diagnostics at the same position are deduplicated (a package
+// and its test variant analyze the same non-test files), and when the
+// REPROLINT_DIAGDIR environment variable names a directory the tool also
+// writes its findings there as JSON — a side channel that survives
+// cmd/go's per-package output buffering, so the standalone driver can
+// aggregate structured findings across a whole `go vet ./...` run.
 package unitchecker
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -47,10 +62,33 @@ type Config struct {
 	GoFiles                   []string          // absolute paths of Go sources
 	ImportMap                 map[string]string // source import path -> canonical path
 	PackageFile               map[string]string // canonical path -> export data file
-	VetxOnly                  bool              // only facts are needed, skip analysis
+	PackageVetx               map[string]string // canonical path -> dependency facts file
+	VetxOnly                  bool              // only facts are needed, skip reporting
 	VetxOutput                string            // where to write the facts file
 	GoVersion                 string            // language version for type checking
 	SucceedOnTypecheckFailure bool              // exit 0 quietly on type errors (go test's vet=default)
+}
+
+// Finding is one diagnostic in resolved, position-stable form: what the
+// REPROLINT_DIAGDIR side channel and `-json` emit, and what the
+// cmd/reprolint driver aggregates into baselines and SARIF.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// DiagDirEnv names the findings side-channel directory variable.
+const DiagDirEnv = "REPROLINT_DIAGDIR"
+
+// ToolFlag mirrors the JSON shape cmd/go expects from `tool -flags`
+// (cmd/go/internal/vet/vetflag.go).
+type ToolFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
 }
 
 // Main is the entry point a vet tool binary delegates to:
@@ -68,17 +106,32 @@ func Main(analyzers ...*analysis.Analyzer) {
 			printVersion(false)
 			os.Exit(0)
 		case "-flags":
-			// reprolint accepts no analyzer flags; tell cmd/go so it
-			// rejects unknown `go vet -foo` flags itself.
-			fmt.Println("[]")
+			printFlags(os.Stdout, analyzers)
 			os.Exit(0)
 		case "help", "-help", "--help", "-h":
 			printHelp(analyzers)
 			os.Exit(0)
 		}
-		if strings.HasSuffix(os.Args[1], ".cfg") {
-			os.Exit(runConfig(os.Args[1], analyzers))
+	}
+	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
+	fs.Usage = func() { printHelp(analyzers) }
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout instead of text on stderr")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" check")
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		var active []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				active = append(active, a)
+			}
 		}
+		os.Exit(runConfig(args[0], active, *jsonOut))
 	}
 	printHelp(analyzers)
 	os.Exit(2)
@@ -103,9 +156,27 @@ func printVersion(full bool) {
 	fmt.Printf("reprolint version devel buildID=%x\n", h.Sum(nil))
 }
 
+// printFlags answers cmd/go's `-flags` query: every flag the tool accepts
+// on a vet.cfg invocation, sorted by name so the output bytes are stable
+// run to run (cmd/go hashes them into its action IDs).
+func printFlags(w io.Writer, analyzers []*analysis.Analyzer) {
+	flags := []ToolFlag{{Name: "json", Bool: true, Usage: "emit findings as JSON on stdout instead of text on stderr"}}
+	for _, a := range analyzers {
+		flags = append(flags, ToolFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " check"})
+	}
+	sort.Slice(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name })
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintln(w, "[]")
+		return
+	}
+	fmt.Fprintln(w, string(data))
+}
+
 func printHelp(analyzers []*analysis.Analyzer) {
 	fmt.Fprintln(os.Stderr, "reprolint: static checks for the repro determinism and engine contracts")
 	fmt.Fprintln(os.Stderr, "\nusage: go vet -vettool=$(command -v reprolint || echo ./bin/reprolint) ./...")
+	fmt.Fprintln(os.Stderr, "   or: go run ./cmd/reprolint [-json|-sarif out.sarif] [-baseline file] ./...")
 	fmt.Fprintln(os.Stderr, "\nchecks:")
 	for _, a := range analyzers {
 		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
@@ -115,7 +186,7 @@ func printHelp(analyzers []*analysis.Analyzer) {
 
 // runConfig analyzes the package described by one vet.cfg and returns the
 // process exit code (0 clean, 1 operational failure, 2 findings).
-func runConfig(cfgFile string, analyzers []*analysis.Analyzer) int {
+func runConfig(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
@@ -128,13 +199,23 @@ func runConfig(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 
 	// Dependency pass: cmd/go only wants this package's facts so a later
-	// analysis can import them. This suite carries no cross-package
-	// facts; produce the (empty) output and stop.
+	// analysis can import them. Facts are computed for this module's
+	// packages; other dependencies (the standard library) get an empty
+	// facts file — analyzers treat the absence as "assume nothing".
 	if cfg.VetxOnly {
-		return writeVetx(cfg.VetxOutput)
+		if !inModule(cfg.ImportPath) {
+			return writeVetx(cfg.VetxOutput, nil)
+		}
+		result, err := analyzePackage(&cfg, analyzers)
+		if err != nil {
+			// The dependency fails to type-check; the target package's
+			// own (non-VetxOnly) run will surface the real error.
+			return writeVetx(cfg.VetxOutput, nil)
+		}
+		return writeVetx(cfg.VetxOutput, result.facts)
 	}
 
-	diags, err := analyzePackage(&cfg, analyzers)
+	result, err := analyzePackage(&cfg, analyzers)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			// go test's vet=default mode: the compiler will report the
@@ -144,33 +225,95 @@ func runConfig(cfgFile string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "reprolint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	if code := writeVetx(cfg.VetxOutput); code != 0 {
+	if code := writeVetx(cfg.VetxOutput, result.facts); code != 0 {
 		return code
 	}
-	if len(diags.list) == 0 {
+	findings := result.findings()
+	if len(findings) == 0 {
 		return 0
 	}
-	diags.print(os.Stderr)
+	writeDiagDir(cfg.ImportPath, findings)
+	if jsonOut {
+		out, err := json.MarshalIndent(findings, "", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+		}
+	}
 	return 2
 }
 
-// diagnostics collects findings across analyzers with the FileSet needed
-// to render them.
-type diagnostics struct {
-	fset *token.FileSet
-	list []analysis.Diagnostic
+// inModule reports whether path belongs to this module (the only
+// packages whose facts are worth computing).
+func inModule(importPath string) bool {
+	path := analysis.StripVariant(importPath)
+	return path == "repro" || strings.HasPrefix(path, "repro/")
 }
 
-func (d *diagnostics) print(w io.Writer) {
-	sort.SliceStable(d.list, func(i, j int) bool { return d.list[i].Pos < d.list[j].Pos })
-	for _, diag := range d.list {
-		fmt.Fprintf(w, "%s: %s\n", d.fset.Position(diag.Pos), diag.Message)
+// result carries one package analysis: raw diagnostics tagged with their
+// analyzer, plus the facts every analyzer exported.
+type result struct {
+	fset  *token.FileSet
+	list  []taggedDiag
+	facts analysis.PackageFacts
+}
+
+type taggedDiag struct {
+	analyzer string
+	diag     analysis.Diagnostic
+}
+
+// findings resolves, sorts and deduplicates the diagnostics. Identical
+// messages at the same position are reported once even when several
+// analyzers (or a package and its test variant's re-analysis of the same
+// file) emit them.
+func (r *result) findings() []Finding {
+	out := make([]Finding, 0, len(r.list))
+	seen := make(map[Finding]bool, len(r.list))
+	for _, td := range r.list {
+		p := r.fset.Position(td.diag.Pos)
+		f := Finding{
+			Analyzer: td.analyzer,
+			File:     p.Filename,
+			Line:     p.Line,
+			Col:      p.Column,
+			Message:  td.diag.Message,
+		}
+		key := f
+		key.Analyzer = "" // dedupe across analyzers, keep the first reporter
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }
 
 // analyzePackage parses and type-checks the cfg's package and runs every
-// applicable analyzer over it.
-func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*diagnostics, error) {
+// applicable analyzer over it, collecting diagnostics and exported facts.
+func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*result, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -213,11 +356,13 @@ func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*diagnostics, 
 		return nil, err
 	}
 
-	diags := &diagnostics{fset: fset}
+	depFacts := loadDepFacts(cfg)
+	res := &result{fset: fset}
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(path) {
 			continue
 		}
+		name := a.Name
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -225,26 +370,94 @@ func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*diagnostics, 
 			Path:      path,
 			Pkg:       pkg,
 			TypesInfo: info,
-			Report:    func(d analysis.Diagnostic) { diags.list = append(diags.list, d) },
+			DepFacts:  depFacts,
+			Report: func(d analysis.Diagnostic) {
+				res.list = append(res.list, taggedDiag{analyzer: name, diag: d})
+			},
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
+		if facts := pass.ExportedFacts(); len(facts) > 0 {
+			if res.facts == nil {
+				res.facts = make(analysis.PackageFacts)
+			}
+			res.facts[a.Name] = facts
+		}
 	}
-	return diags, nil
+	return res, nil
 }
 
-// writeVetx produces the facts output cmd/go caches for downstream
-// packages. The suite defines no facts, so the file is empty; a missing
-// VetxOutput (possible for the root packages of a non-caching run) is
-// simply skipped.
-func writeVetx(path string) int {
+// loadDepFacts reads the dependency facts files cmd/go listed in
+// PackageVetx, keyed by canonical import path with test-variant suffixes
+// stripped (type information uses the plain path). A plain package and
+// its test variant both present resolve to the variant — the superset —
+// deterministically, by sorted key order.
+func loadDepFacts(cfg *Config) map[string]analysis.PackageFacts {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(cfg.PackageVetx))
+	for k := range cfg.PackageVetx { //lint:maporder-ok keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(map[string]analysis.PackageFacts)
+	for _, canon := range keys {
+		data, err := os.ReadFile(cfg.PackageVetx[canon])
+		if err != nil || len(data) == 0 {
+			continue // absent or empty facts: the conservative default
+		}
+		var pf analysis.PackageFacts
+		if err := json.Unmarshal(data, &pf); err != nil {
+			continue
+		}
+		out[analysis.StripVariant(canon)] = pf
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// writeVetx serializes the package's facts for downstream packages.
+// json.Marshal sorts map keys, so equal facts always produce equal bytes
+// and cmd/go's content-keyed cache stays stable. A missing VetxOutput
+// (possible for the root packages of a non-caching run) is skipped; an
+// empty facts set writes an empty file.
+func writeVetx(path string, facts analysis.PackageFacts) int {
 	if path == "" {
 		return 0
 	}
-	if err := os.WriteFile(path, nil, 0o666); err != nil {
+	var data []byte
+	if len(facts) > 0 {
+		var err error
+		if data, err = json.Marshal(facts); err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+			return 1
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// writeDiagDir drops the findings as JSON into $REPROLINT_DIAGDIR (one
+// file per package, named by import-path hash). go vet buffers and
+// re-orders per-package tool output, so the standalone driver reads this
+// side channel instead of scraping stderr. Best-effort: a failed write
+// only loses the structured copy, never the findings themselves.
+func writeDiagDir(importPath string, findings []Finding) {
+	dir := os.Getenv(DiagDirEnv)
+	if dir == "" {
+		return
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	name := fmt.Sprintf("%x.json", sha256.Sum256([]byte(importPath)))
+	os.WriteFile(dir+string(os.PathSeparator)+name, data, 0o666)
 }

@@ -1,0 +1,149 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// A package and its test variant re-analyze the same non-test files, and
+// two analyzers can flag the same line with the same message; findings()
+// must collapse those to one diagnostic (first reporter wins) while
+// keeping genuinely distinct positions and messages.
+func TestFindingsDedupe(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("a.go", -1, 100)
+	pos1, pos2 := f.Pos(10), f.Pos(20)
+	r := &result{fset: fset, list: []taggedDiag{
+		{analyzer: "maporder", diag: analysis.Diagnostic{Pos: pos1, Message: "m"}},
+		{analyzer: "wallclock", diag: analysis.Diagnostic{Pos: pos1, Message: "m"}}, // cross-analyzer dup
+		{analyzer: "maporder", diag: analysis.Diagnostic{Pos: pos1, Message: "m"}},  // exact dup (test variant)
+		{analyzer: "maporder", diag: analysis.Diagnostic{Pos: pos2, Message: "m"}},  // distinct position
+		{analyzer: "maporder", diag: analysis.Diagnostic{Pos: pos1, Message: "other"}},
+	}}
+	got := r.findings()
+	if len(got) != 3 {
+		t.Fatalf("findings() kept %d, want 3: %+v", len(got), got)
+	}
+	if got[0].Analyzer != "maporder" || got[0].Message != "m" || got[0].Col != 11 {
+		t.Errorf("first finding = %+v, want maporder %q at col 11 (first reporter wins)", got[0], "m")
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		a, b := got[i], got[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	}) {
+		t.Errorf("findings not position-sorted: %+v", got)
+	}
+}
+
+// cmd/go hashes the -flags output into its action IDs, so the bytes must
+// be a valid JSON flag description in stable (sorted) order.
+func TestPrintFlagsStableJSON(t *testing.T) {
+	analyzers := suite.Analyzers()
+	var buf1, buf2 bytes.Buffer
+	printFlags(&buf1, analyzers)
+	printFlags(&buf2, analyzers)
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("printFlags is not byte-stable:\n%s\n%s", buf1.String(), buf2.String())
+	}
+	var flags []ToolFlag
+	if err := json.Unmarshal(buf1.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, buf1.String())
+	}
+	if want := len(analyzers) + 1; len(flags) != want { // +1 for -json
+		t.Fatalf("got %d flags, want %d", len(flags), want)
+	}
+	if !sort.SliceIsSorted(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name }) {
+		t.Errorf("flags not sorted by name: %+v", flags)
+	}
+	names := make(map[string]bool, len(flags))
+	for _, fl := range flags {
+		names[fl.Name] = true
+		if !fl.Bool {
+			t.Errorf("flag %s not boolean; cmd/go passes every vet flag as -name=value", fl.Name)
+		}
+		if fl.Usage == "" {
+			t.Errorf("flag %s has no usage string", fl.Name)
+		}
+	}
+	for _, a := range analyzers {
+		if !names[a.Name] {
+			t.Errorf("analyzer %s missing from -flags", a.Name)
+		}
+	}
+	if !names["json"] {
+		t.Error("json flag missing from -flags")
+	}
+}
+
+// Facts must survive the vetx write/load round trip byte-deterministically,
+// and when both a package and its test variant appear in PackageVetx the
+// variant (the superset) must win.
+func TestVetxRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	facts := analysis.PackageFacts{
+		"sentinelwrap": {"fail": "ErrBudget", "retry": "ErrBudget,ErrCrash"},
+		"costbalance":  {"Report.Rewind": "rewinds"},
+	}
+	plain := analysis.PackageFacts{
+		"sentinelwrap": {"fail": "stale"},
+	}
+
+	variantPath := filepath.Join(dir, "variant.vetx")
+	plainPath := filepath.Join(dir, "plain.vetx")
+	emptyPath := filepath.Join(dir, "empty.vetx")
+	if code := writeVetx(variantPath, facts); code != 0 {
+		t.Fatalf("writeVetx exit %d", code)
+	}
+	if code := writeVetx(plainPath, plain); code != 0 {
+		t.Fatalf("writeVetx exit %d", code)
+	}
+	if code := writeVetx(emptyPath, nil); code != 0 {
+		t.Fatalf("writeVetx exit %d", code)
+	}
+
+	// Byte determinism: equal facts, equal bytes (cache-key stability).
+	again := filepath.Join(dir, "again.vetx")
+	writeVetx(again, facts)
+	b1, _ := os.ReadFile(variantPath)
+	b2, _ := os.ReadFile(again)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("writeVetx not deterministic:\n%s\n%s", b1, b2)
+	}
+
+	cfg := &Config{PackageVetx: map[string]string{
+		"repro/x":                plainPath,
+		"repro/x [repro/x.test]": variantPath,
+		"errors":                 emptyPath, // stdlib: empty facts, skipped
+	}}
+	dep := loadDepFacts(cfg)
+	if dep == nil {
+		t.Fatal("loadDepFacts returned nil")
+	}
+	if _, ok := dep["errors"]; ok {
+		t.Error("empty facts file should be skipped, not loaded")
+	}
+	got := dep["repro/x"]
+	if got == nil {
+		t.Fatal("no facts for repro/x")
+	}
+	if got["sentinelwrap"]["fail"] != "ErrBudget" {
+		t.Errorf("variant facts must win over plain: got %q", got["sentinelwrap"]["fail"])
+	}
+	if got["costbalance"]["Report.Rewind"] != "rewinds" {
+		t.Errorf("costbalance fact lost in round trip: %+v", got)
+	}
+}

@@ -108,9 +108,9 @@ func (o *Outcome) Invariant() error {
 	case o.TimedOut:
 		return fmt.Errorf("%s: deadline overrun", o.Scenario.Name())
 	case o.Wrong:
-		return fmt.Errorf("%s: silently wrong output: %v", o.Scenario.Name(), o.Err)
+		return fmt.Errorf("%s: silently wrong output: %w", o.Scenario.Name(), o.Err)
 	case o.Verified && o.Err != nil:
-		return fmt.Errorf("%s: verified yet errored: %v", o.Scenario.Name(), o.Err)
+		return fmt.Errorf("%s: verified yet errored: %w", o.Scenario.Name(), o.Err)
 	case !o.Verified && o.Err == nil:
 		return fmt.Errorf("%s: no answer and no error", o.Scenario.Name())
 	case o.Err != nil && strings.TrimSpace(o.Err.Error()) == "":

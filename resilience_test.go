@@ -181,3 +181,190 @@ func TestFacadeParseFaultSpecs(t *testing.T) {
 		t.Fatalf("unexpected specs: %+v", specs)
 	}
 }
+
+// Every exported facade entry point that executes phases — the full QSM
+// algorithm surface, the GSM algorithms and the three degraded runners,
+// not just the runners — must surface an injected violation so that
+// errors.Is sees BOTH sentinels: the model's Violation (ErrQSMViolation /
+// ErrGSMViolation) and the fault-layer ErrFaultViolation. This pins the
+// multi-%w wrapping contract the sentinelwrap analyzer enforces
+// statically.
+func TestFacadeViolationSentinelsAllEntryPoints(t *testing.T) {
+	poison := func(t *testing.T, m interface {
+		InjectFaults(repro.Injector, repro.RetryPolicy, bool)
+	}, degraded bool) {
+		t.Helper()
+		plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultViolation, Phase: 1})
+		m.InjectFaults(plan, repro.RetryPolicy{}, degraded)
+	}
+	qsm := func(t *testing.T, p int, g int64, n, cells int, input []int64) *repro.QSMMachine {
+		t.Helper()
+		m, err := repro.NewQSM(p, g, n, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadBits(t, m, input)
+		poison(t, m, false)
+		return m
+	}
+
+	sparse := make([]int64, 48)
+	for i := range sparse {
+		if i%3 != 0 {
+			sparse[i] = int64(i + 1)
+		}
+	}
+	list := make([]int64, 64)
+	for j := 0; j+1 < len(list); j++ {
+		list[j] = int64(j + 1)
+	}
+	list[63] = 63
+
+	cases := []struct {
+		name     string
+		sentinel error // the model's Violation sentinel
+		run      func(t *testing.T) error
+	}{
+		{"ParityTree", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 4, 2, 16, 16, make([]int64, 16))
+			_, err := repro.ParityTree(m, 0, 16, 2)
+			return err
+		}},
+		{"ParityGadget", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 256, 2, 64, 64, repro.RandomBits(31, 64))
+			_, err := repro.ParityGadget(m, 0, 64, 2)
+			return err
+		}},
+		{"ORContentionTree", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 64, 4, 64, 64, repro.RandomBits(5, 64))
+			_, err := repro.ORContentionTree(m, 0, 64, 8)
+			return err
+		}},
+		{"ORReadTree", repro.ErrQSMViolation, func(t *testing.T) error {
+			m, err := repro.NewSQSM(64, 2, 64, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadBits(t, m, repro.RandomBits(7, 64))
+			poison(t, m, false)
+			_, err = repro.ORReadTree(m, 0, 64, 4)
+			return err
+		}},
+		{"ORRandomized", repro.ErrQSMViolation, func(t *testing.T) error {
+			m, err := repro.NewCRQW(64, 4, 64, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadBits(t, m, repro.RandomBits(23, 64))
+			poison(t, m, false)
+			_, err = repro.ORRandomized(m, 77, 0, 64)
+			return err
+		}},
+		{"Broadcast", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 128, 4, 128, 1, []int64{13})
+			_, err := repro.Broadcast(m, 0, 128, 4)
+			return err
+		}},
+		{"LoadBalance", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 8, 1, 8, 8, []int64{3, 0, 2, 0, 0, 1, 0, 2})
+			_, _, err := repro.LoadBalance(m, 0, 8, 2, 3)
+			return err
+		}},
+		{"PrefixSums", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 64, 1, 64, 64, repro.RandomBits(11, 64))
+			_, err := repro.PrefixSums(m, 0, 64, 4)
+			return err
+		}},
+		{"CompactExact", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 48, 2, 48, 48, sparse)
+			_, _, err := repro.CompactExact(m, 0, 48, 4)
+			return err
+		}},
+		{"CompactDarts", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 48, 2, 48, 48, sparse)
+			_, err := repro.CompactDarts(m, 7, 0, 48)
+			return err
+		}},
+		{"ListRank", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 64, 1, 64, 64, list)
+			_, err := repro.ListRank(m, 0, 64)
+			return err
+		}},
+		{"ParityViaListRanking", repro.ErrQSMViolation, func(t *testing.T) error {
+			m := qsm(t, 130, 1, 64, 64, repro.RandomBits(9, 64))
+			_, err := repro.ParityViaListRanking(m, 0, 64)
+			return err
+		}},
+		{"ParityGSM", repro.ErrGSMViolation, func(t *testing.T) error {
+			m, err := repro.NewGSM(64, 2, 2, 1, 64, repro.GSMGatherCells(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadInputs(repro.RandomBits(17, 64)); err != nil {
+				t.Fatal(err)
+			}
+			poison(t, m, false)
+			_, err = repro.ParityGSM(m, 64, 2)
+			return err
+		}},
+		{"ORGSM", repro.ErrGSMViolation, func(t *testing.T) error {
+			m, err := repro.NewGSM(64, 2, 2, 1, 64, repro.GSMGatherCells(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadInputs(repro.RandomBits(19, 64)); err != nil {
+				t.Fatal(err)
+			}
+			poison(t, m, false)
+			_, err = repro.ORGSM(m, 64, 2)
+			return err
+		}},
+		{"ParityTreeDegraded", repro.ErrQSMViolation, func(t *testing.T) error {
+			m, err := repro.NewQSM(8, 2, 64, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadBits(t, m, repro.RandomBits(3, 64))
+			plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultViolation, Phase: 1})
+			m.InjectFaults(plan, repro.RetryPolicy{}, true)
+			_, _, err = repro.ParityTreeDegraded(m, plan, 0, 64, 2)
+			return err
+		}},
+		{"ORContentionTreeDegraded", repro.ErrQSMViolation, func(t *testing.T) error {
+			m, err := repro.NewSQSM(4, 2, 32, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadBits(t, m, repro.RandomBits(13, 32))
+			plan := repro.NewFaultPlan(1, repro.FaultSpec{Kind: repro.FaultViolation, Phase: 1})
+			m.InjectFaults(plan, repro.RetryPolicy{}, true)
+			_, _, err = repro.ORContentionTreeDegraded(m, plan, 0, 32, 4)
+			return err
+		}},
+		{"CompactDartsDegraded", repro.ErrQSMViolation, func(t *testing.T) error {
+			m, err := repro.NewQSM(48, 2, 48, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadBits(t, m, sparse)
+			plan := repro.NewFaultPlan(7, repro.FaultSpec{Kind: repro.FaultViolation, Phase: 1})
+			m.InjectFaults(plan, repro.RetryPolicy{}, true)
+			_, _, err = repro.CompactDartsDegraded(m, plan, 99, 0, 48)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(t)
+			if err == nil {
+				t.Fatal("want poisoned machine error, got nil")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("errors.Is(err, model sentinel) = false; err = %v", err)
+			}
+			if !errors.Is(err, repro.ErrFaultViolation) {
+				t.Errorf("errors.Is(err, ErrFaultViolation) = false; err = %v", err)
+			}
+		})
+	}
+}
