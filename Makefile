@@ -1,6 +1,6 @@
 # Convenience targets; everything here is a thin alias over the go tool.
 
-.PHONY: build test race lint lint-sarif baseline
+.PHONY: build test race lint lint-sarif baseline sweep-smoke bench bench-gate
 
 build:
 	go build ./...
@@ -22,3 +22,18 @@ lint-sarif:
 # Regenerate the suppression-debt ledger from the current findings.
 baseline:
 	go run ./cmd/reprolint -baseline .reprolint-baseline.json -write-baseline ./...
+
+# Small cross-model grid (every model × algorithm plus fault and
+# experiment cells) through the sweep runner, race-enabled.
+sweep-smoke:
+	go run -race ./cmd/parsim sweep -preset smoke -o /tmp/sweep_smoke.jsonl -csv /tmp/sweep_smoke.csv
+
+# Re-measure the bench snapshot (model metrics + ns/op + allocs/op for
+# the bench_test.go hot paths) and overwrite the committed trajectory.
+bench:
+	go run ./cmd/parsim sweep -bench -bench-o BENCH_pr6.json
+
+# Same measurement, but gate against the committed snapshot: exact model
+# metrics, 3x ns/op tolerance, 1.25x allocs/op tolerance.
+bench-gate:
+	go run ./cmd/parsim sweep -bench -bench-baseline BENCH_pr6.json

@@ -3,21 +3,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"strings"
 
 	"repro"
 	"repro/internal/chaos"
+	"repro/internal/sweep"
 )
 
 // runChaos implements the `parsim chaos` subcommand. With -model it runs
 // one scenario and prints its fault report; without, it runs the standard
-// sweep (seeds × fault mixes × all five machine constructors) and prints
-// the aggregate summary. Either way a robustness-invariant violation —
-// panic, hang, silent corruption, undiagnosable error — is the only
-// failure; fault-poisoned runs that diagnose themselves are expected
-// sweep outcomes.
-func runChaos(argv []string) error {
-	fs := flag.NewFlagSet("parsim chaos", flag.ExitOnError)
-	model := fs.String("model", "", "run one scenario on this model (qsm | sqsm | crqw | bsp | gsm); empty sweeps all")
+// sweep (seeds × fault mixes × all five machine constructors) through the
+// generic sweep runner and prints the aggregate summary. Either way a
+// robustness-invariant violation — panic, hang, silent corruption,
+// undiagnosable error — is the only failure; fault-poisoned runs that
+// diagnose themselves are expected sweep outcomes.
+func runChaos(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("parsim chaos", flag.ContinueOnError)
+	model := fs.String("model", "", "run one scenario on this model ("+strings.Join(chaos.Models, " | ")+"); empty sweeps all")
 	alg := fs.String("alg", "parity", "single-scenario algorithm: parity | or | lac")
 	specStr := fs.String("specs", "mem~0.05", `single-scenario fault specs, e.g. "crash@2:p1,mem~0.05"`)
 	n := fs.Int("n", 48, "input size")
@@ -27,11 +30,21 @@ func runChaos(argv []string) error {
 	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	deadline := fs.Duration("deadline", chaos.DefaultDeadline, "per-run watchdog deadline")
 	verbose := fs.Bool("v", false, "print the per-run fault event log")
-	if err := fs.Parse(argv); err != nil {
+	if err := parseFlags(fs, argv, stdout); err != nil {
 		return err
 	}
 
 	if *model != "" {
+		// Validate up front: chaos.Run reports an unknown model as a
+		// diagnosed outcome (a machine that failed to construct), but a
+		// flag typo is a config error and must exit non-zero.
+		if !contains(chaos.Models, *model) {
+			return fmt.Errorf("unknown model %q (want %s)", *model, strings.Join(chaos.Models, " | "))
+		}
+		if !contains(chaos.AlgsFor(*model), *alg) {
+			return fmt.Errorf("unknown algorithm %q for model %q (want %s)",
+				*alg, *model, strings.Join(chaos.AlgsFor(*model), " | "))
+		}
 		specs, err := repro.ParseFaultSpecs(*specStr)
 		if err != nil {
 			return err
@@ -41,18 +54,18 @@ func runChaos(argv []string) error {
 			Specs: specs, Degraded: *degraded,
 		}
 		o := chaos.Run(sc, *deadline, *workers)
-		fmt.Println(sc.Name())
+		fmt.Fprintln(stdout, sc.Name())
 		switch {
 		case o.Verified:
-			fmt.Println("verified: answer matches the host-side oracle")
+			fmt.Fprintln(stdout, "verified: answer matches the host-side oracle")
 		case o.Err != nil:
-			fmt.Printf("diagnosed: %v\n", o.Err)
+			fmt.Fprintf(stdout, "diagnosed: %v\n", o.Err)
 		}
 		if o.Report != nil {
-			fmt.Println(o.Report)
+			fmt.Fprintln(stdout, o.Report)
 		}
 		if *verbose && o.Stream != "" {
-			fmt.Println(o.Stream)
+			fmt.Fprintln(stdout, o.Stream)
 		}
 		if err := o.Invariant(); err != nil {
 			return fmt.Errorf("robustness invariant violated: %w", err)
@@ -64,14 +77,25 @@ func runChaos(argv []string) error {
 	for i := range seedList {
 		seedList[i] = *seed + int64(i)
 	}
-	scs, err := chaos.Scenarios(seedList, *n)
+	cells := sweep.PresetChaos(seedList, *n, *degraded)
+	s, err := sweep.Run(cells, sweep.Options{Workers: *workers, Deadline: *deadline})
 	if err != nil {
 		return err
 	}
-	s := chaos.Sweep(scs, *deadline, *workers)
-	fmt.Println(s)
-	if len(s.Failures) > 0 {
-		return fmt.Errorf("robustness invariant violated in %d of %d runs", len(s.Failures), s.Runs)
+	fmt.Fprintln(stdout, s.ChaosString())
+	if s.Failed > 0 {
+		return fmt.Errorf("robustness invariant violated in %d of %d runs",
+			s.Failed, s.OK+s.Diagnosed+s.Failed)
 	}
 	return nil
+}
+
+// contains reports whether list has item.
+func contains(list []string, item string) bool {
+	for _, s := range list {
+		if s == item {
+			return true
+		}
+	}
+	return false
 }

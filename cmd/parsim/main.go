@@ -5,310 +5,113 @@
 //
 //	parsim -model sqsm -alg parity -n 1024 -p 1024 -g 4 [-L 16] [-fanin 2] [-seed 7] [-v] [-events]
 //	parsim chaos [-model qsm -alg parity -specs "crash@2:p1,mem~0.05" -degraded] [-seeds 2] [-n 48]
+//	parsim sweep -models qsm,bsp -algs parity,bsp-parity -n 256..4096:*2 -seeds 1..3 -o out.jsonl
+//	parsim sweep -preset tables|chaos|smoke [-o out.jsonl] [-resume]
+//	parsim sweep -bench [-bench-o BENCH_pr6.json] [-bench-baseline BENCH_pr6.json]
 //
 // The chaos subcommand runs seeded fault-injection scenarios (one with
 // -model, the full sweep without) and fails only on robustness-invariant
-// violations; see internal/chaos and DESIGN.md §6.
+// violations; see internal/chaos and DESIGN.md §6. The sweep subcommand
+// expands parameter grids into cells, records every cell — run or
+// reason-coded skip — as JSONL/CSV, and resumes interrupted sweeps from
+// the partial output; see internal/sweep and DESIGN.md §7.
 //
 // -v prints the per-phase cost table; -events additionally prints the
 // model-generic observer event stream (every committed request in
 // deterministic order), which is practical for small n only.
 //
-// Models: qsm, sqsm, crqw, qsmgd (with -d), bsp, gsm (with -alpha/-beta/
-// -gamma). Algorithms: parity, or, or-contention, prefix, lac-det,
-// lac-dart, listrank for the shared-memory models; bsp-parity, bsp-or for
-// bsp; gsm-parity, gsm-or for gsm.
+// The -model and -alg vocabularies are the internal/sweep registries;
+// the flag usage strings are derived from the same tables the dispatcher
+// reads, so the help text cannot drift from what actually runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro"
+	"repro/internal/sweep"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "chaos" {
-		if err := runChaos(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "parsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	model := flag.String("model", "qsm", "qsm | sqsm | crqw | bsp")
-	alg := flag.String("alg", "parity", "parity | or | or-contention | prefix | lac-det | lac-dart | listrank | bsp-parity | bsp-or")
-	n := flag.Int("n", 1024, "input size")
-	p := flag.Int("p", 0, "processors (default n)")
-	g := flag.Int64("g", 4, "gap parameter")
-	d := flag.Int64("d", 2, "QSM(g,d) memory gap")
-	l := flag.Int64("L", 16, "BSP latency")
-	alpha := flag.Int64("alpha", 2, "GSM α")
-	beta := flag.Int64("beta", 2, "GSM β")
-	gamma := flag.Int64("gamma", 1, "GSM γ")
-	fanin := flag.Int("fanin", 2, "tree fan-in")
-	seed := flag.Int64("seed", 7, "workload seed")
-	verbose := flag.Bool("v", false, "print the per-phase table")
-	events := flag.Bool("events", false, "print the structured per-phase event stream (small n only)")
-	flag.Parse()
-
-	cfg := config{
-		model: *model, alg: *alg, n: *n, p: *p, g: *g, d: *d, l: *l,
-		alpha: *alpha, beta: *beta, gamma: *gamma,
-		fanin: *fanin, seed: *seed, verbose: *verbose, events: *events,
-	}
-	if err := run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "parsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-type config struct {
-	model, alg                  string
-	n, p                        int
-	g, d, l, alpha, beta, gamma int64
-	fanin                       int
-	seed                        int64
-	verbose                     bool
-	events                      bool
-}
-
-// observe attaches an event log to any machine when -events is set.
-func (cfg config) observe(m repro.Machine) *repro.EventLog {
-	if !cfg.events {
-		return nil
-	}
-	return repro.Observe(m)
-}
-
-func printEvents(ev *repro.EventLog) {
-	if ev != nil {
-		fmt.Println(ev.String())
-	}
-}
-
-func run(cfg config) error {
-	model, alg := cfg.model, cfg.alg
-	n, p := cfg.n, cfg.p
-	g, fanin, seed, verbose := cfg.g, cfg.fanin, cfg.seed, cfg.verbose
-	if p == 0 {
-		p = n
-	}
-	bits := repro.RandomBits(seed, n)
-
-	if model == "bsp" {
-		return runBSP(cfg, p)
-	}
-	if model == "gsm" {
-		return runGSM(cfg)
-	}
-
-	var m *repro.QSMMachine
+// cliMain is the testable entry point: every subcommand returns its
+// error here, and this is the single place that prefixes "parsim:" and
+// picks the exit code.
+func cliMain(argv []string, stdout, stderr io.Writer) int {
 	var err error
-	switch model {
-	case "qsm":
-		m, err = repro.NewQSM(p, g, n, n)
-	case "sqsm":
-		m, err = repro.NewSQSM(p, g, n, n)
-	case "crqw":
-		m, err = repro.NewCRQW(p, g, n, n)
-	case "qsmgd":
-		m, err = repro.NewQSMGD(p, g, cfg.d, n, n)
+	switch {
+	case len(argv) > 0 && argv[0] == "chaos":
+		err = runChaos(argv[1:], stdout)
+	case len(argv) > 0 && argv[0] == "sweep":
+		err = runSweep(argv[1:], stdout, stderr)
 	default:
-		return fmt.Errorf("unknown model %q", model)
+		err = runSingle(argv, stdout)
 	}
-	if err != nil {
-		return err
-	}
-	ev := cfg.observe(m)
-
-	var answer int64
-	switch alg {
-	case "parity":
-		if err := m.Load(0, bits); err != nil {
-			return err
-		}
-		out, err := repro.ParityTree(m, 0, n, fanin)
-		if err != nil {
-			return err
-		}
-		answer = m.Peek(out)
-		fmt.Printf("parity = %d (reference %d)\n", answer, repro.ReferenceParity(bits))
-	case "or":
-		if err := m.Load(0, bits); err != nil {
-			return err
-		}
-		out, err := repro.ORReadTree(m, 0, n, fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("OR = %d (reference %d)\n", m.Peek(out), repro.ReferenceOr(bits))
-	case "or-contention":
-		if err := m.Load(0, bits); err != nil {
-			return err
-		}
-		out, err := repro.ORContentionTree(m, 0, n, int(g))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("OR = %d (reference %d)\n", m.Peek(out), repro.ReferenceOr(bits))
-	case "prefix":
-		if err := m.Load(0, bits); err != nil {
-			return err
-		}
-		out, err := repro.PrefixSums(m, 0, n, fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("total = %d\n", m.Peek(out+n-1))
-	case "lac-det":
-		items, err := repro.SparseItems(seed, n, n/4)
-		if err != nil {
-			return err
-		}
-		if err := m.Load(0, items); err != nil {
-			return err
-		}
-		_, k, err := repro.CompactExact(m, 0, n, fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("compacted %d items\n", k)
-	case "lac-dart":
-		items, err := repro.SparseItems(seed, n, n/4)
-		if err != nil {
-			return err
-		}
-		if err := m.Load(0, items); err != nil {
-			return err
-		}
-		res, err := repro.CompactDarts(m, seed, 0, n)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("placed %d items in %d cells over %d rounds\n",
-			len(res.Placed), res.OutSize, res.Rounds)
-		if slots := res.PlacedSlots(); len(slots) > 0 {
-			fmt.Printf("occupied cells span [%d, %d]\n", slots[0].Cell, slots[len(slots)-1].Cell)
-		}
-	case "listrank":
-		// Parity via the size-preserving list-ranking reduction.
-		m2, err := repro.NewQSM(2*(n+1), g, n, n)
-		if err != nil {
-			return err
-		}
-		ev = cfg.observe(m2)
-		if err := m2.Load(0, bits); err != nil {
-			return err
-		}
-		v, err := repro.ParityViaListRanking(m2, 0, n)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("parity via list ranking = %d (reference %d)\n", v, repro.ReferenceParity(bits))
-		m = m2
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
 	default:
-		return fmt.Errorf("unknown algorithm %q for shared-memory models", alg)
+		fmt.Fprintln(stderr, "parsim:", err)
+		return 1
 	}
-
-	// A machine poisoned after the runner returned (e.g. by a bad final
-	// Peek) must exit non-zero, not render a poisoned report.
-	if err := m.Err(); err != nil {
-		return err
-	}
-	fmt.Println(m.Report().String())
-	if verbose {
-		fmt.Print(m.Report().Table())
-	}
-	printEvents(ev)
-	return nil
 }
 
-func runBSP(cfg config, p int) error {
-	alg, n := cfg.alg, cfg.n
-	g, l, fanin, seed, verbose := cfg.g, cfg.l, cfg.fanin, cfg.seed, cfg.verbose
-	bits := repro.RandomBits(seed, n)
-	var priv int
-	switch alg {
-	case "bsp-parity":
-		priv = repro.ParityBSPPrivCells(n, p)
-	case "bsp-or":
-		priv = repro.ORBSPPrivCells(n, p)
-	default:
-		return fmt.Errorf("unknown BSP algorithm %q", alg)
+// parseFlags parses with ContinueOnError so flag errors flow through the
+// single error path instead of the flag package's own os.Exit. -h/-help
+// prints the defaults to stdout and reports flag.ErrHelp (a success).
+func parseFlags(fs *flag.FlagSet, argv []string, stdout io.Writer) error {
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(argv)
+	if errors.Is(err, flag.ErrHelp) {
+		fs.SetOutput(stdout)
+		fs.Usage()
+		return flag.ErrHelp
 	}
-	m, err := repro.NewBSP(p, g, l, n, priv)
-	if err != nil {
-		return err
-	}
-	ev := cfg.observe(m)
-	if err := m.Scatter(bits); err != nil {
-		return err
-	}
-	switch alg {
-	case "bsp-parity":
-		v, err := repro.ParityBSP(m, n, fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("parity = %d (reference %d)\n", v, repro.ReferenceParity(bits))
-	case "bsp-or":
-		v, err := repro.ORBSP(m, n, fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
-	}
-	if err := m.Err(); err != nil {
-		return err
-	}
-	fmt.Println(m.Report().String())
-	if verbose {
-		fmt.Print(m.Report().Table())
-	}
-	printEvents(ev)
-	return nil
+	return err
 }
 
-func runGSM(cfg config) error {
-	n := cfg.n
-	bits := repro.RandomBits(cfg.seed, n)
-	gamma := cfg.gamma
-	if gamma < 1 {
-		gamma = 1
+// runSingle is the default mode: one algorithm on one machine, through
+// the same sweep.Execute path a grid cell takes.
+func runSingle(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("parsim", flag.ContinueOnError)
+	model := fs.String("model", "qsm", sweep.ModelUsage())
+	alg := fs.String("alg", "parity", sweep.AlgUsage())
+	n := fs.Int("n", 1024, "input size")
+	p := fs.Int("p", 0, "processors (default n)")
+	g := fs.Int64("g", 4, "gap parameter")
+	d := fs.Int64("d", 2, "QSM(g,d) memory gap")
+	l := fs.Int64("L", 16, "BSP latency")
+	alpha := fs.Int64("alpha", 2, "GSM α")
+	beta := fs.Int64("beta", 2, "GSM β")
+	gamma := fs.Int64("gamma", 1, "GSM γ")
+	fanin := fs.Int("fanin", 2, "tree fan-in")
+	seed := fs.Int64("seed", 7, "workload seed")
+	verbose := fs.Bool("v", false, "print the per-phase table")
+	events := fs.Bool("events", false, "print the structured per-phase event stream (small n only)")
+	if err := parseFlags(fs, argv, stdout); err != nil {
+		return err
 	}
-	r := (n + int(gamma) - 1) / int(gamma)
-	m, err := repro.NewGSM(r, cfg.alpha, cfg.beta, gamma, n, repro.GSMGatherCells(r))
+
+	out, err := sweep.Execute(sweep.Cell{
+		Model: *model, Alg: *alg, N: *n, P: *p,
+		G: *g, D: *d, L: *l, Alpha: *alpha, Beta: *beta, Gamma: *gamma,
+		Fanin: *fanin, Seed: *seed,
+	}, *events, 0)
 	if err != nil {
 		return err
 	}
-	ev := cfg.observe(m)
-	if err := m.LoadInputs(bits); err != nil {
-		return err
+	fmt.Fprintln(stdout, out.Summary)
+	fmt.Fprintln(stdout, out.Report.String())
+	if *verbose {
+		fmt.Fprint(stdout, out.Report.Table())
 	}
-	switch cfg.alg {
-	case "gsm-parity":
-		v, err := repro.ParityGSM(m, n, cfg.fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("parity = %d (reference %d)\n", v, repro.ReferenceParity(bits))
-	case "gsm-or":
-		v, err := repro.ORGSM(m, n, cfg.fanin)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("OR = %d (reference %d)\n", v, repro.ReferenceOr(bits))
-	default:
-		return fmt.Errorf("unknown GSM algorithm %q", cfg.alg)
+	if *events {
+		fmt.Fprintln(stdout, out.Stream)
 	}
-	if err := m.Err(); err != nil {
-		return err
-	}
-	fmt.Println(m.Report().String())
-	if cfg.verbose {
-		fmt.Print(m.Report().Table())
-	}
-	printEvents(ev)
 	return nil
 }

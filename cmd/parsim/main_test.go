@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes cliMain the way main does and captures both streams.
+func runCLI(argv ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = cliMain(argv, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		argv       []string
+		wantStderr string
+	}{
+		{"unknown model", []string{"-model", "bogus", "-n", "64"},
+			`unknown model "bogus" (want qsm | sqsm | crqw | qsmgd | bsp | gsm)`},
+		{"unknown alg", []string{"-alg", "sort", "-n", "64"},
+			`unknown algorithm "sort" (want parity | or | or-contention | prefix | lac-det | lac-dart | listrank | bsp-parity | bsp-or | gsm-parity | gsm-or)`},
+		{"family mismatch", []string{"-model", "qsm", "-alg", "bsp-parity", "-n", "64"},
+			`algorithm "bsp-parity" is a bsp algorithm and does not run on model "qsm" (shared-memory)`},
+		{"bad flag", []string{"-no-such-flag"},
+			"flag provided but not defined: -no-such-flag"},
+		{"bad flag value", []string{"-n", "lots"},
+			`invalid value "lots" for flag -n`},
+		{"chaos bad model", []string{"chaos", "-model", "pram"},
+			`unknown model "pram" (want qsm | sqsm | crqw | bsp | gsm)`},
+		{"chaos bad alg", []string{"chaos", "-model", "bsp", "-alg", "lac"},
+			`unknown algorithm "lac" for model "bsp" (want parity | or)`},
+		{"chaos bad spec", []string{"chaos", "-model", "qsm", "-specs", "zap~0.5"},
+			`unknown kind "zap" in spec "zap~0.5"`},
+		{"chaos bad flag", []string{"chaos", "-no-such-flag"},
+			"flag provided but not defined: -no-such-flag"},
+		{"sweep bad preset", []string{"sweep", "-preset", "mega"},
+			`unknown preset "mega" (want tables | chaos | smoke)`},
+		{"sweep bad grid spec", []string{"sweep", "-n", "1024..256:*2"},
+			"-n:"},
+		{"sweep bad model", []string{"sweep", "-models", "pram", "-n", "64"},
+			""}, // skips, not errors — asserted separately below
+		{"sweep stray arg", []string{"sweep", "stray"},
+			`unexpected arguments after sweep flags: ["stray"]`},
+		{"sweep resume without output", []string{"sweep", "-resume", "-n", "64"},
+			"resume needs a JSONL output path"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.wantStderr == "" {
+				t.Skip("not an error case")
+			}
+			code, _, stderr := runCLI(c.argv...)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr %q)", code, stderr)
+			}
+			if !strings.HasPrefix(stderr, "parsim: ") {
+				t.Fatalf("stderr %q does not use the parsim: prefix", stderr)
+			}
+			if !strings.Contains(stderr, c.wantStderr) {
+				t.Fatalf("stderr %q does not mention %q", stderr, c.wantStderr)
+			}
+		})
+	}
+}
+
+func TestCLIUnknownModelSkipsInGrid(t *testing.T) {
+	// In a grid an unknown model is a reason-coded skip, not an error:
+	// the cell is recorded and the sweep succeeds.
+	code, stdout, stderr := runCLI("sweep", "-models", "pram", "-n", "64")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "unknown-model=1") {
+		t.Fatalf("stdout %q does not count the unknown-model skip", stdout)
+	}
+}
+
+func TestCLIHelpIsSuccess(t *testing.T) {
+	for _, argv := range [][]string{{"-h"}, {"chaos", "-h"}, {"sweep", "-h"}} {
+		code, stdout, stderr := runCLI(argv...)
+		if code != 0 {
+			t.Errorf("%v: exit code %d, want 0", argv, code)
+		}
+		if stderr != "" {
+			t.Errorf("%v: help leaked to stderr: %q", argv, stderr)
+		}
+		if !strings.Contains(stdout, "-model") && !strings.Contains(stdout, "-preset") {
+			t.Errorf("%v: defaults not printed to stdout: %q", argv, stdout)
+		}
+	}
+}
+
+func TestCLIUsageListsEveryModelAndAlg(t *testing.T) {
+	// The drift this PR fixes: -model usage used to omit qsmgd and gsm,
+	// -alg usage used to omit gsm-parity and gsm-or.
+	_, stdout, _ := runCLI("-h")
+	for _, want := range []string{"qsm", "sqsm", "crqw", "qsmgd", "bsp", "gsm",
+		"parity", "or-contention", "prefix", "lac-det", "lac-dart", "listrank",
+		"bsp-parity", "bsp-or", "gsm-parity", "gsm-or"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-h output misses %q", want)
+		}
+	}
+}
+
+func TestCLISingleRun(t *testing.T) {
+	code, stdout, stderr := runCLI("-model", "sqsm", "-alg", "parity", "-n", "64")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "parity = ") || !strings.Contains(stdout, "s-QSM[") ||
+		!strings.Contains(stdout, "phases=") {
+		t.Fatalf("unexpected single-run output: %q", stdout)
+	}
+}
+
+func TestCLISweepGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 sweep")
+	}
+	want, err := os.ReadFile(filepath.Join("..", "tables", "testdata", "tables_seed1998.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI("sweep", "-preset", "tables")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr)
+	}
+	if stdout != string(want) {
+		t.Fatal("parsim sweep -preset tables does not reproduce the tables golden byte-for-byte")
+	}
+}
+
+func TestCLISweepResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	part := filepath.Join(dir, "part.jsonl")
+	grid := []string{"-models", "qsm,sqsm", "-algs", "parity,or", "-n", "64,128", "-seeds", "1..2"}
+
+	if code, _, stderr := runCLI(append([]string{"sweep", "-o", full}, grid...)...); code != 0 {
+		t.Fatalf("full run failed: %s", stderr)
+	}
+	code, stdout, stderr := runCLI(append([]string{"sweep", "-o", part, "-max-cells", "5"}, grid...)...)
+	if code != 0 {
+		t.Fatalf("interrupted run failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "[stopped at max-cells]") {
+		t.Fatalf("interrupted run does not say so: %q", stdout)
+	}
+	code, stdout, stderr = runCLI(append([]string{"sweep", "-o", part, "-resume"}, grid...)...)
+	if code != 0 {
+		t.Fatalf("resume failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "(5 resumed)") {
+		t.Fatalf("resume did not report resumed cells: %q", stdout)
+	}
+	wantB, _ := os.ReadFile(full)
+	gotB, _ := os.ReadFile(part)
+	if !bytes.Equal(wantB, gotB) {
+		t.Fatal("resumed JSONL differs from the uninterrupted run")
+	}
+}
+
+func TestCLIChaosSingleScenario(t *testing.T) {
+	code, stdout, stderr := runCLI("chaos", "-model", "qsm", "-alg", "parity",
+		"-specs", "crash@2:p1", "-degraded", "-n", "48")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "verified: answer matches the host-side oracle") {
+		t.Fatalf("masked-crash scenario did not verify: %q", stdout)
+	}
+}
+
+func TestCLISweepSmokePreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke grid")
+	}
+	code, stdout, stderr := runCLI("sweep", "-preset", "smoke")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr %q\nstdout: %s", code, stderr, stdout)
+	}
+	// The smoke preset deliberately includes skip cells; none may fail.
+	if !strings.Contains(stdout, "0 failed") {
+		t.Fatalf("smoke summary: %q", stdout)
+	}
+}

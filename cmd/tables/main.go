@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -70,7 +71,16 @@ func main() {
 		return
 	}
 
-	out, err := repro.RenderTables(*seed)
+	// The full render runs through the sweep harness — the same per-point
+	// path `parsim sweep -preset tables` takes — and reassembles the
+	// records, which keeps the two entry points byte-identical by
+	// construction.
+	s, err := sweep.Run(sweep.PresetTables(*seed), sweep.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	out, err := sweep.RenderTablesFromRecords(s.Records)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)

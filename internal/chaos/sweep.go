@@ -8,17 +8,19 @@ import (
 	"repro/internal/fault"
 )
 
-// mix is one named fault blend of the standard sweep. Degraded applies
+// Mix is one named fault blend of the standard sweep. Degraded applies
 // only where degraded runners exist (the shared-memory models).
-type mix struct {
-	specs    string
-	degraded bool
+type Mix struct {
+	// Specs is the declarative fault mix in the internal/fault grammar.
+	Specs string
+	// Degraded requests crash masking with survivor re-partitioning.
+	Degraded bool
 }
 
 // standardMixes is the sweep's fault matrix. Kinds that do not apply to a
 // machine family (memory faults on BSP, message faults on shared memory)
 // simply never fire there — the run is then a clean control.
-var standardMixes = []mix{
+var standardMixes = []Mix{
 	{"mem~0.05", false},          // sparse transient memory errors, strict retry
 	{"mem@1,mem@3", false},       // pinned transients on two phases
 	{"crash@2:p1", true},         // one masked crash, survivor re-partitioning
@@ -29,8 +31,13 @@ var standardMixes = []mix{
 	{"drop~0.1,dup~0.1", false},  // BSP message channel faults
 }
 
-// algsFor lists the algorithms swept per model family.
-func algsFor(model string) []string {
+// StandardMixes returns the standard fault matrix (shared with the
+// internal/sweep chaos preset, which expands the same scenarios through
+// the generic cell runner).
+func StandardMixes() []Mix { return standardMixes }
+
+// AlgsFor lists the algorithms swept per model family.
+func AlgsFor(model string) []string {
 	switch model {
 	case "bsp", "gsm":
 		return []string{"parity", "or"}
@@ -49,13 +56,13 @@ var Models = []string{"qsm", "sqsm", "crqw", "bsp", "gsm"}
 func Scenarios(seeds []int64, n int) ([]Scenario, error) {
 	var out []Scenario
 	for _, mx := range standardMixes {
-		specs, err := fault.ParseSpecs(mx.specs)
+		specs, err := fault.ParseSpecs(mx.Specs)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: bad standard mix %q: %w", mx.specs, err)
+			return nil, fmt.Errorf("chaos: bad standard mix %q: %w", mx.Specs, err)
 		}
 		for _, model := range Models {
-			degraded := mx.degraded && model != "bsp" && model != "gsm"
-			for _, alg := range algsFor(model) {
+			degraded := mx.Degraded && model != "bsp" && model != "gsm"
+			for _, alg := range AlgsFor(model) {
 				for _, seed := range seeds {
 					out = append(out, Scenario{
 						Model: model, Alg: alg, N: n, Seed: seed,

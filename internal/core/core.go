@@ -62,36 +62,53 @@ type Result struct {
 	RatioSpread float64
 }
 
-// Run executes the sweep.
-func (e *Experiment) Run(seed int64) (*Result, error) {
+// RunPoint executes one sweep point of the experiment: it measures the
+// algorithm at size n, evaluates the bound formulas at the same machine
+// parameters, and returns the completed row. The sweep harness
+// (internal/sweep) runs experiments one point at a time through this so
+// that resumed sweeps re-run only the missing points.
+func (e *Experiment) RunPoint(n int, seed int64) (Row, error) {
+	entry := bounds.ByID(e.ID)
+	if entry == nil {
+		return Row{}, fmt.Errorf("core: experiment %q has no bounds entry", e.ID)
+	}
+	a := e.Args(n)
+	measured, rep, err := e.Measure(n, seed)
+	if err != nil {
+		return Row{}, fmt.Errorf("core: %s at n=%d: %w", e.ID, n, err)
+	}
+	row := Row{
+		N:        n,
+		Bound:    entry.Eval(a),
+		Measured: measured,
+	}
+	if entry.Upper != nil {
+		row.Upper = entry.Upper(a)
+	}
+	if rep != nil {
+		row.AllRounds = rep.AllRounds
+	}
+	if row.Bound > 0 {
+		row.Ratio = row.Measured / row.Bound
+	}
+	return row, nil
+}
+
+// Assemble builds a Result from rows computed elsewhere (RunPoint calls
+// recorded by a sweep, possibly across several harness invocations) and
+// derives the ratio spread exactly as Run does.
+func Assemble(e *Experiment, rows []Row) (*Result, error) {
 	entry := bounds.ByID(e.ID)
 	if entry == nil {
 		return nil, fmt.Errorf("core: experiment %q has no bounds entry", e.ID)
 	}
-	if len(e.Ns) == 0 {
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: experiment %q has an empty sweep", e.ID)
 	}
-	res := &Result{Exp: e, Entry: entry}
+	res := &Result{Exp: e, Entry: entry, Rows: rows}
 	minR, maxR := math.MaxFloat64, 0.0
-	for _, n := range e.Ns {
-		a := e.Args(n)
-		measured, rep, err := e.Measure(n, seed)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s at n=%d: %w", e.ID, n, err)
-		}
-		row := Row{
-			N:        n,
-			Bound:    entry.Eval(a),
-			Measured: measured,
-		}
-		if entry.Upper != nil {
-			row.Upper = entry.Upper(a)
-		}
-		if rep != nil {
-			row.AllRounds = rep.AllRounds
-		}
+	for _, row := range rows {
 		if row.Bound > 0 {
-			row.Ratio = row.Measured / row.Bound
 			if row.Ratio < minR {
 				minR = row.Ratio
 			}
@@ -99,12 +116,30 @@ func (e *Experiment) Run(seed int64) (*Result, error) {
 				maxR = row.Ratio
 			}
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	if minR > 0 && minR != math.MaxFloat64 {
 		res.RatioSpread = maxR / minR
 	}
 	return res, nil
+}
+
+// Run executes the sweep.
+func (e *Experiment) Run(seed int64) (*Result, error) {
+	if entry := bounds.ByID(e.ID); entry == nil {
+		return nil, fmt.Errorf("core: experiment %q has no bounds entry", e.ID)
+	}
+	if len(e.Ns) == 0 {
+		return nil, fmt.Errorf("core: experiment %q has an empty sweep", e.ID)
+	}
+	rows := make([]Row, 0, len(e.Ns))
+	for _, n := range e.Ns {
+		row, err := e.RunPoint(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return Assemble(e, rows)
 }
 
 // Tight reports whether the result empirically supports a Θ claim: the

@@ -38,22 +38,15 @@ var TableTitles = map[int]string{
 	4: "Table 1d — Number of rounds for p-processor algorithms (p ≤ n)",
 }
 
-// RenderAll runs every registered experiment and renders the four
-// sub-tables in paper order. Errors abort (the harness treats any failed
-// row as a reproduction failure).
-func RenderAll(seed int64) (string, error) {
-	results := make(map[string]*Result)
-	for _, e := range Experiments() {
-		r, err := e.Run(seed)
-		if err != nil {
-			return "", err
-		}
-		results[e.ID] = r
-	}
-
+// RenderResults renders completed experiments (keyed by ID) as the four
+// sub-tables in paper order. Experiments absent from the map are skipped,
+// so partial sweeps render the sub-tables they cover.
+func RenderResults(results map[string]*Result) string {
 	ids := make([]string, 0, len(results))
 	for _, e := range Experiments() {
-		ids = append(ids, e.ID)
+		if results[e.ID] != nil {
+			ids = append(ids, e.ID)
+		}
 	}
 	sort.Strings(ids)
 
@@ -68,5 +61,20 @@ func RenderAll(seed int64) (string, error) {
 			}
 		}
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// RenderAll runs every registered experiment and renders the four
+// sub-tables in paper order. Errors abort (the harness treats any failed
+// row as a reproduction failure).
+func RenderAll(seed int64) (string, error) {
+	results := make(map[string]*Result)
+	for _, e := range Experiments() {
+		r, err := e.Run(seed)
+		if err != nil {
+			return "", err
+		}
+		results[e.ID] = r
+	}
+	return RenderResults(results), nil
 }

@@ -1,0 +1,458 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/boolor"
+	"repro/internal/bsp"
+	"repro/internal/compaction"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/gsm"
+	"repro/internal/gsmalg"
+	"repro/internal/parity"
+	"repro/internal/prefix"
+	"repro/internal/qsm"
+	"repro/internal/sortrank"
+	"repro/internal/workload"
+)
+
+// Family groups the machine models by their construction/run interface.
+type Family int
+
+const (
+	// FamilyShared is the QSM family (qsm, sqsm, crqw, qsmgd).
+	FamilyShared Family = iota
+	// FamilyBSP is the distributed-memory BSP.
+	FamilyBSP
+	// FamilyGSM is the paper's lower-bound model.
+	FamilyGSM
+)
+
+// String names the family for error messages.
+func (f Family) String() string {
+	switch f {
+	case FamilyShared:
+		return "shared-memory"
+	case FamilyBSP:
+		return "bsp"
+	default:
+		return "gsm"
+	}
+}
+
+// ModelSpec is one registry entry: a machine model the sweep (and the
+// parsim CLI, which derives its -model usage string from this table) can
+// construct.
+type ModelSpec struct {
+	// Name is the CLI/grid spelling.
+	Name string
+	// Family selects the construction and run interface.
+	Family Family
+	// Rule is the cost rule of shared-family models.
+	Rule cost.Rule
+	// ChaosModel reports whether internal/chaos has a fault harness for
+	// this model (everything except qsmgd).
+	ChaosModel bool
+}
+
+// modelRegistry is the single source of truth for -model dispatch. Order
+// is the usage-string order.
+var modelRegistry = []ModelSpec{
+	{Name: "qsm", Family: FamilyShared, Rule: cost.RuleQSM, ChaosModel: true},
+	{Name: "sqsm", Family: FamilyShared, Rule: cost.RuleSQSM, ChaosModel: true},
+	{Name: "crqw", Family: FamilyShared, Rule: cost.RuleCRQW, ChaosModel: true},
+	{Name: "qsmgd", Family: FamilyShared, Rule: cost.RuleQSMGD, ChaosModel: false},
+	{Name: "bsp", Family: FamilyBSP, ChaosModel: true},
+	{Name: "gsm", Family: FamilyGSM, ChaosModel: true},
+}
+
+// Models returns the registry in usage order.
+func Models() []ModelSpec { return modelRegistry }
+
+// ModelByName looks a model up by its CLI spelling.
+func ModelByName(name string) (ModelSpec, bool) {
+	for _, ms := range modelRegistry {
+		if ms.Name == name {
+			return ms, true
+		}
+	}
+	return ModelSpec{}, false
+}
+
+// ModelNames returns the model spellings in registry order.
+func ModelNames() []string {
+	out := make([]string, len(modelRegistry))
+	for i, ms := range modelRegistry {
+		out[i] = ms.Name
+	}
+	return out
+}
+
+// ModelUsage is the -model flag usage string, derived from the registry
+// so the help text cannot drift from what the dispatcher accepts.
+func ModelUsage() string { return strings.Join(ModelNames(), " | ") }
+
+// runOutcome is what an algorithm closure reports back to Execute.
+type runOutcome struct {
+	// summary is the human-readable answer line(s) parsim prints.
+	summary string
+	// verified is the host-side oracle verdict.
+	verified bool
+}
+
+// AlgSpec is one registry entry: a §8 algorithm the sweep (and the parsim
+// CLI, which derives its -alg usage string from this table) can run.
+type AlgSpec struct {
+	// Name is the CLI/grid spelling.
+	Name string
+	// Family is the machine family the algorithm runs on.
+	Family Family
+	// FaultAlg is the internal/chaos algorithm this maps to under fault
+	// injection ("" = no fault-mode runner).
+	FaultAlg string
+	// procs overrides the shared-memory processor count (nil = cell P).
+	procs func(c Cell) int
+	// priv is the BSP private-memory requirement.
+	priv func(n, p int) int
+	// The family-specific runner; exactly one is set.
+	runShared func(c Cell, m *qsm.Machine) (runOutcome, error)
+	runBSP    func(c Cell, m *bsp.Machine) (runOutcome, error)
+	runGSM    func(c Cell, m *gsm.Machine) (runOutcome, error)
+}
+
+// algRegistry is the single source of truth for -alg dispatch. Order is
+// the usage-string order (shared, then bsp, then gsm algorithms).
+var algRegistry = []AlgSpec{
+	{Name: "parity", Family: FamilyShared, FaultAlg: "parity", runShared: runParity},
+	{Name: "or", Family: FamilyShared, FaultAlg: "or", runShared: runORRead},
+	{Name: "or-contention", Family: FamilyShared, FaultAlg: "or", runShared: runORContention},
+	{Name: "prefix", Family: FamilyShared, runShared: runPrefix},
+	{Name: "lac-det", Family: FamilyShared, runShared: runDetLAC},
+	{Name: "lac-dart", Family: FamilyShared, FaultAlg: "lac", runShared: runDartLAC},
+	{Name: "listrank", Family: FamilyShared,
+		procs:     func(c Cell) int { return 2 * (c.N + 1) },
+		runShared: runListRank},
+	{Name: "bsp-parity", Family: FamilyBSP, FaultAlg: "parity",
+		priv: parity.PrivNeedBSP, runBSP: runBSPParity},
+	{Name: "bsp-or", Family: FamilyBSP, FaultAlg: "or",
+		priv: boolor.PrivNeedBSP, runBSP: runBSPOR},
+	{Name: "gsm-parity", Family: FamilyGSM, FaultAlg: "parity", runGSM: runGSMParity},
+	{Name: "gsm-or", Family: FamilyGSM, FaultAlg: "or", runGSM: runGSMOR},
+}
+
+// Algs returns the registry in usage order.
+func Algs() []AlgSpec { return algRegistry }
+
+// AlgByName looks an algorithm up by its CLI spelling.
+func AlgByName(name string) (AlgSpec, bool) {
+	for _, as := range algRegistry {
+		if as.Name == name {
+			return as, true
+		}
+	}
+	return AlgSpec{}, false
+}
+
+// AlgNames returns the algorithm spellings in registry order.
+func AlgNames() []string {
+	out := make([]string, len(algRegistry))
+	for i, as := range algRegistry {
+		out[i] = as.Name
+	}
+	return out
+}
+
+// AlgUsage is the -alg flag usage string, derived from the registry so
+// the help text cannot drift from what the dispatcher accepts.
+func AlgUsage() string { return strings.Join(AlgNames(), " | ") }
+
+// Outcome is the result of executing one fault-free cell.
+type Outcome struct {
+	// Summary is the human-readable answer line(s).
+	Summary string
+	// Report is the machine's accumulated cost report.
+	Report *cost.Report
+	// Stream is the observer event stream (withEvents runs only).
+	Stream string
+	// Verified is the host-side oracle verdict.
+	Verified bool
+}
+
+// Execute runs one fault-free machine cell: it resolves model and
+// algorithm in the registries, constructs the machine, runs the
+// algorithm, and checks the oracle. workers caps simulation parallelism
+// (0 = GOMAXPROCS). parsim's single-run mode is a thin wrapper over this.
+func Execute(c Cell, withEvents bool, workers int) (*Outcome, error) {
+	c = c.withDefaults()
+	ms, ok := ModelByName(c.Model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (want %s)", c.Model, ModelUsage())
+	}
+	as, ok := AlgByName(c.Alg)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (want %s)", c.Alg, AlgUsage())
+	}
+	if as.Family != ms.Family {
+		return nil, fmt.Errorf("algorithm %q is a %s algorithm and does not run on model %q (%s)",
+			c.Alg, as.Family, c.Model, ms.Family)
+	}
+
+	var m engine.Machine
+	var run func() (runOutcome, error)
+	switch ms.Family {
+	case FamilyShared:
+		p := c.P
+		if as.procs != nil {
+			p = as.procs(c)
+		}
+		mm, err := qsm.New(qsm.Config{
+			Rule: ms.Rule, P: p, G: c.G, D: c.D, N: c.N, MemCells: c.N, Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, run = mm, func() (runOutcome, error) { return as.runShared(c, mm) }
+	case FamilyBSP:
+		mm, err := bsp.New(bsp.Config{
+			P: c.P, G: c.G, L: c.L, N: c.N, PrivCells: as.priv(c.N, c.P), Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, run = mm, func() (runOutcome, error) { return as.runBSP(c, mm) }
+	default:
+		gamma := c.Gamma
+		if gamma < 1 {
+			gamma = 1
+		}
+		r := (c.N + int(gamma) - 1) / int(gamma)
+		mm, err := gsm.New(gsm.Config{
+			P: r, Alpha: c.Alpha, Beta: c.Beta, Gamma: gamma, N: c.N,
+			Cells: gsmalg.CellsNeedGather(r), Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, run = mm, func() (runOutcome, error) { return as.runGSM(c, mm) }
+	}
+
+	var ev *engine.EventLog
+	if withEvents {
+		ev = &engine.EventLog{}
+		m.AddObserver(ev)
+	}
+	ro, err := run()
+	if err != nil {
+		return nil, err
+	}
+	// A machine poisoned after the runner returned (e.g. by a bad final
+	// Peek) must surface as an error, not render a poisoned report.
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Summary: ro.summary, Report: m.Report(), Verified: ro.verified}
+	if ev != nil {
+		out.Stream = ev.String()
+	}
+	return out, nil
+}
+
+// --- shared-memory runners -----------------------------------------------------
+
+func runParity(c Cell, m *qsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Load(0, bits); err != nil {
+		return runOutcome{}, err
+	}
+	out, err := parity.TreeQSM(m, 0, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	got, want := m.Peek(out), workload.Parity(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("parity = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+func runORRead(c Cell, m *qsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Load(0, bits); err != nil {
+		return runOutcome{}, err
+	}
+	out, err := boolor.ReadTree(m, 0, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	got, want := m.Peek(out), workload.Or(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("OR = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+func runORContention(c Cell, m *qsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Load(0, bits); err != nil {
+		return runOutcome{}, err
+	}
+	out, err := boolor.ContentionTree(m, 0, c.N, int(c.G))
+	if err != nil {
+		return runOutcome{}, err
+	}
+	got, want := m.Peek(out), workload.Or(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("OR = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+func runPrefix(c Cell, m *qsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Load(0, bits); err != nil {
+		return runOutcome{}, err
+	}
+	out, err := prefix.RunQSM(m, 0, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	var want int64
+	for _, b := range bits {
+		want += b
+	}
+	got := m.Peek(out + c.N - 1)
+	return runOutcome{
+		summary:  fmt.Sprintf("total = %d", got),
+		verified: got == want,
+	}, nil
+}
+
+func runDetLAC(c Cell, m *qsm.Machine) (runOutcome, error) {
+	items, err := workload.Sparse(c.Seed, c.N, c.N/4)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	if err := m.Load(0, items); err != nil {
+		return runOutcome{}, err
+	}
+	_, k, err := compaction.DetLAC(m, 0, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	return runOutcome{
+		summary:  fmt.Sprintf("compacted %d items", k),
+		verified: k == c.N/4,
+	}, nil
+}
+
+func runDartLAC(c Cell, m *qsm.Machine) (runOutcome, error) {
+	items, err := workload.Sparse(c.Seed, c.N, c.N/4)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	if err := m.Load(0, items); err != nil {
+		return runOutcome{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	res, err := compaction.DartLAC(m, rng, 0, c.N)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	summary := fmt.Sprintf("placed %d items in %d cells over %d rounds",
+		len(res.Placed), res.OutSize, res.Rounds)
+	if slots := res.PlacedSlots(); len(slots) > 0 {
+		summary += fmt.Sprintf("\noccupied cells span [%d, %d]",
+			slots[0].Cell, slots[len(slots)-1].Cell)
+	}
+	return runOutcome{
+		summary:  summary,
+		verified: compaction.VerifyPlacement(items, res) == nil,
+	}, nil
+}
+
+func runListRank(c Cell, m *qsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Load(0, bits); err != nil {
+		return runOutcome{}, err
+	}
+	got, err := sortrank.ParityViaList(m, 0, c.N)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	want := workload.Parity(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("parity via list ranking = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+// --- BSP runners ---------------------------------------------------------------
+
+func runBSPParity(c Cell, m *bsp.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Scatter(bits); err != nil {
+		return runOutcome{}, err
+	}
+	got, err := parity.RunBSP(m, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	want := workload.Parity(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("parity = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+func runBSPOR(c Cell, m *bsp.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.Scatter(bits); err != nil {
+		return runOutcome{}, err
+	}
+	got, err := boolor.RunBSP(m, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	want := workload.Or(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("OR = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+// --- GSM runners ---------------------------------------------------------------
+
+func runGSMParity(c Cell, m *gsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.LoadInputs(bits); err != nil {
+		return runOutcome{}, err
+	}
+	got, err := gsmalg.ParityGSM(m, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	want := workload.Parity(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("parity = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}
+
+func runGSMOR(c Cell, m *gsm.Machine) (runOutcome, error) {
+	bits := workload.Bits(c.Seed, c.N)
+	if err := m.LoadInputs(bits); err != nil {
+		return runOutcome{}, err
+	}
+	got, err := gsmalg.ORGSM(m, c.N, c.Fanin)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	want := workload.Or(bits)
+	return runOutcome{
+		summary:  fmt.Sprintf("OR = %d (reference %d)", got, want),
+		verified: got == want,
+	}, nil
+}

@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// DefaultMaxCost is the default n·p footprint ceiling: large enough for
+// the full Table 1 sweep (n up to 8192 with p = n), small enough that a
+// runaway grid axis prunes to too-large records instead of hanging the
+// harness.
+const DefaultMaxCost = int64(1) << 27
+
+// RunConfig carries the per-cell runner knobs.
+type RunConfig struct {
+	// MaxCost is the n·p footprint ceiling (0 = DefaultMaxCost).
+	MaxCost int64
+	// Workers caps simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Deadline is the fault-cell watchdog (0 = chaos.DefaultDeadline).
+	Deadline time.Duration
+}
+
+// Check decides whether a cell is runnable. It returns "" for runnable
+// cells and a Reason* code otherwise; the sweep records the code instead
+// of dropping the cell. Anything Check cannot see up front (construction
+// errors on exotic parameters) still surfaces as a failed record.
+func Check(c Cell, maxCost int64) string {
+	if maxCost <= 0 {
+		maxCost = DefaultMaxCost
+	}
+	if c.Exp != "" {
+		if core.ExperimentByID(c.Exp) == nil {
+			return ReasonUnknownExp
+		}
+		if c.N < 1 {
+			return ReasonInvalidParams
+		}
+		// Experiments pick their own machine shapes with p ≤ n, so n² is
+		// the footprint ceiling proxy.
+		if int64(c.N)*int64(c.N) > maxCost {
+			return ReasonTooLarge
+		}
+		return ""
+	}
+	d := c.withDefaults()
+	ms, ok := ModelByName(d.Model)
+	if !ok {
+		return ReasonUnknownModel
+	}
+	if d.Faults != "" {
+		if _, reason := chaosAlgFor(ms, d.Alg); reason != "" {
+			return reason
+		}
+		if !ms.ChaosModel {
+			return ReasonInvalidCombo
+		}
+		if _, err := fault.ParseSpecs(d.Faults); err != nil {
+			return ReasonInvalidParams
+		}
+		if d.N < 1 {
+			return ReasonInvalidParams
+		}
+		if chaosFootprint(ms, d.N) > maxCost {
+			return ReasonTooLarge
+		}
+		return ""
+	}
+	as, ok := AlgByName(d.Alg)
+	if !ok {
+		return ReasonUnknownAlg
+	}
+	if as.Family != ms.Family {
+		return ReasonInvalidCombo
+	}
+	if d.N < 1 || d.P < 1 || d.G < 1 || d.Fanin < 2 {
+		return ReasonInvalidParams
+	}
+	switch ms.Family {
+	case FamilyShared:
+		if d.D < 1 {
+			return ReasonInvalidParams
+		}
+	case FamilyBSP:
+		if d.L < 1 {
+			return ReasonInvalidParams
+		}
+	default:
+		if d.Alpha < 1 || d.Beta < 1 || d.Gamma < 1 {
+			return ReasonInvalidParams
+		}
+	}
+	p := d.P
+	if as.procs != nil {
+		p = as.procs(d)
+	}
+	if int64(d.N)*int64(p) > maxCost {
+		return ReasonTooLarge
+	}
+	return ""
+}
+
+// chaosAlgFor maps a cell's algorithm name to the chaos harness's
+// algorithm vocabulary (parity, or, lac). Both spellings are accepted:
+// the chaos-native names (what `parsim chaos` always took) and registry
+// names via their FaultAlg mapping (so "lac-dart" under faults runs the
+// chaos lac harness). The second return is the skip reason ("" = ok).
+func chaosAlgFor(ms ModelSpec, alg string) (string, string) {
+	chaosNative := alg == "parity" || alg == "or" || alg == "lac"
+	switch {
+	case ms.Family == FamilyShared && chaosNative:
+		return alg, ""
+	case ms.Family != FamilyShared && (alg == "parity" || alg == "or"):
+		return alg, ""
+	}
+	if as, ok := AlgByName(alg); ok {
+		if as.Family != ms.Family {
+			return "", ReasonInvalidCombo
+		}
+		if as.FaultAlg == "" {
+			return "", ReasonUnsupportedAlg
+		}
+		return as.FaultAlg, ""
+	}
+	if chaosNative {
+		// "lac" on bsp/gsm: a real chaos algorithm, just not on this family.
+		return "", ReasonUnsupportedAlg
+	}
+	return "", ReasonUnknownAlg
+}
+
+// chaosFootprint mirrors the fixed machine shapes of the chaos runners:
+// p = n for the shared models, 8 components for BSP, ⌈n/2⌉ for GSM.
+func chaosFootprint(ms ModelSpec, n int) int64 {
+	switch ms.Family {
+	case FamilyBSP:
+		return int64(n) * 8
+	case FamilyGSM:
+		return int64(n) * int64((n+1)/2)
+	default:
+		return int64(n) * int64(n)
+	}
+}
+
+// RunCell executes one cell end to end and always returns a record:
+// skipped (with reason), ok, diagnosed (fault cells only) or failed.
+func RunCell(c Cell, rc RunConfig) Record {
+	rec := Record{Key: c.Key(), Cell: c}
+	if c.Exp == "" {
+		rec.Cell = c.withDefaults()
+	}
+	if reason := Check(c, rc.MaxCost); reason != "" {
+		rec.Status, rec.Reason = StatusSkipped, reason
+		return rec
+	}
+	switch {
+	case c.Exp != "":
+		runExpCell(&rec)
+	case rec.Faults != "":
+		runFaultCell(&rec, rc)
+	default:
+		runMachineCell(&rec, rc)
+	}
+	return rec
+}
+
+// runExpCell measures one (experiment, n) point through the same
+// core.RunPoint path cmd/tables uses, so a sweep's experiment records
+// reassemble into the byte-identical golden tables.
+func runExpCell(rec *Record) {
+	row, err := core.ExperimentByID(rec.Exp).RunPoint(rec.N, rec.Seed)
+	if err != nil {
+		rec.Status, rec.Error = StatusFailed, err.Error()
+		return
+	}
+	rec.Status = StatusOK
+	rec.Time = row.Measured
+	rec.Bound, rec.Upper, rec.Ratio = row.Bound, row.Upper, row.Ratio
+	rec.AllRounds = row.AllRounds
+	rec.Verified = true
+}
+
+// runFaultCell runs one chaos scenario and grades it against the
+// robustness invariant: verified → ok, diagnosable error → diagnosed,
+// invariant violation → failed.
+func runFaultCell(rec *Record, rc RunConfig) {
+	ms, _ := ModelByName(rec.Model)
+	alg, _ := chaosAlgFor(ms, rec.Alg)
+	specs, _ := fault.ParseSpecs(rec.Faults) // Check already validated
+	o := chaos.Run(chaos.Scenario{
+		Model: rec.Model, Alg: alg, N: rec.N, Seed: rec.Seed,
+		Specs: specs, Degraded: rec.Degraded,
+	}, rc.Deadline, rc.Workers)
+	if o.Report != nil {
+		rec.Injected = o.Report.Injected
+		rec.Recovered = o.Report.Recovered
+		rec.MaskedProcs = o.Report.MaskedProcs
+	}
+	switch inv := o.Invariant(); {
+	case inv != nil:
+		rec.Status, rec.Error = StatusFailed, inv.Error()
+	case o.Verified:
+		rec.Status, rec.Verified = StatusOK, true
+	default:
+		rec.Status, rec.Error = StatusDiagnosed, o.Err.Error()
+	}
+}
+
+// runMachineCell runs one fault-free algorithm cell through Execute.
+func runMachineCell(rec *Record, rc RunConfig) {
+	out, err := Execute(rec.Cell, false, rc.Workers)
+	if err != nil {
+		rec.Status, rec.Error = StatusFailed, err.Error()
+		return
+	}
+	if rep := out.Report; rep != nil {
+		rec.Time = float64(rep.TotalTime)
+		rec.Phases = rep.NumPhases()
+		rec.Work = rep.Work
+		rec.AllRounds = rep.AllRounds
+	}
+	if !out.Verified {
+		rec.Status, rec.Error = StatusFailed, "answer failed the host-side oracle"
+		return
+	}
+	rec.Status, rec.Verified = StatusOK, true
+}

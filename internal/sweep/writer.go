@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// writer persists sweep records: an append-only JSONL stream flushed per
+// record (the resume source of truth) and a CSV table rebuilt wholesale
+// at close through a temp file + rename, so readers never observe a
+// half-written table.
+type writer struct {
+	jsonl   *os.File
+	buf     *bufio.Writer
+	csvPath string
+	records []Record
+}
+
+// scanJSONL parses a partial sweep output into its complete records plus
+// the byte offset where the valid prefix ends. A torn final line (an
+// interrupt mid-write) and anything after it is dropped; the resume path
+// truncates there and re-runs those cells.
+func scanJSONL(path string) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	var recs []Record
+	var off int64
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		var r Record
+		if err := json.Unmarshal(data[:i], &r); err != nil || r.Key == "" {
+			break
+		}
+		recs = append(recs, r)
+		off += int64(i) + 1
+		data = data[i+1:]
+	}
+	return recs, off, nil
+}
+
+// newWriter opens the outputs. With resume it rescans jsonlPath, seeds
+// the record list with the valid prefix, truncates the torn tail and
+// positions the file for appending; it also returns the completed cells
+// keyed for skipping. Without resume the JSONL starts fresh. An empty
+// jsonlPath keeps records in memory only (CSV, if requested, still
+// writes at close).
+func newWriter(jsonlPath, csvPath string, resume bool) (*writer, map[string]Record, error) {
+	w := &writer{csvPath: csvPath}
+	prior := make(map[string]Record)
+	if jsonlPath == "" {
+		if resume {
+			return nil, nil, fmt.Errorf("sweep: resume needs a JSONL output path")
+		}
+		return w, prior, nil
+	}
+	var off int64
+	if resume {
+		recs, n, err := scanJSONL(jsonlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		off = n
+		w.records = recs
+		for _, r := range recs {
+			prior[r.Key] = r
+		}
+	}
+	f, err := os.OpenFile(jsonlPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.jsonl, w.buf = f, bufio.NewWriter(f)
+	return w, prior, nil
+}
+
+// append records one cell and flushes it to the JSONL stream, so an
+// interrupt loses at most the torn final line the resume scanner drops.
+func (w *writer) append(r Record) error {
+	w.records = append(w.records, r)
+	if w.buf == nil {
+		return nil
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(line); err != nil {
+		return err
+	}
+	if err := w.buf.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+// close syncs and closes the JSONL stream, then atomically rebuilds the
+// CSV from the full record list (resumed prefix included).
+func (w *writer) close() error {
+	if w.jsonl != nil {
+		if err := w.buf.Flush(); err != nil {
+			return err
+		}
+		if err := w.jsonl.Sync(); err != nil {
+			return err
+		}
+		if err := w.jsonl.Close(); err != nil {
+			return err
+		}
+		w.jsonl, w.buf = nil, nil
+	}
+	if w.csvPath == "" {
+		return nil
+	}
+	return writeCSV(w.csvPath, w.records)
+}
+
+// writeCSV writes the record table via temp file + rename in the target
+// directory (same filesystem, so the rename is atomic).
+func writeCSV(path string, records []Record) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(tmp)
+	werr := cw.Write(csvHeader)
+	for _, r := range records {
+		if werr != nil {
+			break
+		}
+		werr = cw.Write(r.csvRow())
+	}
+	cw.Flush()
+	if werr == nil {
+		werr = cw.Error()
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
