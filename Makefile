@@ -31,9 +31,9 @@ sweep-smoke:
 # Re-measure the bench snapshot (model metrics + ns/op + allocs/op for
 # the bench_test.go hot paths) and overwrite the committed trajectory.
 bench:
-	go run ./cmd/parsim sweep -bench -bench-o BENCH_pr6.json
+	go run ./cmd/parsim sweep -bench -bench-o BENCH_pr7.json
 
 # Same measurement, but gate against the committed snapshot: exact model
 # metrics, 3x ns/op tolerance, 1.25x allocs/op tolerance.
 bench-gate:
-	go run ./cmd/parsim sweep -bench -bench-baseline BENCH_pr6.json
+	go run ./cmd/parsim sweep -bench -bench-baseline BENCH_pr7.json

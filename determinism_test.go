@@ -251,7 +251,7 @@ func eventStream(t *testing.T, build func(workers int) (Machine, func() error)) 
 		if err := m.Err(); err != nil {
 			t.Fatal(err)
 		}
-		return ev.Lines
+		return ev.Lines()
 	}
 }
 
@@ -281,6 +281,25 @@ func TestDeterminismEventStreams(t *testing.T) {
 				return err
 			}
 		}},
+		{"QSM/parity-tree-bool", func(workers int) (Machine, func() error) {
+			// Bit-packed twin of parity-tree: the same request sequence
+			// flows through BitMem's word-sharded columnar commit.
+			const n = 256
+			in := workload.Bits(5, n)
+			m, err := qsm.NewBool(qsm.Config{
+				Rule: cost.RuleQSM, P: n, G: 2, N: n, MemCells: 2 * n, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func() error {
+				if err := m.Load(0, in); err != nil {
+					return err
+				}
+				_, err := parity.TreeBool(m, 0, n, 4)
+				return err
+			}
+		}},
 		{"BSP/parity", func(workers int) (Machine, func() error) {
 			const n, p = 256, 16
 			in := workload.Bits(5, n)
@@ -296,6 +315,31 @@ func TestDeterminismEventStreams(t *testing.T) {
 					return err
 				}
 				_, err := parity.RunBSP(m, n, 4)
+				return err
+			}
+		}},
+		{"BSP/sample-sort", func(workers int) (Machine, func() error) {
+			// Sample sort routes every key with SendBatch, so this case
+			// drives the columnar StageBatch path through the full
+			// routing commit.
+			const n, p = 512, 16
+			keys := make([]int64, n)
+			rng := rand.New(rand.NewSource(9))
+			for i := range keys {
+				keys[i] = rng.Int63n(1 << 16)
+			}
+			m, err := bsp.New(bsp.Config{
+				P: p, G: 1, L: 4, N: n,
+				PrivCells: sortrank.PrivNeedSampleSortBSP(n, p), Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func() error {
+				if err := m.Scatter(keys); err != nil {
+					return err
+				}
+				_, err := sortrank.SampleSortBSP(m, n)
 				return err
 			}
 		}},

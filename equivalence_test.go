@@ -1,0 +1,165 @@
+package repro
+
+// Equivalence suite for the columnar commit engine: the batch submission
+// API and the bit-packed Boolean memory are drop-in replacements for the
+// per-cell word-valued path. Two contracts are asserted end to end:
+//
+//  1. per-cell vs batch — an algorithm that issues its requests through
+//     ReadBlock/WriteBatch/Submit produces the same cost report and the
+//     same observer event stream as the per-cell loop it replaced;
+//  2. word vs bit — a Boolean algorithm run on qsm.BoolMachine (BitMem)
+//     produces byte-identical streams and reports to the word-valued
+//     run over the same 0/1 input.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/boolor"
+	"repro/internal/cost"
+	"repro/internal/parity"
+	"repro/internal/qsm"
+	"repro/internal/workload"
+)
+
+// wordRun executes a word-valued QSM algorithm under observation.
+func wordRun(t *testing.T, n, memCells, workers int, in []int64,
+	alg func(m *qsm.Machine) (int, error)) (int64, []string, cost.Report) {
+	t.Helper()
+	m, err := qsm.New(qsm.Config{
+		Rule: cost.RuleQSM, P: n, G: 2, N: n, MemCells: memCells, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Observe(m)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := alg(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m.Peek(out), ev.Lines(), *m.Report()
+}
+
+// boolRun executes the same algorithm on the bit-packed machine.
+func boolRun(t *testing.T, n, memCells, workers int, in []int64,
+	alg func(m *qsm.BoolMachine) (int, error)) (int64, []string, cost.Report) {
+	t.Helper()
+	m, err := qsm.NewBool(qsm.Config{
+		Rule: cost.RuleQSM, P: n, G: 2, N: n, MemCells: memCells, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Observe(m)
+	if err := m.Load(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := alg(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m.Peek(out), ev.Lines(), *m.Report()
+}
+
+func assertSameRun(t *testing.T, label string,
+	wRes int64, wEv []string, wRep cost.Report,
+	bRes int64, bEv []string, bRep cost.Report) {
+	t.Helper()
+	if wRes != bRes {
+		t.Errorf("%s: results differ: %d vs %d", label, wRes, bRes)
+	}
+	if !reflect.DeepEqual(wEv, bEv) {
+		for i := range wEv {
+			if i >= len(bEv) || wEv[i] != bEv[i] {
+				t.Fatalf("%s: event streams diverge at line %d:\nword: %q\nbit:  %q",
+					label, i, wEv[i], bEv[i])
+			}
+		}
+		t.Fatalf("%s: event stream lengths differ: %d vs %d", label, len(wEv), len(bEv))
+	}
+	if !reflect.DeepEqual(wRep.Phases, bRep.Phases) {
+		t.Errorf("%s: per-phase costs differ:\nword: %+v\nbit:  %+v", label, wRep.Phases, bRep.Phases)
+	}
+	if wRep.TotalTime != bRep.TotalTime || wRep.Work != bRep.Work ||
+		wRep.Rounds != bRep.Rounds || wRep.AllRounds != bRep.AllRounds {
+		t.Errorf("%s: report summaries differ:\nword: %+v\nbit:  %+v", label, wRep, bRep)
+	}
+}
+
+// TestParityWordBitEquivalence runs the fan-in tree parity algorithm on
+// the word-valued and bit-packed machines over the same input: one bit
+// per cell versus one int64 per cell, same costs, same stream.
+func TestParityWordBitEquivalence(t *testing.T) {
+	const n, fanin = 1 << 9, 8
+	in := workload.Bits(1998, n)
+	for _, workers := range []int{1, 8} {
+		wRes, wEv, wRep := wordRun(t, n, 2*n, workers, in, func(m *qsm.Machine) (int, error) {
+			return parity.TreeQSM(m, 0, n, fanin)
+		})
+		bRes, bEv, bRep := boolRun(t, n, 2*n, workers, in, func(m *qsm.BoolMachine) (int, error) {
+			return parity.TreeBool(m, 0, n, fanin)
+		})
+		assertSameRun(t, "parity tree", wRes, wEv, wRep, bRes, bEv, bRep)
+		if want := workload.Parity(in); wRes != want {
+			t.Errorf("parity = %d, want %d", wRes, want)
+		}
+	}
+}
+
+// TestORWordBitEquivalence does the same for the OR read-combine tree.
+func TestORWordBitEquivalence(t *testing.T) {
+	const n, fanin = 300, 5 // deliberately non-power-of-two: ragged last nodes
+	in, err := workload.Sparse(7, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]int64, n)
+	for i, v := range in {
+		if v != 0 {
+			bits[i] = 1
+		}
+	}
+	wRes, wEv, wRep := wordRun(t, n, 2*n, 1, bits, func(m *qsm.Machine) (int, error) {
+		return boolor.ReadTree(m, 0, n, fanin)
+	})
+	bRes, bEv, bRep := boolRun(t, n, 2*n, 1, bits, func(m *qsm.BoolMachine) (int, error) {
+		return boolor.ReadTreeBool(m, 0, n, fanin)
+	})
+	assertSameRun(t, "or tree", wRes, wEv, wRep, bRes, bEv, bRep)
+	if wRes != 1 {
+		t.Errorf("OR of a 3-item sparse input = %d, want 1", wRes)
+	}
+}
+
+// TestBoolMachineDeterminism: Workers=1 vs Workers=N byte-equal streams
+// through the bit-packed machine and its batch ReadWord path.
+func TestBoolMachineDeterminism(t *testing.T) {
+	const n, fanin = 1 << 10, 16
+	in := workload.Bits(5, n)
+	run := func(workers int) ([]string, cost.Report, int64) {
+		res, ev, rep := boolRun(t, n, 2*n, workers, in, func(m *qsm.BoolMachine) (int, error) {
+			return parity.TreeBool(m, 0, n, fanin)
+		})
+		return ev, rep, res
+	}
+	seqEv, seqRep, seqRes := run(1)
+	parEv, parRep, parRes := run(detWorkers)
+	if seqRes != parRes {
+		t.Errorf("results differ: %d vs %d", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seqEv, parEv) {
+		t.Error("event streams differ between Workers=1 and Workers=N")
+	}
+	if !reflect.DeepEqual(seqRep, parRep) {
+		t.Error("cost reports differ between Workers=1 and Workers=N")
+	}
+}

@@ -78,3 +78,53 @@ type probe struct {
 }
 
 func (p *probe) observe(r *Report) { p.at = r.Mark() }
+
+// batch is the fixture stand-in for a struct-of-arrays request bundle
+// (engine.Batch): parallel address/value columns submitted as one unit.
+type batch struct {
+	addrs []int32
+	vals  []int64
+}
+
+func submit(r *Report, b batch) { r.phases = append(r.phases, len(b.addrs)) }
+
+// submitRetry is the batch-submit retry shape: each attempt pins a mark
+// before submitting the whole column bundle and rewinds the attempt on
+// failure — every mark is consumed, no finding.
+func submitRetry(r *Report, b batch, ok func() bool) {
+	for try := 0; try < 3; try++ {
+		m := r.Mark()
+		submit(r, b)
+		if ok() {
+			r.Commit(m)
+			return
+		}
+		r.Rewind(m)
+	}
+}
+
+// submitLeaky pins a mark per batch chunk but forgets the rewind on the
+// overflow path: the mark never reaches a consumer.
+func submitLeaky(r *Report, chunks []batch) {
+	for _, b := range chunks {
+		m := r.Mark() // want `mark m is captured but never rewound`
+		submit(r, b)
+		_ = m
+	}
+}
+
+// columnCheckpoint stores the mark taken at the batch boundary alongside
+// the staged columns and rewinds through it when the submit aborts: the
+// stored mark is consumed by a method, no finding.
+type columnCheckpoint struct {
+	staged batch
+	ck     Mark
+}
+
+func (c *columnCheckpoint) stage(r *Report, b batch) {
+	c.staged = b
+	c.ck = r.Mark()
+	submit(r, c.staged)
+}
+
+func (c *columnCheckpoint) abort(r *Report) { r.Rewind(c.ck) }

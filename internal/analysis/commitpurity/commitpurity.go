@@ -44,8 +44,10 @@ var Analyzer = &analysis.Analyzer{
 // allowedWriters maps each protected engine type to the functions that
 // may write its fields: the lifecycle entry points (Init*, Phase,
 // Superstep, RunPhase), the two-pass commit pipeline (commit, finish,
-// ensure), the per-processor request recorders (MemCtx and Sends
-// methods), and the fault-injection/recovery machinery (InjectFaults
+// ensure), the per-processor request recorders (MemCtx/BitCtx and Sends
+// methods, per-cell and batch alike — a batch recorder appends to the
+// same struct-of-arrays columns as its per-cell twin, so it is part of
+// the same contract), and the fault-injection/recovery machinery (InjectFaults
 // attachment, the barrier-side consult/accounting, and the
 // checkpoint/rollback/corruption path — all of which run on the
 // coordinating goroutine, see fault.go). Everything else must go through
@@ -54,12 +56,17 @@ var allowedWriters = map[string]map[string]bool{
 	"Core": set("Init", "RunPhase", "RecordErr", "AddObserver", "observePhaseStart",
 		"InjectFaults", "consultInjector", "noteCommitted", "chargeRecovery",
 		"ckCore", "rewindCore", "retriesExhausted"),
-	"Mem":      set("InitMem", "Grow", "Phase", "Checkpoint", "Rollback", "corruptCell", "commit"),
-	"memBuf":   set("ensure", "commit", "finish"),
-	"MemCtx":   set("Read", "Write", "Op", "failf", "reset"),
+	"Mem":    set("InitMem", "Grow", "Phase", "Checkpoint", "Rollback", "corruptCell", "commit"),
+	"memBuf": set("ensure", "commit", "finish"),
+	"MemCtx": set("Read", "Write", "Op", "failf", "reset",
+		"ReadBlock", "ReadBatch", "WriteBlock", "WriteFill", "WriteBatch", "Submit"),
+	"BitMem": set("InitBits", "Grow", "SetBit", "Phase", "Checkpoint", "Rollback",
+		"corruptCell", "finish"),
+	"bitBuf":   set("ensure", "commit", "finish"),
+	"BitCtx":   set("Read", "ReadWord", "Write", "Op", "failf", "reset"),
 	"Route":    set("InitRoute", "Superstep", "commit", "Checkpoint", "Rollback", "corruptInbox"),
 	"routeBuf": set("ensure", "commit"),
-	"Sends":    set("AddWork", "Stage", "Fail", "reset"),
+	"Sends":    set("AddWork", "Stage", "Fail", "reset", "StageBatch"),
 }
 
 func set(names ...string) map[string]bool {

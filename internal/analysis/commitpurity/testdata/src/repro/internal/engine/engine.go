@@ -81,6 +81,121 @@ func (b *memBuf) sneak() {
 	(b.touched)[1] = true      // want `engine\.memBuf\.touched written in sneak, outside the commit entry points`
 }
 
+// MemCtx mirrors the per-processor request recorder with its
+// struct-of-arrays columns; the batch recorders (ReadBlock, WriteBatch,
+// Submit, …) are sanctioned writers exactly like their per-cell twins.
+type MemCtx struct {
+	reads      int64
+	readAddrs  []int32
+	writeAddrs []int32
+	writeVals  []int64
+}
+
+func (c *MemCtx) Read(a int32) {
+	c.reads++
+	c.readAddrs = append(c.readAddrs, a)
+}
+
+func (c *MemCtx) ReadBlock(a int32, k int) {
+	c.reads += int64(k)
+	for i := 0; i < k; i++ {
+		c.readAddrs = append(c.readAddrs, a+int32(i))
+	}
+}
+
+func (c *MemCtx) WriteBatch(addrs []int32, vals []int64) {
+	c.writeAddrs = append(c.writeAddrs, addrs...)
+	c.writeVals = append(c.writeVals, vals...)
+}
+
+func (c *MemCtx) Submit(reads, writes []int32, vals []int64) {
+	c.reads += int64(len(reads))
+	c.readAddrs = append(c.readAddrs, reads...)
+	c.writeAddrs = append(c.writeAddrs, writes...)
+	c.writeVals = append(c.writeVals, vals...)
+}
+
+func (c *MemCtx) bulkPoke(addrs []int32) {
+	c.readAddrs = append(c.readAddrs, addrs...) // want `engine\.MemCtx\.readAddrs written in bulkPoke, outside the commit entry points`
+}
+
+// BitMem and BitCtx mirror the bit-packed engine: word-level storage,
+// packed write column, the same writer contract.
+type BitMem struct {
+	Core
+	words []uint64
+	cb    bitBuf
+}
+
+func (m *BitMem) InitBits(nwords int) {
+	m.words = make([]uint64, nwords)
+}
+
+func (m *BitMem) SetBit(addr int) {
+	m.words[addr>>6] |= 1 << (uint(addr) & 63)
+}
+
+func (m *BitMem) finish(addr int) {
+	// finish both applies packed writes and drains the scratch: clean.
+	m.words[addr>>6] &^= 1 << (uint(addr) & 63)
+	m.cb.wPacked = m.cb.wPacked[:0]
+}
+
+func (m *BitMem) hotPatch(addr int) {
+	m.words[addr>>6] = 0            // want `engine\.BitMem\.words written in hotPatch, outside the commit entry points`
+	m.cb.wPacked = m.cb.wPacked[:0] // want `engine\.bitBuf\.wPacked written in hotPatch, outside the commit entry points`
+}
+
+type BitCtx struct {
+	wrs    int64
+	writes []int32
+}
+
+func (c *BitCtx) Write(addr int32, bit bool) {
+	c.wrs++
+	p := addr << 1
+	if bit {
+		p |= 1
+	}
+	c.writes = append(c.writes, p)
+}
+
+func (c *BitCtx) replay(ws []int32) {
+	c.writes = ws // want `engine\.BitCtx\.writes written in replay, outside the commit entry points`
+}
+
+type bitBuf struct {
+	wPacked []int32
+}
+
+func (b *bitBuf) ensure(n int) {
+	if cap(b.wPacked) < n {
+		b.wPacked = make([]int32, 0, n)
+	}
+}
+
+// Sends mirrors the routing-side stager; StageBatch is the sanctioned
+// columnar twin of Stage.
+type Sends struct {
+	dsts []int32
+	msgs []int64
+}
+
+func (s *Sends) Stage(d int32, msg int64) {
+	s.dsts = append(s.dsts, d)
+	s.msgs = append(s.msgs, msg)
+}
+
+func (s *Sends) StageBatch(dsts []int32, msgs []int64) {
+	s.dsts = append(s.dsts, dsts...)
+	s.msgs = append(s.msgs, msgs...)
+}
+
+func (s *Sends) inject(d int32, msg int64) {
+	s.dsts = append(s.dsts, d)   // want `engine\.Sends\.dsts written in inject, outside the commit entry points`
+	s.msgs = append(s.msgs, msg) // want `engine\.Sends\.msgs written in inject, outside the commit entry points`
+}
+
 // helper is not a protected type: its fields may be written anywhere.
 type helper struct {
 	n int

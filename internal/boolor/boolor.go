@@ -45,18 +45,50 @@ func ReadTree(m *qsm.Machine, base, n, fanin int) (int, error) {
 		curL, widthL := cur, width
 		m.Phase(func(c *qsm.Ctx) {
 			for j := c.Proc(); j < nw; j += p {
+				// Children are contiguous: one block read per node, same
+				// request sequence as the per-child loop.
+				cnt := min(fanin, widthL-j*fanin)
 				var s int64
-				for i := 0; i < fanin; i++ {
-					ch := j*fanin + i
-					if ch >= widthL {
-						break
-					}
-					if c.Read(curL+ch) != 0 {
+				for _, v := range c.ReadBlock(curL+j*fanin, cnt) {
+					if v != 0 {
 						s = 1
 					}
 					c.Op(1)
 				}
 				c.Write(next+j, s)
+			}
+		})
+		cur, width = next, nw
+	}
+	return cur, m.Err()
+}
+
+// ReadTreeBool is ReadTree on the bit-packed Boolean machine: each node
+// ORs its children with one ReadWord (any nonzero packed word). The
+// request sequence matches ReadTree's, so cost reports and event streams
+// are byte-identical to the word-valued run on 0/1 data.
+func ReadTreeBool(m *qsm.BoolMachine, base, n, fanin int) (int, error) {
+	if err := checkInput(m.MemSize(), base, n); err != nil {
+		return 0, err
+	}
+	if fanin < 2 || fanin > MaxFanin {
+		return 0, fmt.Errorf("boolor: fan-in %d outside [2,%d]", fanin, MaxFanin)
+	}
+	cur, width := base, n
+	p := m.P()
+	for width > 1 {
+		next := m.MemSize()
+		nw := (width + fanin - 1) / fanin
+		if err := m.Grow(next + nw); err != nil {
+			return 0, err
+		}
+		curL, widthL := cur, width
+		m.Phase(func(c *qsm.BoolCtx) {
+			for j := c.Proc(); j < nw; j += p {
+				cnt := min(fanin, widthL-j*fanin)
+				w := c.ReadWord(curL+j*fanin, cnt)
+				c.Op(cnt)
+				c.Write(next+j, w != 0)
 			}
 		})
 		cur, width = next, nw
@@ -221,9 +253,11 @@ func RoundsQSM(m *qsm.Machine, base, n int) (int, error) {
 		if hi > n {
 			hi = n
 		}
+		// The block is contiguous: one batched read for the whole
+		// reduction slice.
 		var s int64
-		for j := lo; j < hi; j++ {
-			if c.Read(base+j) != 0 {
+		for _, v := range c.ReadBlock(base+lo, hi-lo) {
+			if v != 0 {
 				s = 1
 			}
 			c.Op(1)

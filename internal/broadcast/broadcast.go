@@ -93,14 +93,17 @@ func RunBSP(m *bsp.Machine, fanout int) (int, error) {
 			if j >= h {
 				return
 			}
-			// Holder j feeds components h + j, h + j + h·1, … (≤ fanout).
+			// Holder j feeds components h + j, h + j + h·1, … (≤ fanout):
+			// one fan-out batch per holder.
+			var dsts []int32
 			for k := 0; ; k++ {
 				dst := h + j + k*h
 				if dst >= h+nc {
 					break
 				}
-				c.Send(dst, 0, c.Priv()[1])
+				dsts = append(dsts, int32(dst))
 			}
+			c.SendFanout(dsts, 0, c.Priv()[1])
 		})
 		m.Superstep(func(c *bsp.Ctx) {
 			for _, msg := range c.Incoming() {

@@ -155,6 +155,10 @@ type Ctx struct {
 	comp int
 	m    *Machine
 	s    *engine.Sends[Message]
+	// msgBuf is reusable per-component scratch for the batch send
+	// methods; Ctx values persist across supersteps, so at steady state
+	// batch sends allocate nothing.
+	msgBuf []Message
 }
 
 // Comp returns this component's index.
@@ -184,6 +188,55 @@ func (c *Ctx) Send(dst int, tag, val int64) {
 		return
 	}
 	c.s.Stage(int32(dst), Message{From: c.comp, Tag: tag, Val: val})
+}
+
+// checkDsts validates a batch's destinations in one pass.
+func (c *Ctx) checkDsts(dsts []int32) bool {
+	for _, d := range dsts {
+		if d < 0 || int(d) >= c.m.P() {
+			c.s.Fail(fmt.Errorf("bsp: component %d sends to invalid component %d", c.comp, d))
+			return false
+		}
+	}
+	return true
+}
+
+// SendBatch stages len(dsts) messages in one bounds-checked batch:
+// message i goes to dsts[i] carrying tag tags[i] and value vals[i]. A
+// nil tags means all-zero tags. It stages exactly the message sequence
+// of the equivalent Send loop, so costs and event streams are identical
+// between the two.
+func (c *Ctx) SendBatch(dsts []int32, tags, vals []int64) {
+	if len(dsts) != len(vals) || (tags != nil && len(tags) != len(dsts)) {
+		c.s.Fail(fmt.Errorf("bsp: component %d SendBatch column mismatch: %d destinations, %d tags, %d values",
+			c.comp, len(dsts), len(tags), len(vals)))
+		return
+	}
+	if !c.checkDsts(dsts) {
+		return
+	}
+	c.msgBuf = c.msgBuf[:0]
+	for i := range dsts {
+		msg := Message{From: c.comp, Val: vals[i]}
+		if tags != nil {
+			msg.Tag = tags[i]
+		}
+		c.msgBuf = append(c.msgBuf, msg)
+	}
+	c.s.StageBatch(dsts, c.msgBuf)
+}
+
+// SendFanout stages the same (tag, val) message to every destination in
+// dsts — the one-to-many shape of broadcast fan-out supersteps.
+func (c *Ctx) SendFanout(dsts []int32, tag, val int64) {
+	if !c.checkDsts(dsts) {
+		return
+	}
+	c.msgBuf = c.msgBuf[:0]
+	for range dsts {
+		c.msgBuf = append(c.msgBuf, Message{From: c.comp, Tag: tag, Val: val})
+	}
+	c.s.StageBatch(dsts, c.msgBuf)
 }
 
 // Superstep runs one superstep: body is invoked once per component

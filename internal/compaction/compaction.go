@@ -220,29 +220,38 @@ func DartLACDegraded(m *qsm.Machine, rng *rand.Rand, base, n int) (*DartResult, 
 		}
 		// Deal darts round-robin to survivors; slots drawn host-side per
 		// dart in live order (deterministic for the run's crash history).
+		// Each survivor's darts become one request column pair, submitted
+		// whole: throw addresses with tags (phase A), read-backs (phase B).
 		assign := make([][]int, m.P())
 		slotOf := make([]int, len(live))
+		wAddrs := make([][]int32, m.P())
+		wVals := make([][]int64, m.P())
 		for k := range live {
 			pr := surv[k%len(surv)]
 			assign[pr] = append(assign[pr], k)
 			slotOf[k] = segBase + rng.Intn(segSize)
+			wAddrs[pr] = append(wAddrs[pr], int32(slotOf[k]))
+			wVals[pr] = append(wVals[pr], live[k].tag)
 		}
 		// Phase A: throw (queued writes; an arbitrary writer per cell wins).
 		m.Phase(func(c *qsm.Ctx) {
-			for _, k := range assign[c.Proc()] {
-				c.Write(slotOf[k], live[k].tag)
-			}
+			c.WriteBatch(wAddrs[c.Proc()], wVals[c.Proc()])
 		})
 		// Phase B: read back; winners claim their slot. A crash between
-		// the phases leaves won[k] = 0 for its darts — they stay live.
-		won := make([]int64, len(live))
+		// the phases leaves a nil column for its darts — they stay live.
+		back := make([][]int64, m.P())
 		m.Phase(func(c *qsm.Ctx) {
-			for _, k := range assign[c.Proc()] {
-				won[k] = c.Read(slotOf[k])
-			}
+			pr := c.Proc()
+			back[pr] = c.ReadBatch(wAddrs[pr], back[pr][:0])
 		})
 		if m.Err() != nil {
 			return nil, m.Err()
+		}
+		won := make([]int64, len(live))
+		for pr, ks := range assign {
+			for i := 0; i < len(back[pr]) && i < len(ks); i++ {
+				won[ks[i]] = back[pr][i]
+			}
 		}
 		var next []dart
 		for k, d := range live {
@@ -398,9 +407,9 @@ func LoadBalance(m *qsm.Machine, base, n, fanin, maxPer int) (out int, h int, er
 				// counts ≤ maxPer.
 				cnt = int64(maxPer)
 			}
-			for r := end - cnt; r < end; r++ {
-				c.Write(out+int(r), int64(j)+1)
-			}
+			// The object run is contiguous in rank space: fill it in one
+			// batched write of the origin tag.
+			c.WriteFill(out+int(end-cnt), int(cnt), int64(j)+1)
 		}
 	})
 	return out, h, m.Err()
@@ -499,9 +508,12 @@ func SolveCLB(m *qsm.Machine, rng *rand.Rand, inst *workload.CLB, base int) (*CL
 		if !ok {
 			return
 		}
-		for i := 0; i < 4; i++ {
-			c.Write(ptrs+4*r+i, int64(4*r+i)+1)
+		// The 4 row ids are contiguous: one block write per group owner.
+		var rows [4]int64
+		for i := range rows {
+			rows[i] = int64(4*r+i) + 1
 		}
+		c.WriteBlock(ptrs+4*r, rows[:])
 	})
 	if m.Err() != nil {
 		return nil, m.Err()

@@ -1,0 +1,174 @@
+package engine
+
+import "fmt"
+
+// Batch submission API of the shared-memory and routing engines.
+//
+// The per-phase request buffers are struct-of-arrays (parallel address /
+// value / processor columns — see MemCtx and memBuf), so enqueuing a
+// whole slice of requests is a bounds-check pass plus one append per
+// column. The per-cell Read/Write calls remain as thin wrappers over the
+// same columns; a batch call records exactly the request sequence the
+// equivalent per-cell loop would have recorded (same addresses, same
+// order, same charges), which is what keeps cost reports and observer
+// event streams byte-identical between the two APIs.
+//
+// Model discipline is unchanged: batch reads return start-of-phase
+// contents, batch writes commit at the barrier under the model's Apply,
+// and requests must be a function of start-of-phase state.
+
+// Batch is a struct-of-arrays request bundle for MemCtx.Submit: read
+// addresses, write addresses and the parallel write values.
+type Batch[V any] struct {
+	// Reads are the cells to read (charged and recorded; fetch the
+	// values with ReadBatch/ReadBlock if the algorithm needs them).
+	Reads []int32
+	// Writes are the cells to write; Vals[i] goes to Writes[i].
+	Writes []int32
+	Vals   []V
+}
+
+// growCap grows s to capacity ≥ len(s)+k without the temporary slice an
+// append(s, make([]T, k)...) would allocate.
+func growCap[T any](s []T, k int) []T {
+	if need := len(s) + k; need > cap(s) {
+		t := make([]T, len(s), max(need, 2*cap(s)))
+		copy(t, s)
+		return t
+	}
+	return s
+}
+
+// appendSeq appends the k consecutive addresses base, base+1, …,
+// base+k−1 to the column.
+func appendSeq(s []int32, base int32, k int) []int32 {
+	s = growCap(s, k)
+	n := len(s)
+	s = s[:n+k]
+	for i := 0; i < k; i++ {
+		s[n+i] = base + int32(i)
+	}
+	return s
+}
+
+// ReadBlock reads the k consecutive cells [addr, addr+k), charging k
+// reads, and returns their start-of-phase contents. The returned slice
+// aliases the shared memory, which does not change during a phase (all
+// writes commit at the barrier), so it is exactly the snapshot a
+// per-cell read loop would have observed; callers must not retain it
+// across the phase boundary.
+func (c *MemCtx[V]) ReadBlock(addr, k int) []V {
+	if k < 0 || addr < 0 || addr+k > len(c.m.mem) {
+		c.failf("read block out of range: cells [%d,%d) of %d", addr, addr+k, len(c.m.mem))
+		return nil
+	}
+	c.reads += int64(k)
+	c.readAddrs = appendSeq(c.readAddrs, int32(addr), k)
+	return c.m.mem[addr : addr+k]
+}
+
+// ReadBatch reads the given cells (a gather), charging one read each,
+// and appends their start-of-phase contents to dst in order.
+func (c *MemCtx[V]) ReadBatch(addrs []int32, dst []V) []V {
+	mem := c.m.mem
+	for _, a := range addrs {
+		if a < 0 || int(a) >= len(mem) {
+			c.failf("read out of range: cell %d of %d", a, len(mem))
+			return dst
+		}
+	}
+	c.reads += int64(len(addrs))
+	c.readAddrs = append(c.readAddrs, addrs...)
+	dst = growCap(dst, len(addrs))
+	for _, a := range addrs {
+		dst = append(dst, mem[a])
+	}
+	return dst
+}
+
+// WriteBlock queues writes of vals to the consecutive cells
+// [addr, addr+len(vals)), charging one write each.
+func (c *MemCtx[V]) WriteBlock(addr int, vals []V) {
+	k := len(vals)
+	if addr < 0 || addr+k > len(c.m.mem) {
+		c.failf("write block out of range: cells [%d,%d) of %d", addr, addr+k, len(c.m.mem))
+		return
+	}
+	c.wrs += int64(k)
+	c.writeAddrs = appendSeq(c.writeAddrs, int32(addr), k)
+	c.writeVals = append(c.writeVals, vals...)
+}
+
+// WriteFill queues writes of val to the k consecutive cells
+// [addr, addr+k), charging k writes.
+func (c *MemCtx[V]) WriteFill(addr, k int, val V) {
+	if k < 0 || addr < 0 || addr+k > len(c.m.mem) {
+		c.failf("write fill out of range: cells [%d,%d) of %d", addr, addr+k, len(c.m.mem))
+		return
+	}
+	c.wrs += int64(k)
+	c.writeAddrs = appendSeq(c.writeAddrs, int32(addr), k)
+	c.writeVals = growCap(c.writeVals, k)
+	for i := 0; i < k; i++ {
+		c.writeVals = append(c.writeVals, val)
+	}
+}
+
+// WriteBatch queues writes of vals[i] to addrs[i] (a scatter), charging
+// one write each.
+func (c *MemCtx[V]) WriteBatch(addrs []int32, vals []V) {
+	if len(addrs) != len(vals) {
+		c.failf("write batch column mismatch: %d addresses, %d values", len(addrs), len(vals))
+		return
+	}
+	for _, a := range addrs {
+		if a < 0 || int(a) >= len(c.m.mem) {
+			c.failf("write out of range: cell %d of %d", a, len(c.m.mem))
+			return
+		}
+	}
+	c.wrs += int64(len(addrs))
+	c.writeAddrs = append(c.writeAddrs, addrs...)
+	c.writeVals = append(c.writeVals, vals...)
+}
+
+// Submit enqueues a whole request bundle in one bounds-checked append
+// per column: the reads are charged and recorded (fetch values with
+// ReadBatch/ReadBlock), the writes queue for the barrier commit.
+func (c *MemCtx[V]) Submit(b Batch[V]) {
+	if len(b.Writes) != len(b.Vals) {
+		c.failf("submit column mismatch: %d write addresses, %d values", len(b.Writes), len(b.Vals))
+		return
+	}
+	mem := c.m.mem
+	for _, a := range b.Reads {
+		if a < 0 || int(a) >= len(mem) {
+			c.failf("read out of range: cell %d of %d", a, len(mem))
+			return
+		}
+	}
+	for _, a := range b.Writes {
+		if a < 0 || int(a) >= len(mem) {
+			c.failf("write out of range: cell %d of %d", a, len(mem))
+			return
+		}
+	}
+	c.reads += int64(len(b.Reads))
+	c.readAddrs = append(c.readAddrs, b.Reads...)
+	c.wrs += int64(len(b.Writes))
+	c.writeAddrs = append(c.writeAddrs, b.Writes...)
+	c.writeVals = append(c.writeVals, b.Vals...)
+}
+
+// StageBatch queues len(dsts) messages in one append per column:
+// msgs[i] goes to dsts[i]. Destination validation remains the adapter's
+// job, exactly as for Stage.
+func (s *Sends[M]) StageBatch(dsts []int32, msgs []M) {
+	if len(dsts) != len(msgs) {
+		s.Fail(fmt.Errorf("engine: StageBatch column mismatch: %d destinations, %d messages",
+			len(dsts), len(msgs)))
+		return
+	}
+	s.msgs = append(s.msgs, msgs...)
+	s.dsts = append(s.dsts, dsts...)
+}

@@ -151,8 +151,8 @@ func TestMemViolationAborts(t *testing.T) {
 	}
 	// The aborted phase starts but never commits: no requests, no end.
 	want := []string{"phase 0 start"}
-	if len(ev.Lines) != 1 || ev.Lines[0] != want[0] {
-		t.Errorf("event log = %q, want %q", ev.Lines, want)
+	if lines := ev.Lines(); len(lines) != 1 || lines[0] != want[0] {
+		t.Errorf("event log = %q, want %q", lines, want)
 	}
 }
 
@@ -183,17 +183,18 @@ func TestMemObserverOrdering(t *testing.T) {
 		"phase 0 p2 write 3=2",
 		"phase 0 end: time=3 m_op=0 m_rw=1 κ=3 round=true",
 	}
-	if got := ev1.Lines; len(got) != len(want) {
-		t.Fatalf("event log has %d lines, want %d:\n%s", len(got), len(want), ev1.String())
+	lines1, lines2 := ev1.Lines(), ev2.Lines()
+	if len(lines1) != len(want) {
+		t.Fatalf("event log has %d lines, want %d:\n%s", len(lines1), len(want), ev1.String())
 	}
 	for i := range want {
-		if ev1.Lines[i] != want[i] {
-			t.Errorf("line %d = %q, want %q", i, ev1.Lines[i], want[i])
+		if lines1[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines1[i], want[i])
 		}
 	}
 	for i := range want {
-		if ev2.Lines[i] != want[i] {
-			t.Fatalf("second observer diverged at line %d: %q", i, ev2.Lines[i])
+		if lines2[i] != want[i] {
+			t.Fatalf("second observer diverged at line %d: %q", i, lines2[i])
 		}
 	}
 	if got := m.Data()[3]; got != 2 {
@@ -278,7 +279,7 @@ func TestRouteSuperstepLifecycle(t *testing.T) {
 		"phase 0 p2 send 0=102",
 		"phase 0 end: time=2 m_op=2 m_rw=1 κ=0 round=true",
 	}
-	if got := strings.Join(ev.Lines, "\n"); got != strings.Join(want, "\n") {
+	if got := ev.String(); got != strings.Join(want, "\n") {
 		t.Errorf("event log:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
 	}
 	// Next superstep: old inboxes are visible, new deliveries replace them.

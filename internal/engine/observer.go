@@ -102,31 +102,101 @@ func (c *Core) observePhaseEnd(pc cost.PhaseCost) {
 	}
 }
 
-// EventLog is a ready-made Observer that renders the event stream to
-// lines, one per event. Its output is part of the engine's determinism
-// contract: two runs of the same algorithm at different Workers settings
-// must produce byte-identical logs. It also backs `parsim -events`.
+// EventLog is a ready-made Observer that records the event stream as
+// compact structured records and renders text lazily: observing a run
+// costs one slice append per event (no fmt work, no per-line string),
+// so attaching an EventLog does not turn the commit path into an
+// allocation benchmark. Rendered output is part of the engine's
+// determinism contract: two runs of the same algorithm at different
+// Workers settings must produce byte-identical logs. It also backs
+// `parsim -events`.
 type EventLog struct {
-	Lines []string
+	events []logEvent
+	// ends holds the PhaseEnd cost records; an evEnd event stores its
+	// index here in the addr field.
+	ends []cost.PhaseCost
 }
+
+// logEvent is one recorded observer event in 32 bytes: a phase start, a
+// request (payload strings for small integers are interned by the
+// renderers, so recording them retains no per-event allocation), or a
+// phase end pointing into ends.
+type logEvent struct {
+	kind    int8
+	reqKind RequestKind
+	phase   int32
+	proc    int32
+	addr    int32
+	payload string
+}
+
+const (
+	evStart int8 = iota
+	evRequest
+	evEnd
+)
 
 // PhaseStart implements Observer.
 func (l *EventLog) PhaseStart(phase int) {
-	l.Lines = append(l.Lines, fmt.Sprintf("phase %d start", phase))
+	l.events = append(l.events, logEvent{kind: evStart, phase: int32(phase)})
 }
 
 // Request implements Observer.
 func (l *EventLog) Request(phase int, r Request) {
-	l.Lines = append(l.Lines, fmt.Sprintf("phase %d p%d %s %d=%s",
-		phase, r.Proc, r.Kind, r.Addr, r.Payload))
+	l.events = append(l.events, logEvent{kind: evRequest, reqKind: r.Kind,
+		phase: int32(phase), proc: int32(r.Proc), addr: r.Addr, payload: r.Payload})
 }
 
 // PhaseEnd implements Observer.
 func (l *EventLog) PhaseEnd(phase int, pc cost.PhaseCost) {
-	l.Lines = append(l.Lines, fmt.Sprintf(
-		"phase %d end: time=%d m_op=%d m_rw=%d κ=%d round=%v",
-		phase, pc.Time, pc.MaxOps, pc.MaxRW, pc.Contention, pc.IsRound))
+	l.events = append(l.events, logEvent{kind: evEnd, phase: int32(phase),
+		addr: int32(len(l.ends))})
+	l.ends = append(l.ends, pc)
 }
 
-// String joins the log lines.
-func (l *EventLog) String() string { return strings.Join(l.Lines, "\n") }
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// Reset drops the recorded events but keeps the storage, so a recycled
+// log observes its next run allocation-free at steady state.
+func (l *EventLog) Reset() {
+	l.events = l.events[:0]
+	l.ends = l.ends[:0]
+}
+
+// line renders one recorded event.
+func (l *EventLog) line(e logEvent) string {
+	switch e.kind {
+	case evStart:
+		return fmt.Sprintf("phase %d start", e.phase)
+	case evRequest:
+		return fmt.Sprintf("phase %d p%d %s %d=%s",
+			e.phase, e.proc, e.reqKind, e.addr, e.payload)
+	default:
+		pc := l.ends[e.addr]
+		return fmt.Sprintf(
+			"phase %d end: time=%d m_op=%d m_rw=%d κ=%d round=%v",
+			e.phase, pc.Time, pc.MaxOps, pc.MaxRW, pc.Contention, pc.IsRound)
+	}
+}
+
+// Lines renders the event stream, one line per event.
+func (l *EventLog) Lines() []string {
+	out := make([]string, len(l.events))
+	for i, e := range l.events {
+		out[i] = l.line(e)
+	}
+	return out
+}
+
+// String renders and joins the log lines.
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for i, e := range l.events {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(l.line(e))
+	}
+	return b.String()
+}

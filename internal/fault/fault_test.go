@@ -245,7 +245,7 @@ func TestPlanDeterminism(t *testing.T) {
 			m.Phase(func(c *qsm.Ctx) { vals[c.Proc()] = c.Read(c.Proc()) })
 			m.Phase(func(c *qsm.Ctx) { c.Write(p+c.Proc(), vals[c.Proc()]+1) })
 		}
-		return plan.EventLines(), log.Lines, m.Err()
+		return plan.EventLines(), log.Lines(), m.Err()
 	}
 	ev1, log1, err1 := run(1)
 	ev8, log8, err8 := run(8)

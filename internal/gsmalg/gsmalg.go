@@ -42,13 +42,12 @@ func GatherTree(m *gsm.Machine, r, fanin int) (int, error) {
 		m.Phase(func(c *gsm.Ctx) {
 			j := c.Proc()
 			for ; j < nw; j += m.P() {
+				// A node's children are contiguous: one block read per
+				// node, then the free local merge.
+				cnt := min(fanin, widthL-j*fanin)
 				var acc gsm.Info
-				for i := 0; i < fanin; i++ {
-					ch := j*fanin + i
-					if ch >= widthL {
-						break
-					}
-					acc = acc.Merge(c.Read(curL + ch))
+				for _, in := range c.ReadBlock(curL+j*fanin, cnt) {
+					acc = acc.Merge(in)
 				}
 				c.Write(nextL+j, acc)
 			}

@@ -49,16 +49,50 @@ func TreeQSM(m *qsm.Machine, base, n, fanin int) (int, error) {
 		curL, widthL := cur, width
 		m.Phase(func(c *qsm.Ctx) {
 			for j := c.Proc(); j < nw; j += p {
+				// A node's children are contiguous, so one block read
+				// replaces the per-child read loop: same addresses, same
+				// order, same charges.
+				cnt := min(fanin, widthL-j*fanin)
 				var s int64
-				for i := 0; i < fanin; i++ {
-					ch := j*fanin + i
-					if ch >= widthL {
-						break
-					}
-					s ^= c.Read(curL+ch) & 1
+				for _, v := range c.ReadBlock(curL+j*fanin, cnt) {
+					s ^= v & 1
 					c.Op(1)
 				}
 				c.Write(next+j, s)
+			}
+		})
+		cur, width = next, nw
+	}
+	return cur, m.Err()
+}
+
+// TreeBool is TreeQSM on the bit-packed Boolean machine: the same k-ary
+// XOR tree issuing the same request sequence (each node's children in
+// one ReadWord, parity by popcount), so its cost report and event
+// stream are byte-identical to TreeQSM's on the same input — at 1 bit
+// per cell instead of 64.
+func TreeBool(m *qsm.BoolMachine, base, n, fanin int) (int, error) {
+	if err := checkInput(m.MemSize(), base, n); err != nil {
+		return 0, err
+	}
+	if fanin < 2 || fanin > MaxFanin {
+		return 0, fmt.Errorf("parity: fan-in %d outside [2,%d]", fanin, MaxFanin)
+	}
+	cur, width := base, n
+	p := m.P()
+	for width > 1 {
+		next := m.MemSize()
+		nw := (width + fanin - 1) / fanin
+		if err := m.Grow(next + nw); err != nil {
+			return 0, err
+		}
+		curL, widthL := cur, width
+		m.Phase(func(c *qsm.BoolCtx) {
+			for j := c.Proc(); j < nw; j += p {
+				cnt := min(fanin, widthL-j*fanin)
+				w := c.ReadWord(curL+j*fanin, cnt)
+				c.Op(cnt)
+				c.Write(next+j, bits.OnesCount64(w)&1 == 1)
 			}
 		})
 		cur, width = next, nw
@@ -96,13 +130,10 @@ func TreeQSMDegraded(m *qsm.Machine, base, n, fanin int) (int, error) {
 				return
 			}
 			for j := r; j < nw; j += ns {
+				cnt := min(fanin, widthL-j*fanin)
 				var s int64
-				for i := 0; i < fanin; i++ {
-					ch := j*fanin + i
-					if ch >= widthL {
-						break
-					}
-					s ^= c.Read(curL+ch) & 1
+				for _, v := range c.ReadBlock(curL+j*fanin, cnt) {
+					s ^= v & 1
 					c.Op(1)
 				}
 				c.Write(next+j, s)

@@ -87,13 +87,11 @@ func RunQSM(m *qsm.Machine, base, n, fanin int) (int, error) {
 		h := h
 		childW := widths[h-1]
 		m.Phase(strided(widths[h], func(c *qsm.Ctx, j int) {
+			// Children are contiguous: one block read per node.
+			cnt := min(fanin, childW-j*fanin)
 			var s int64
-			for i := 0; i < fanin; i++ {
-				ch := j*fanin + i
-				if ch >= childW {
-					break
-				}
-				s += c.Read(sumBase[h-1] + ch)
+			for _, v := range c.ReadBlock(sumBase[h-1]+j*fanin, cnt) {
+				s += v
 				c.Op(1)
 			}
 			c.Write(sumBase[h]+j, s)
@@ -113,22 +111,18 @@ func RunQSM(m *qsm.Machine, base, n, fanin int) (int, error) {
 		childW := widths[h-1]
 		m.Phase(strided(widths[h], func(c *qsm.Ctx, j int) {
 			off := c.Read(offBase[h] + j)
-			var kids [MaxFanin]int64
-			cnt := 0
-			for i := 0; i < fanin; i++ {
-				ch := j*fanin + i
-				if ch >= childW {
-					break
-				}
-				kids[cnt] = c.Read(sumBase[h-1] + ch)
-				cnt++
-			}
+			cnt := min(fanin, childW-j*fanin)
+			kids := c.ReadBlock(sumBase[h-1]+j*fanin, cnt)
+			// The children's offsets are a contiguous run: accumulate into
+			// a stack buffer and write the whole run in one batch.
+			var offs [MaxFanin]int64
 			run := off
 			for i := 0; i < cnt; i++ {
-				c.Write(offBase[h-1]+j*fanin+i, run)
+				offs[i] = run
 				c.Op(1)
 				run += kids[i]
 			}
+			c.WriteBlock(offBase[h-1]+j*fanin, offs[:cnt])
 		}))
 	}
 

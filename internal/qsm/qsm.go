@@ -176,13 +176,19 @@ func (md qsmModel) Scrub([]int64) {}
 func (md qsmModel) Render(v int64) string { return strconv.FormatInt(v, 10) }
 
 func (md qsmModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
+	return phaseCost(md.m.rule, md.m.Params(), md.m.N(), o)
+}
+
+// phaseCost is the QSM-family cost rule shared by the word-valued and
+// bit-packed machines: one charging function, so the two produce
+// identical cost reports for identical request sequences.
+func phaseCost(rule cost.Rule, pr cost.Params, n int, o engine.Outcome) cost.PhaseCost {
 	kr, kw := o.KRead, o.KWrite
 	// A phase with no reads or writes has contention one by definition.
 	if kr == 0 && kw == 0 {
 		kr = 1
 	}
-	pr := md.m.Params()
-	t := md.m.rule.PhaseTime(pr.G, pr.D, o.MaxOps, o.MaxRW, kr, kw)
+	t := rule.PhaseTime(pr.G, pr.D, o.MaxOps, o.MaxRW, kr, kw)
 	return cost.PhaseCost{
 		MaxOps:          o.MaxOps,
 		MaxRW:           o.MaxRW,
@@ -190,6 +196,6 @@ func (md qsmModel) PhaseCost(o engine.Outcome) cost.PhaseCost {
 		ReadContention:  kr,
 		WriteContention: kw,
 		Time:            t,
-		IsRound:         t <= cost.RoundBudget(pr.G, md.m.N(), pr.P),
+		IsRound:         t <= cost.RoundBudget(pr.G, n, pr.P),
 	}
 }

@@ -253,12 +253,16 @@ func SampleSortBSP(m *bsp.Machine, n int) (int, error) {
 		// Splitters just arrived in this superstep's inbox — they were sent
 		// in the previous superstep, so using them now is legal.
 		spl := c.Priv()[s0 : s0+p-1]
+		// Bucket destinations are computed locally; the whole block is then
+		// routed in one batched send (the values column is the sorted
+		// private block itself, in order).
+		dsts := make([]int32, hi-lo)
 		for i := 0; i < hi-lo; i++ {
 			v := c.Priv()[i]
-			dst := sort.Search(len(spl), func(k int) bool { return spl[k] > v })
-			c.Send(dst, 0, v)
+			dsts[i] = int32(sort.Search(len(spl), func(k int) bool { return spl[k] > v }))
 			c.Work(log2ceil(p))
 		}
+		c.SendBatch(dsts, nil, c.Priv()[:hi-lo])
 	})
 
 	// Superstep 4: local merge of the received bucket.

@@ -26,7 +26,7 @@ import (
 //   - host performance (ns/op, B/op, allocs/op) — these are noisy, so
 //     the gate only fails on order-of-magnitude blowups.
 //
-// The committed snapshot (BENCH_pr6.json) is the baseline CI diffs
+// The committed snapshot (BENCH_pr7.json) is the baseline CI diffs
 // against; regenerate it with `parsim sweep -bench` after intentional
 // performance or cost-model changes.
 
@@ -114,6 +114,8 @@ func RunBenchSnapshot(label, filter string) (*BenchSnapshot, error) {
 		{"Sweep/commit/qsm-low", benchQSMLow},
 		{"Sweep/commit/qsm-high", benchQSMHigh},
 		{"Sweep/commit/qsm-tree8", benchQSMTree8},
+		{"Sweep/commit/qsm-batch", benchQSMBatch},
+		{"Sweep/commit/bool-word", benchBoolWord},
 		{"Sweep/commit/bsp-shift", benchBSPShift},
 		{"Sweep/commit/gsm-gather", benchGSMGather},
 		{"Sweep/cell/qsm-parity", benchRunCell},
@@ -227,6 +229,54 @@ func benchQSMTree8(name string) (BenchResult, error) {
 		v := c.Read(c.Proc())
 		c.Write(p+c.Proc()/8, v|1)
 	})
+}
+
+// benchQSMBatch gates the columnar submission path: block reads and
+// fills through the struct-of-arrays request buffers, at a gate-sized
+// per-processor batch (the full envelope sweep lives in bench_test.go).
+func benchQSMBatch(name string) (BenchResult, error) {
+	const p, k = benchCommitProcs, 16
+	return benchQSMCommit(name, 2*p*k, func(c *qsm.Ctx) {
+		pr := c.Proc()
+		c.ReadBlock(pr*k, k)
+		c.WriteFill(p*k+pr*k, k, int64(pr))
+	})
+}
+
+// benchBoolWord gates the bit-packed memory: one 64-bit ReadWord (64
+// charged cell reads) plus a summary-bit write per processor.
+func benchBoolWord(name string) (BenchResult, error) {
+	const p = benchCommitProcs
+	cfg := qsm.Config{Rule: cost.RuleQSM, P: p, G: 2, N: p, MemCells: 65 * p}
+	body := func(c *qsm.BoolCtx) {
+		w := c.ReadWord(c.Proc()*64, 64)
+		c.Write(64*p+c.Proc(), w != 0)
+	}
+	probe, err := qsm.NewBool(cfg)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	probe.Phase(body)
+	if probe.Err() != nil {
+		return BenchResult{}, probe.Err()
+	}
+	metrics := map[string]float64{"modelTime": float64(probe.Report().TotalTime)}
+	r := testing.Benchmark(func(b *testing.B) {
+		m, err := qsm.NewBool(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Phase(body)
+		}
+		b.StopTimer()
+		if m.Err() != nil {
+			b.Fatal(m.Err())
+		}
+	})
+	return result(name, metrics, r)
 }
 
 func benchBSPShift(name string) (BenchResult, error) {
