@@ -1,6 +1,6 @@
 # Convenience targets; everything here is a thin alias over the go tool.
 
-.PHONY: build test race lint lint-sarif baseline sweep-smoke bench bench-gate
+.PHONY: build test race lint lint-sarif baseline cfg-debug sweep-smoke bench bench-gate
 
 build:
 	go build ./...
@@ -22,6 +22,11 @@ lint-sarif:
 # Regenerate the suppression-debt ledger from the current findings.
 baseline:
 	go run ./cmd/reprolint -baseline .reprolint-baseline.json -write-baseline ./...
+
+# Dump the control-flow graph the dataflow analyzers build for one
+# function, e.g. `make cfg-debug FN=internal/engine/bitmem.go:commit`.
+cfg-debug:
+	go run ./cmd/reprolint -cfg-debug $(FN)
 
 # Small cross-model grid (every model × algorithm plus fault and
 # experiment cells) through the sweep runner, race-enabled.

@@ -77,7 +77,7 @@ func TestVetToolProtocol(t *testing.T) {
 	for _, fl := range flags {
 		names[fl.Name] = true
 	}
-	for _, want := range []string{"json", "maporder", "sentinelwrap", "snapshotdeep", "costbalance", "injectoronce", "observerpurity"} {
+	for _, want := range []string{"json", "maporder", "sentinelwrap", "snapshotdeep", "costbalance", "injectoronce", "observerpurity", "hotpathalloc", "colescape", "bitaddr"} {
 		if !names[want] {
 			t.Errorf("-flags missing %q: %s", want, out)
 		}
@@ -90,6 +90,41 @@ func TestVetToolProtocol(t *testing.T) {
 	vet.Stderr = &stderr
 	if err := vet.Run(); err != nil {
 		t.Fatalf("go vet -vettool over the tree found violations or failed: %v\n%s", err, stderr.String())
+	}
+}
+
+// TestCFGDebugDump checks the -cfg-debug front end: a named function
+// renders its block graph, a missing one is a usage error.
+func TestCFGDebugDump(t *testing.T) {
+	var out, errw bytes.Buffer
+	src := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(src, []byte(`package x
+
+func Sum(vals []int) (total int) {
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := dumpCFG(src+":Sum", &out, &errw); code != 0 {
+		t.Fatalf("dumpCFG exit %d: %s", code, errw.String())
+	}
+	dump := out.String()
+	for _, want := range []string{"cfg Sum:", "range.head", "if.then", "exit"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if code := dumpCFG(src+":Missing", &out, &errw); code != 2 {
+		t.Errorf("dumpCFG for a missing function = %d, want 2", code)
+	}
+	if code := dumpCFG("no-colon", &out, &errw); code != 2 {
+		t.Errorf("dumpCFG without file:Func = %d, want 2", code)
 	}
 }
 

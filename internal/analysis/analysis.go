@@ -30,6 +30,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -164,10 +165,16 @@ func (p *Pass) Allowlisted(file *ast.File, pos token.Pos) bool {
 
 // CheckDirectives reports every reason-less allowlist directive of this
 // analyzer in the pass's files. Analyzers call it once from Run so a bare
-// "//lint:<name>-ok" cannot silently disable a check.
+// "//lint:<name>-ok" cannot silently disable a check. Files under a
+// testdata directory are exempt: analyzer fixtures deliberately exercise
+// malformed directives, and the mandatory-reason rule polices shipped
+// code, not the test corpus.
 func (p *Pass) CheckDirectives() {
 	for _, f := range p.Files {
 		name := p.Fset.Position(f.Pos()).Filename
+		if inTestdata(name) {
+			continue
+		}
 		lines := p.fileDirectives(f)
 		nums := make([]int, 0, len(lines))
 		for l := range lines { //lint:maporder-ok lines are sorted before reporting
@@ -181,6 +188,16 @@ func (p *Pass) CheckDirectives() {
 			}
 		}
 	}
+}
+
+// inTestdata reports whether filename has a "testdata" path segment.
+func inTestdata(filename string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(filename), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // lineStart returns a position on line l of file f (the file position of

@@ -90,6 +90,40 @@ func f(m map[int]int) {
 	}
 }
 
+// Fixture files under a testdata directory deliberately carry malformed
+// directives; the mandatory-reason check polices shipped code only. The
+// bare directive still must not suppress anything there.
+func TestBareDirectiveSkippedInTestdata(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) {
+	//lint:maporder-ok
+	for range m {
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/analysis/maporder/testdata/src/p/a.go", src,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "maporder"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	pass.CheckDirectives()
+	if len(diags) != 0 {
+		t.Fatalf("CheckDirectives reported %v inside testdata", diags)
+	}
+	if pass.Allowlisted(f, posOnLine(fset, f, 5)) {
+		t.Error("bare directive suppressed a finding even inside testdata")
+	}
+}
+
 func TestAllowlistedSameLineAndLineAbove(t *testing.T) {
 	src := `package p
 

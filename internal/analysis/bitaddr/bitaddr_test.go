@@ -1,0 +1,12 @@
+package bitaddr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bitaddr"
+)
+
+func TestBitAddr(t *testing.T) {
+	analysistest.Run(t, bitaddr.Analyzer, "bitaddr/a")
+}

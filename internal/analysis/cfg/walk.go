@@ -1,0 +1,36 @@
+package cfg
+
+import "go/ast"
+
+// Inspect walks the sub-expressions of one CFG node the way analyzers
+// replaying a block need: a RangeStmt node contributes only its range
+// clause (key, value, ranged expression) because its body statements
+// live in their own blocks, and function literal bodies are entered only
+// when funcLits is true (a closure's statements are not part of the
+// enclosing graph; analyzers that care recurse with their own sub-graph).
+// fn follows the ast.Inspect contract: returning false prunes the walk
+// below the node. The FuncLit node itself is always visited, so an
+// analyzer can flag the literal even when it does not descend.
+func Inspect(n ast.Node, funcLits bool, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if !fn(r) {
+			return
+		}
+		for _, sub := range []ast.Expr{r.Key, r.Value, r.X} {
+			if sub != nil {
+				Inspect(sub, funcLits, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && !funcLits && m != n {
+			fn(m)
+			return false
+		}
+		return fn(m)
+	})
+}

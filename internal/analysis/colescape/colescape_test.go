@@ -1,0 +1,12 @@
+package colescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/colescape"
+)
+
+func TestColumnEscape(t *testing.T) {
+	analysistest.Run(t, colescape.Analyzer, "colescape/a")
+}

@@ -1,0 +1,20 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAllocEngineRoots(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "repro/internal/engine")
+}
+
+func TestHotPathAllocModelCallbacks(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "hotpathalloc/a")
+}
+
+func TestHotPathAllocClean(t *testing.T) {
+	analysistest.RunClean(t, hotpathalloc.Analyzer, "hotpathalloc/clean")
+}

@@ -6,9 +6,12 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/bitaddr"
+	"repro/internal/analysis/colescape"
 	"repro/internal/analysis/commitpurity"
 	"repro/internal/analysis/costbalance"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/injectoronce"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/observerpurity"
@@ -18,7 +21,8 @@ import (
 )
 
 // Analyzers returns the full reprolint suite: the per-file determinism
-// checks of PR 3 first, then the interprocedural contract analyzers.
+// checks of PR 3 first, then the interprocedural contract analyzers,
+// then the CFG-based dataflow analyzers of PR 8.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.Analyzer,
@@ -30,5 +34,8 @@ func Analyzers() []*analysis.Analyzer {
 		costbalance.Analyzer,
 		injectoronce.Analyzer,
 		observerpurity.Analyzer,
+		hotpathalloc.Analyzer,
+		colescape.Analyzer,
+		bitaddr.Analyzer,
 	}
 }

@@ -83,6 +83,31 @@ type Finding struct {
 // DiagDirEnv names the findings side-channel directory variable.
 const DiagDirEnv = "REPROLINT_DIAGDIR"
 
+// suiteFactKey is the reserved PackageFacts entry carrying the suite
+// identity stamp in every .vetx file. Analyzer names are lint check
+// names (lowercase identifiers), so the underscore prefix cannot
+// collide with a real analyzer.
+const suiteFactKey = "_suite"
+
+// SuiteHash returns a stable identity for an analyzer suite: the sorted
+// analyzer names and docs, hashed. It is mixed into the -V=full buildID
+// (so cmd/go's vet cache keys change when the suite changes even if the
+// executable self-hash is unavailable) and stamped into every .vetx
+// file, where loadDepFacts rejects facts written by a different suite.
+// Without the stamp, a warm GOCACHE restored across an analyzer change
+// (CI restore-keys, or an os.Executable failure masking the rebuild)
+// would feed stale fact payloads — encoded under the old analyzer
+// semantics — into the new analyzers.
+func SuiteHash(analyzers []*analysis.Analyzer) string {
+	ids := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		ids = append(ids, a.Name+"\x00"+a.Doc)
+	}
+	sort.Strings(ids)
+	sum := sha256.Sum256([]byte(strings.Join(ids, "\n")))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
 // ToolFlag mirrors the JSON shape cmd/go expects from `tool -flags`
 // (cmd/go/internal/vet/vetflag.go).
 type ToolFlag struct {
@@ -97,13 +122,14 @@ type ToolFlag struct {
 //
 // It never returns.
 func Main(analyzers ...*analysis.Analyzer) {
+	suiteHash := SuiteHash(analyzers)
 	if len(os.Args) == 2 {
 		switch os.Args[1] {
 		case "-V=full":
-			printVersion(true)
+			printVersion(true, suiteHash)
 			os.Exit(0)
 		case "-V":
-			printVersion(false)
+			printVersion(false, suiteHash)
 			os.Exit(0)
 		case "-flags":
 			printFlags(os.Stdout, analyzers)
@@ -131,22 +157,25 @@ func Main(analyzers ...*analysis.Analyzer) {
 				active = append(active, a)
 			}
 		}
-		os.Exit(runConfig(args[0], active, *jsonOut))
+		os.Exit(runConfig(args[0], active, suiteHash, *jsonOut))
 	}
 	printHelp(analyzers)
 	os.Exit(2)
 }
 
 // printVersion emits the tool identification line cmd/go parses to build
-// its cache key. The "devel" form keys on a content hash of the
-// executable itself, so rebuilding reprolint invalidates cached vet
-// results — exactly the semantics a evolving in-repo tool wants.
-func printVersion(full bool) {
+// its cache key. The "devel" form keys on the suite identity hash plus a
+// content hash of the executable itself, so rebuilding reprolint — or
+// changing which analyzers it carries — invalidates cached vet results.
+// The suite hash leads so the buildID still tracks suite changes when
+// os.Executable fails (best-effort self-hash).
+func printVersion(full bool, suiteHash string) {
 	if !full {
 		fmt.Println("reprolint version devel")
 		return
 	}
 	h := sha256.New()
+	fmt.Fprintf(h, "suite:%s\n", suiteHash)
 	if exe, err := os.Executable(); err == nil {
 		if f, err := os.Open(exe); err == nil {
 			io.Copy(h, f)
@@ -186,7 +215,7 @@ func printHelp(analyzers []*analysis.Analyzer) {
 
 // runConfig analyzes the package described by one vet.cfg and returns the
 // process exit code (0 clean, 1 operational failure, 2 findings).
-func runConfig(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+func runConfig(cfgFile string, analyzers []*analysis.Analyzer, suiteHash string, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
@@ -204,18 +233,18 @@ func runConfig(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int
 	// facts file — analyzers treat the absence as "assume nothing".
 	if cfg.VetxOnly {
 		if !inModule(cfg.ImportPath) {
-			return writeVetx(cfg.VetxOutput, nil)
+			return writeVetx(cfg.VetxOutput, nil, suiteHash)
 		}
-		result, err := analyzePackage(&cfg, analyzers)
+		result, err := analyzePackage(&cfg, analyzers, suiteHash)
 		if err != nil {
 			// The dependency fails to type-check; the target package's
 			// own (non-VetxOnly) run will surface the real error.
-			return writeVetx(cfg.VetxOutput, nil)
+			return writeVetx(cfg.VetxOutput, nil, suiteHash)
 		}
-		return writeVetx(cfg.VetxOutput, result.facts)
+		return writeVetx(cfg.VetxOutput, result.facts, suiteHash)
 	}
 
-	result, err := analyzePackage(&cfg, analyzers)
+	result, err := analyzePackage(&cfg, analyzers, suiteHash)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			// go test's vet=default mode: the compiler will report the
@@ -225,7 +254,7 @@ func runConfig(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int
 		fmt.Fprintf(os.Stderr, "reprolint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	if code := writeVetx(cfg.VetxOutput, result.facts); code != 0 {
+	if code := writeVetx(cfg.VetxOutput, result.facts, suiteHash); code != 0 {
 		return code
 	}
 	findings := result.findings()
@@ -313,7 +342,7 @@ func (r *result) findings() []Finding {
 
 // analyzePackage parses and type-checks the cfg's package and runs every
 // applicable analyzer over it, collecting diagnostics and exported facts.
-func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*result, error) {
+func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer, suiteHash string) (*result, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -356,7 +385,7 @@ func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*result, error
 		return nil, err
 	}
 
-	depFacts := loadDepFacts(cfg)
+	depFacts := loadDepFacts(cfg, suiteHash)
 	res := &result{fset: fset}
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(path) {
@@ -392,8 +421,11 @@ func analyzePackage(cfg *Config, analyzers []*analysis.Analyzer) (*result, error
 // PackageVetx, keyed by canonical import path with test-variant suffixes
 // stripped (type information uses the plain path). A plain package and
 // its test variant both present resolve to the variant — the superset —
-// deterministically, by sorted key order.
-func loadDepFacts(cfg *Config) map[string]analysis.PackageFacts {
+// deterministically, by sorted key order. Facts carrying a different (or
+// no) suite stamp were written by a different analyzer suite and are
+// dropped: their payloads encode the old analyzers' semantics, and "no
+// facts" is every analyzer's conservative default.
+func loadDepFacts(cfg *Config, suiteHash string) map[string]analysis.PackageFacts {
 	if len(cfg.PackageVetx) == 0 {
 		return nil
 	}
@@ -412,6 +444,13 @@ func loadDepFacts(cfg *Config) map[string]analysis.PackageFacts {
 		if err := json.Unmarshal(data, &pf); err != nil {
 			continue
 		}
+		if pf[suiteFactKey]["hash"] != suiteHash {
+			continue // stale: written by a different analyzer suite
+		}
+		delete(pf, suiteFactKey)
+		if len(pf) == 0 {
+			continue
+		}
 		out[analysis.StripVariant(canon)] = pf
 	}
 	if len(out) == 0 {
@@ -420,19 +459,26 @@ func loadDepFacts(cfg *Config) map[string]analysis.PackageFacts {
 	return out
 }
 
-// writeVetx serializes the package's facts for downstream packages.
-// json.Marshal sorts map keys, so equal facts always produce equal bytes
-// and cmd/go's content-keyed cache stays stable. A missing VetxOutput
-// (possible for the root packages of a non-caching run) is skipped; an
-// empty facts set writes an empty file.
-func writeVetx(path string, facts analysis.PackageFacts) int {
+// writeVetx serializes the package's facts for downstream packages,
+// stamped with the suite identity hash so a later load can tell whether
+// the bytes came from this analyzer suite. json.Marshal sorts map keys,
+// so equal facts always produce equal bytes and cmd/go's content-keyed
+// cache stays stable. A missing VetxOutput (possible for the root
+// packages of a non-caching run) is skipped; an empty facts set writes
+// an empty file (loadDepFacts already skips those).
+func writeVetx(path string, facts analysis.PackageFacts, suiteHash string) int {
 	if path == "" {
 		return 0
 	}
 	var data []byte
 	if len(facts) > 0 {
+		stamped := make(analysis.PackageFacts, len(facts)+1)
+		for name, fs := range facts { //lint:maporder-ok copy into a map; json.Marshal sorts keys
+			stamped[name] = fs
+		}
+		stamped[suiteFactKey] = analysis.FactSet{"hash": suiteHash}
 		var err error
-		if data, err = json.Marshal(facts); err != nil {
+		if data, err = json.Marshal(stamped); err != nil {
 			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 			return 1
 		}

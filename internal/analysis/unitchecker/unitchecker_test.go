@@ -102,22 +102,23 @@ func TestVetxRoundTrip(t *testing.T) {
 		"sentinelwrap": {"fail": "stale"},
 	}
 
+	hash := SuiteHash(suite.Analyzers())
 	variantPath := filepath.Join(dir, "variant.vetx")
 	plainPath := filepath.Join(dir, "plain.vetx")
 	emptyPath := filepath.Join(dir, "empty.vetx")
-	if code := writeVetx(variantPath, facts); code != 0 {
+	if code := writeVetx(variantPath, facts, hash); code != 0 {
 		t.Fatalf("writeVetx exit %d", code)
 	}
-	if code := writeVetx(plainPath, plain); code != 0 {
+	if code := writeVetx(plainPath, plain, hash); code != 0 {
 		t.Fatalf("writeVetx exit %d", code)
 	}
-	if code := writeVetx(emptyPath, nil); code != 0 {
+	if code := writeVetx(emptyPath, nil, hash); code != 0 {
 		t.Fatalf("writeVetx exit %d", code)
 	}
 
 	// Byte determinism: equal facts, equal bytes (cache-key stability).
 	again := filepath.Join(dir, "again.vetx")
-	writeVetx(again, facts)
+	writeVetx(again, facts, hash)
 	b1, _ := os.ReadFile(variantPath)
 	b2, _ := os.ReadFile(again)
 	if !bytes.Equal(b1, b2) {
@@ -129,7 +130,7 @@ func TestVetxRoundTrip(t *testing.T) {
 		"repro/x [repro/x.test]": variantPath,
 		"errors":                 emptyPath, // stdlib: empty facts, skipped
 	}}
-	dep := loadDepFacts(cfg)
+	dep := loadDepFacts(cfg, hash)
 	if dep == nil {
 		t.Fatal("loadDepFacts returned nil")
 	}
@@ -145,5 +146,67 @@ func TestVetxRoundTrip(t *testing.T) {
 	}
 	if got["costbalance"]["Report.Rewind"] != "rewinds" {
 		t.Errorf("costbalance fact lost in round trip: %+v", got)
+	}
+	if _, ok := got[suiteFactKey]; ok {
+		t.Errorf("suite stamp must be stripped before analyzers see the facts: %+v", got)
+	}
+}
+
+// Facts written by a different analyzer suite (a stale warm cache, or a
+// pre-stamp file with no suite entry at all) must be dropped on load —
+// the conservative "no facts" default — not fed to the new analyzers.
+func TestVetxSuiteStampRejectsStaleFacts(t *testing.T) {
+	dir := t.TempDir()
+	facts := analysis.PackageFacts{"sentinelwrap": {"fail": "ErrBudget"}}
+
+	stale := filepath.Join(dir, "stale.vetx")
+	if code := writeVetx(stale, facts, "feedfacecafebeef"); code != 0 {
+		t.Fatalf("writeVetx exit %d", code)
+	}
+	unstamped := filepath.Join(dir, "unstamped.vetx")
+	raw, err := json.Marshal(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(unstamped, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, "fresh.vetx")
+	hash := SuiteHash(suite.Analyzers())
+	if code := writeVetx(fresh, facts, hash); code != 0 {
+		t.Fatalf("writeVetx exit %d", code)
+	}
+
+	cfg := &Config{PackageVetx: map[string]string{
+		"repro/stale":     stale,
+		"repro/unstamped": unstamped,
+		"repro/fresh":     fresh,
+	}}
+	dep := loadDepFacts(cfg, hash)
+	if _, ok := dep["repro/stale"]; ok {
+		t.Error("facts with a mismatched suite stamp must be dropped")
+	}
+	if _, ok := dep["repro/unstamped"]; ok {
+		t.Error("facts with no suite stamp must be dropped")
+	}
+	if dep["repro/fresh"]["sentinelwrap"]["fail"] != "ErrBudget" {
+		t.Errorf("current-suite facts lost: %+v", dep)
+	}
+}
+
+// The suite hash feeds cache keys: it must be stable across calls and
+// analyzer orderings, and must change when the suite's membership does.
+func TestSuiteHashStability(t *testing.T) {
+	all := suite.Analyzers()
+	h1 := SuiteHash(all)
+	reversed := make([]*analysis.Analyzer, len(all))
+	for i, a := range all {
+		reversed[len(all)-1-i] = a
+	}
+	if h2 := SuiteHash(reversed); h2 != h1 {
+		t.Errorf("SuiteHash depends on analyzer order: %s vs %s", h1, h2)
+	}
+	if h3 := SuiteHash(all[:len(all)-1]); h3 == h1 {
+		t.Error("SuiteHash did not change when an analyzer was removed")
 	}
 }

@@ -171,7 +171,7 @@ func (c *Ctx) Priv() []int64 { return c.m.priv[c.comp] }
 // Incoming returns the messages delivered to this component at the start of
 // the superstep (i.e. sent during the previous superstep), in deterministic
 // order (sorted by sender, then arrival order at the sender).
-func (c *Ctx) Incoming() []Message { return c.m.Route.Incoming(c.comp) }
+func (c *Ctx) Incoming() []Message { return c.m.Route.Incoming(c.comp) } //lint:colescape-ok documented borrow point: the superstep inbox view is valid until the next Sync
 
 // Work charges k units of local computation.
 func (c *Ctx) Work(k int) {
@@ -266,7 +266,7 @@ func (md bspModel) Name() string   { return "BSP" }
 func (md bspModel) Entity() string { return "component" }
 
 func (md bspModel) Render(msg Message) string {
-	return fmt.Sprintf("from=%d tag=%d val=%d", msg.From, msg.Tag, msg.Val)
+	return fmt.Sprintf("from=%d tag=%d val=%d", msg.From, msg.Tag, msg.Val) //lint:hotpathalloc-ok trace rendering: runs only when an event log is attached
 }
 
 // Snapshot and Restore implement engine.Snapshotter: superstep bodies

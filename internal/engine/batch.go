@@ -64,7 +64,7 @@ func (c *MemCtx[V]) ReadBlock(addr, k int) []V {
 	}
 	c.reads += int64(k)
 	c.readAddrs = appendSeq(c.readAddrs, int32(addr), k)
-	return c.m.mem[addr : addr+k]
+	return c.m.mem[addr : addr+k] //lint:colescape-ok documented borrow point: ReadBlock returns a phase-scoped view; callers are policed at their use sites
 }
 
 // ReadBatch reads the given cells (a gather), charging one read each,
@@ -137,19 +137,19 @@ func (c *MemCtx[V]) WriteBatch(addrs []int32, vals []V) {
 // ReadBatch/ReadBlock), the writes queue for the barrier commit.
 func (c *MemCtx[V]) Submit(b Batch[V]) {
 	if len(b.Writes) != len(b.Vals) {
-		c.failf("submit column mismatch: %d write addresses, %d values", len(b.Writes), len(b.Vals))
+		c.failf("submit column mismatch: %d write addresses, %d values", len(b.Writes), len(b.Vals)) //lint:hotpathalloc-ok abort path: formats once, then the context is poisoned
 		return
 	}
 	mem := c.m.mem
 	for _, a := range b.Reads {
 		if a < 0 || int(a) >= len(mem) {
-			c.failf("read out of range: cell %d of %d", a, len(mem))
+			c.failf("read out of range: cell %d of %d", a, len(mem)) //lint:hotpathalloc-ok abort path: formats once, then the context is poisoned
 			return
 		}
 	}
 	for _, a := range b.Writes {
 		if a < 0 || int(a) >= len(mem) {
-			c.failf("write out of range: cell %d of %d", a, len(mem))
+			c.failf("write out of range: cell %d of %d", a, len(mem)) //lint:hotpathalloc-ok abort path: formats once, then the context is poisoned
 			return
 		}
 	}
@@ -165,7 +165,7 @@ func (c *MemCtx[V]) Submit(b Batch[V]) {
 // job, exactly as for Stage.
 func (s *Sends[M]) StageBatch(dsts []int32, msgs []M) {
 	if len(dsts) != len(msgs) {
-		s.Fail(fmt.Errorf("engine: StageBatch column mismatch: %d destinations, %d messages",
+		s.Fail(fmt.Errorf("engine: StageBatch column mismatch: %d destinations, %d messages", //lint:hotpathalloc-ok abort path: formats once, then the context is poisoned
 			len(dsts), len(msgs)))
 		return
 	}

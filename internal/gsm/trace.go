@@ -50,7 +50,7 @@ func infoKey(in Info) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%d", a)
+		fmt.Fprintf(&b, "%d", a) //lint:hotpathalloc-ok trace rendering: runs only when an event log is attached
 	}
 	return b.String()
 }

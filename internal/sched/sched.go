@@ -63,7 +63,7 @@ func Blocks(workers, n int, fn func(w, lo, hi int)) {
 		lo := w * chunk
 		hi := min(lo+chunk, n)
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, lo, hi int) { //lint:hotpathalloc-ok the fan-out primitive itself: one goroutine per block, bounded by Workers
 			defer wg.Done()
 			fn(w, lo, hi)
 		}(w, lo, hi)
