@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
+	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/sweep"
 )
@@ -29,10 +34,20 @@ func runChaos(argv []string, stdout io.Writer) error {
 	degraded := fs.Bool("degraded", false, "mask crashes and re-partition over survivors (shared-memory models)")
 	workers := fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	deadline := fs.Duration("deadline", chaos.DefaultDeadline, "per-run watchdog deadline")
+	backendName := fs.String("backend", "", backend.Usage())
+	procWorkers := fs.Int("proc-workers", 0, "proc backend worker processes (default 1)")
 	verbose := fs.Bool("v", false, "print the per-run fault event log")
 	if err := parseFlags(fs, argv, stdout); err != nil {
 		return err
 	}
+	if !backend.Valid(*backendName) {
+		return fmt.Errorf("unknown backend %q (want %s)", *backendName, strings.Join(backend.Names(), " | "))
+	}
+
+	// SIGINT/SIGTERM cancel the run (or sweep) between scenarios and tear
+	// down the scenario in flight; the partial summary still prints.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *model != "" {
 		// Validate up front: chaos.Run reports an unknown model as a
@@ -52,10 +67,13 @@ func runChaos(argv []string, stdout io.Writer) error {
 		sc := chaos.Scenario{
 			Model: *model, Alg: *alg, N: *n, Seed: *seed,
 			Specs: specs, Degraded: *degraded,
+			Backend: *backendName, ProcWorkers: *procWorkers,
 		}
-		o := chaos.Run(sc, *deadline, *workers)
+		o := chaos.Run(ctx, sc, *deadline, *workers)
 		fmt.Fprintln(stdout, sc.Name())
 		switch {
+		case o.Cancelled:
+			fmt.Fprintln(stdout, "interrupted: run cancelled before completion")
 		case o.Verified:
 			fmt.Fprintln(stdout, "verified: answer matches the host-side oracle")
 		case o.Err != nil:
@@ -78,11 +96,19 @@ func runChaos(argv []string, stdout io.Writer) error {
 		seedList[i] = *seed + int64(i)
 	}
 	cells := sweep.PresetChaos(seedList, *n, *degraded)
-	s, err := sweep.Run(cells, sweep.Options{Workers: *workers, Deadline: *deadline})
+	for i := range cells {
+		cells[i].Backend = *backendName
+		cells[i].ProcWorkers = *procWorkers
+	}
+	s, err := sweep.Run(cells, sweep.Options{Workers: *workers, Deadline: *deadline, Ctx: ctx})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout, s.ChaosString())
+	if s.Interrupted && ctx.Err() != nil {
+		fmt.Fprintf(stdout, "interrupted: %d of %d runs not finished\n",
+			s.Total-(s.OK+s.Diagnosed+s.Skipped+s.Failed), s.Total)
+	}
 	if s.Failed > 0 {
 		return fmt.Errorf("robustness invariant violated in %d of %d runs",
 			s.Failed, s.OK+s.Diagnosed+s.Failed)

@@ -31,11 +31,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/backend"
+	"repro/internal/backend/proc"
 	"repro/internal/sweep"
 )
 
 func main() {
+	// A proc-backend coordinator re-execs this binary as a worker with
+	// the connection parameters in the environment; MaybeWorker hijacks
+	// the process before any flag parsing when those are set.
+	proc.MaybeWorker()
 	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -49,6 +56,8 @@ func cliMain(argv []string, stdout, stderr io.Writer) int {
 		err = runChaos(argv[1:], stdout)
 	case len(argv) > 0 && argv[0] == "sweep":
 		err = runSweep(argv[1:], stdout, stderr)
+	case len(argv) > 0 && argv[0] == "worker":
+		err = runWorker(argv[1:], stdout)
 	default:
 		err = runSingle(argv, stdout)
 	}
@@ -75,6 +84,27 @@ func parseFlags(fs *flag.FlagSet, argv []string, stdout io.Writer) error {
 	return err
 }
 
+// runWorker implements the `parsim worker` subcommand: the explicit
+// spelling of what MaybeWorker does from the environment. A coordinator
+// configured with Bin/Args can point at any binary that dispatches to
+// this, so the transport is debuggable outside the re-exec path.
+func runWorker(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("parsim worker", flag.ContinueOnError)
+	socket := fs.String("socket", "", "coordinator Unix-domain socket path (required)")
+	rank := fs.Int("rank", 0, "worker rank")
+	beat := fs.Duration("beat", 25*time.Millisecond, "heartbeat period")
+	if err := parseFlags(fs, argv, stdout); err != nil {
+		return err
+	}
+	if *socket == "" {
+		return errors.New("worker: -socket is required")
+	}
+	if *rank < 0 {
+		return fmt.Errorf("worker: rank %d out of range", *rank)
+	}
+	return proc.RunWorker(*socket, *rank, *beat)
+}
+
 // runSingle is the default mode: one algorithm on one machine, through
 // the same sweep.Execute path a grid cell takes.
 func runSingle(argv []string, stdout io.Writer) error {
@@ -91,17 +121,27 @@ func runSingle(argv []string, stdout io.Writer) error {
 	gamma := fs.Int64("gamma", 1, "GSM γ")
 	fanin := fs.Int("fanin", 2, "tree fan-in")
 	seed := fs.Int64("seed", 7, "workload seed")
+	backendName := fs.String("backend", "", backend.Usage())
+	procWorkers := fs.Int("proc-workers", 0, "proc backend worker processes (default 1)")
 	verbose := fs.Bool("v", false, "print the per-phase table")
 	events := fs.Bool("events", false, "print the structured per-phase event stream (small n only)")
 	if err := parseFlags(fs, argv, stdout); err != nil {
 		return err
 	}
 
-	out, err := sweep.Execute(sweep.Cell{
+	bk, err := backend.New(backend.Config{Name: *backendName, ProcWorkers: *procWorkers})
+	if err != nil {
+		return err
+	}
+	if bk != nil {
+		defer bk.Close()
+	}
+	out, err := sweep.ExecuteWith(sweep.Cell{
 		Model: *model, Alg: *alg, N: *n, P: *p,
 		G: *g, D: *d, L: *l, Alpha: *alpha, Beta: *beta, Gamma: *gamma,
 		Fanin: *fanin, Seed: *seed,
-	}, *events, 0)
+		Backend: *backendName, ProcWorkers: *procWorkers,
+	}, *events, 0, bk)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,62 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every listed name must pass Valid, and "" must keep selecting inproc —
+// the CLI validates flags through Valid before New ever runs.
+func TestNamesAreValid(t *testing.T) {
+	for _, n := range Names() {
+		if !Valid(n) {
+			t.Errorf("Valid(%q) = false for a listed backend", n)
+		}
+	}
+	if !Valid("") {
+		t.Error(`Valid("") = false, want the empty selection to mean inproc`)
+	}
+	if Valid("smoke-signal") {
+		t.Error(`Valid("smoke-signal") = true for an unknown backend`)
+	}
+}
+
+// The zero Config and an explicit "inproc" both select the built-in
+// merge: a nil engine.Backend with no error and nothing to Close.
+func TestNewInprocIsNil(t *testing.T) {
+	for _, name := range []string{"", "inproc"} {
+		bk, err := New(Config{Name: name})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if bk != nil {
+			t.Fatalf("New(%q) = %T, want nil (the engine's built-in path)", name, bk)
+		}
+	}
+}
+
+// An unknown name must fail with a message that lists the valid choices,
+// since this error is what flag users see.
+func TestNewUnknownName(t *testing.T) {
+	bk, err := New(Config{Name: "smoke-signal"})
+	if err == nil {
+		t.Fatal("New with an unknown name succeeded")
+	}
+	if bk != nil {
+		t.Fatalf("New returned a backend (%T) alongside an error", bk)
+	}
+	if !strings.Contains(err.Error(), "smoke-signal") || !strings.Contains(err.Error(), Usage()) {
+		t.Fatalf("error %q does not name the bad input and the valid set %q", err, Usage())
+	}
+}
+
+// Usage must mention every selectable backend so flag help stays in sync
+// with Names.
+func TestUsageListsAllNames(t *testing.T) {
+	u := Usage()
+	for _, n := range Names() {
+		if !strings.Contains(u, n) {
+			t.Errorf("Usage() = %q missing backend %q", u, n)
+		}
+	}
+}

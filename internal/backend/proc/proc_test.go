@@ -1,0 +1,232 @@
+package proc_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/backend/proc"
+	"repro/internal/engine"
+)
+
+// TestMain makes the test binary its own worker binary: a spawned copy
+// sees the coordinator's environment, runs the worker loop and exits
+// before any test executes.
+func TestMain(m *testing.M) {
+	proc.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func testOptions(workers int) proc.Options {
+	return proc.Options{
+		Workers:           workers,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		RespawnMax:        3,
+	}
+}
+
+func newCoord(t *testing.T, workers int) *proc.Coordinator {
+	t.Helper()
+	c, err := proc.New(testOptions(workers))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// randomMemReq builds a deterministic pseudo-random merge request over
+// the given cell count.
+func randomMemReq(rng *rand.Rand, procs, cells int, packed bool) engine.MemMergeReq {
+	req := engine.MemMergeReq{Phase: 1, Attempt: 1, Cells: cells, Packed: packed}
+	for p := 0; p < procs; p++ {
+		var reads, writes []int32
+		for i := rng.Intn(20); i > 0; i-- {
+			reads = append(reads, int32(rng.Intn(cells)))
+		}
+		for i := rng.Intn(20); i > 0; i-- {
+			w := int32(rng.Intn(cells))
+			if packed {
+				w = w<<1 | int32(rng.Intn(2))
+			}
+			writes = append(writes, w)
+		}
+		req.Reads = append(req.Reads, reads)
+		req.Writes = append(req.Writes, writes)
+	}
+	return req
+}
+
+// TestMergeMemMatchesReference pins the distributed merge to the
+// reference merger over the full cell space, across worker counts,
+// packed and plain.
+func TestMergeMemMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		for _, packed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("w%d_packed%v", workers, packed), func(t *testing.T) {
+				c := newCoord(t, workers)
+				rng := rand.New(rand.NewSource(7))
+				var ref engine.MemMerger
+				for trial := 0; trial < 25; trial++ {
+					req := randomMemReq(rng, 5, 64, packed)
+					req.Phase = trial
+					want := ref.Merge(req, 0, req.Cells)
+					got, err := c.MergeMem(req)
+					if err != nil {
+						t.Fatalf("trial %d: MergeMem: %v", trial, err)
+					}
+					if got != want {
+						t.Fatalf("trial %d: got %+v want %+v", trial, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMergeRouteMatchesReference does the same for the routing barrier.
+func TestMergeRouteMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			c := newCoord(t, workers)
+			rng := rand.New(rand.NewSource(11))
+			var ref engine.RouteMerger
+			for trial := 0; trial < 25; trial++ {
+				req := engine.RouteMergeReq{Phase: trial, Attempt: 1, P: 9}
+				for s := 0; s < req.P; s++ {
+					var col []int32
+					for i := rng.Intn(15); i > 0; i-- {
+						col = append(col, int32(rng.Intn(req.P)))
+					}
+					req.Dsts = append(req.Dsts, col)
+				}
+				want := ref.Merge(req, 0, req.P)
+				got, err := c.MergeRoute(req)
+				if err != nil {
+					t.Fatalf("trial %d: MergeRoute: %v", trial, err)
+				}
+				if got != want {
+					t.Fatalf("trial %d: got %+v want %+v", trial, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashRealizeRespawns SIGKILLs a worker through the fault-realizer
+// hook and checks the next barrier succeeds on a respawned replacement.
+func TestCrashRealizeRespawns(t *testing.T) {
+	c := newCoord(t, 2)
+	req := randomMemReq(rand.New(rand.NewSource(3)), 4, 32, false)
+	want, err := c.MergeMem(req)
+	if err != nil {
+		t.Fatalf("pre-kill merge: %v", err)
+	}
+	c.Realize(engine.InjectCtx{Cells: 32}, engine.Verdict{Class: engine.FaultCrash, Proc: 1})
+	// The kill lands asynchronously; wait for the reader to notice.
+	time.Sleep(50 * time.Millisecond)
+	got, err := c.MergeMem(req)
+	if err != nil {
+		t.Fatalf("post-kill merge: %v", err)
+	}
+	if got != want {
+		t.Fatalf("post-kill merge diverged: got %+v want %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Kills != 1 || st.Respawns < 1 {
+		t.Fatalf("stats = %+v, want 1 kill and ≥1 respawn", st)
+	}
+}
+
+// TestDropRealizeTimesOutTransient arms a frame drop and checks the
+// barrier surfaces a transient transport error (deadline expiry), then
+// recovers on the next attempt.
+func TestDropRealizeTimesOutTransient(t *testing.T) {
+	c := newCoord(t, 2)
+	req := engine.RouteMergeReq{Phase: 0, Attempt: 1, P: 4, Dsts: [][]int32{{1}, {2}, {3}, {0}}}
+	c.Realize(engine.InjectCtx{}, engine.Verdict{Class: engine.FaultTransient, Addr: 1, Drop: true})
+	_, err := c.MergeRoute(req)
+	var te *engine.TransportError
+	if !errors.As(err, &te) || te.Permanent {
+		t.Fatalf("dropped frame: err = %v, want transient TransportError", err)
+	}
+	req.Attempt = 2
+	if _, err := c.MergeRoute(req); err != nil {
+		t.Fatalf("retry after drop: %v", err)
+	}
+	if st := c.Stats(); st.Drops != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", st)
+	}
+}
+
+// TestDupRealizeIsHarmless arms a frame duplication: the duplicate
+// response must be filtered out and both this and the next barrier
+// answer correctly.
+func TestDupRealizeIsHarmless(t *testing.T) {
+	c := newCoord(t, 2)
+	rng := rand.New(rand.NewSource(5))
+	var ref engine.MemMerger
+	c.Realize(engine.InjectCtx{}, engine.Verdict{Class: engine.FaultTransient, Addr: 0, Drop: false})
+	for trial := 0; trial < 3; trial++ {
+		req := randomMemReq(rng, 4, 48, false)
+		req.Phase = trial
+		want := ref.Merge(req, 0, req.Cells)
+		got, err := c.MergeMem(req)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %+v want %+v", trial, got, want)
+		}
+	}
+	if st := c.Stats(); st.Dups != 1 {
+		t.Fatalf("stats = %+v, want 1 dup", st)
+	}
+}
+
+// TestRespawnBudgetExhaustionPermanent kills the same rank repeatedly:
+// once the budget is gone the failure must be permanent.
+func TestRespawnBudgetExhaustionPermanent(t *testing.T) {
+	opt := testOptions(1)
+	opt.RespawnMax = 1
+	c, err := proc.New(opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	req := randomMemReq(rand.New(rand.NewSource(9)), 2, 16, false)
+	kill := func() {
+		c.Realize(engine.InjectCtx{Cells: 16}, engine.Verdict{Class: engine.FaultCrash, Proc: 0})
+		time.Sleep(50 * time.Millisecond)
+	}
+	kill()
+	if _, err := c.MergeMem(req); err != nil {
+		t.Fatalf("first respawn should absorb the kill: %v", err)
+	}
+	kill()
+	_, err = c.MergeMem(req)
+	var te *engine.TransportError
+	if !errors.As(err, &te) || !te.Permanent {
+		t.Fatalf("budget exhausted: err = %v, want permanent TransportError", err)
+	}
+}
+
+// TestCloseFailsMergesPermanently pins the closed-coordinator contract.
+func TestCloseFailsMergesPermanently(t *testing.T) {
+	c := newCoord(t, 1)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	_, err := c.MergeMem(engine.MemMergeReq{Cells: 4, Reads: [][]int32{nil}, Writes: [][]int32{nil}})
+	var te *engine.TransportError
+	if !errors.As(err, &te) || !te.Permanent {
+		t.Fatalf("merge after Close: err = %v, want permanent TransportError", err)
+	}
+}

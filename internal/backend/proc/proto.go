@@ -1,0 +1,184 @@
+// Package proc is the multi-process commit-barrier backend: a
+// coordinator fork/execs worker subprocesses (ranks 0..W−1) and ships
+// each barrier merge to them as length-prefixed frames over a Unix-domain
+// socket, merging the per-rank answers in rank order. Workers own
+// contiguous slices of the cell (or component) space and run the engine's
+// reference mergers (engine.MemMerger / engine.RouteMerger) over their
+// slice, so the merged statistics are identical to the in-proc path — a
+// fault-free proc run produces byte-equal event streams and cost reports
+// to an inproc run at any worker count.
+//
+// The robustness layer maps the model's fault verdicts onto real
+// transport faults (see Coordinator.Realize): crash verdicts SIGKILL a
+// worker process, message-channel verdicts drop or duplicate a request
+// frame. Physical faults surface as transport errors at the barrier and
+// recover through the engine's RetryPolicy — with model-time backoff
+// stalls — while dead workers respawn under a capped real-time
+// exponential backoff.
+package proc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame format: a 4-byte little-endian payload length, then the payload;
+// payload byte 0 is the frame type. Integers inside payloads are
+// little-endian (u32/i32/i64).
+const (
+	// fHello (worker → coordinator), payload: rank u32. First frame on a
+	// fresh connection.
+	fHello byte = 1
+	// fMemReq (coordinator → worker), payload: phase u32, attempt u32,
+	// cells u32, packed u8, lo u32, hi u32, nprocs u32, then nprocs read
+	// columns and nprocs write columns, each a u32 count followed by that
+	// many i32 entries. Columns arrive pre-filtered to the worker's
+	// [lo, hi) cell range.
+	fMemReq byte = 2
+	// fMemRes (worker → coordinator), payload: phase u32, attempt u32,
+	// kread i64, kwrite i64, viol i32 (−1 = clean).
+	fMemRes byte = 3
+	// fRouteReq (coordinator → worker), payload: phase u32, attempt u32,
+	// p u32, lo u32, hi u32, nsenders u32, then nsenders destination
+	// columns (u32 count + i32 entries), pre-filtered to [lo, hi).
+	fRouteReq byte = 4
+	// fRouteRes (worker → coordinator), payload: phase u32, attempt u32,
+	// hrecv i64.
+	fRouteRes byte = 5
+	// fBeat (worker → coordinator), payload: rank u32. Liveness heartbeat.
+	fBeat byte = 6
+	// fShutdown (coordinator → worker), empty payload: clean exit request.
+	fShutdown byte = 7
+)
+
+// maxFrame bounds an incoming frame's payload so a corrupt length prefix
+// cannot drive an arbitrary allocation.
+const maxFrame = 1 << 28
+
+// enc builds one outgoing frame in a reusable buffer. reset starts the
+// frame, the appenders add payload, finish backpatches the length prefix
+// and returns the wire bytes (valid until the next reset).
+type enc struct {
+	b []byte
+}
+
+func (e *enc) reset(t byte) {
+	e.b = append(e.b[:0], 0, 0, 0, 0, t)
+}
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+func (e *enc) i32(v int32) { e.u32(uint32(v)) }
+func (e *enc) i64(v int64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v))
+}
+
+// mark reserves a u32 slot for count backpatching and returns its offset.
+func (e *enc) mark() int {
+	off := len(e.b)
+	e.b = append(e.b, 0, 0, 0, 0)
+	return off
+}
+
+// patch fills a reserved slot.
+func (e *enc) patch(off int, v uint32) {
+	binary.LittleEndian.PutUint32(e.b[off:off+4], v)
+}
+
+// finish backpatches the frame length and returns the complete frame.
+func (e *enc) finish() []byte {
+	binary.LittleEndian.PutUint32(e.b[:4], uint32(len(e.b)-4))
+	return e.b
+}
+
+// dec walks one received payload; decode errors latch in err and turn
+// every later accessor into a zero-value no-op, so call sites check err
+// once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("proc: truncated frame: %s at offset %d of %d", what, d.off, len(d.b))
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) i64() int64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("i64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return int64(v)
+}
+
+// col decodes a u32-counted i32 column into dst (reused, truncated).
+func (d *dec) col(dst []int32) []int32 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+4*n > len(d.b) {
+		d.fail("column")
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(d.b[d.off+4*i:])))
+	}
+	d.off += 4 * n
+	return dst
+}
+
+// writeFrame sends one complete frame (as returned by enc.finish).
+func writeFrame(w io.Writer, frame []byte) error {
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one frame payload into buf (grown as needed) and
+// returns the payload slice (valid until the next readFrame on buf).
+func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, buf, fmt.Errorf("proc: invalid frame length %d", n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}

@@ -1,0 +1,217 @@
+package proc
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Worker processes are spawned by the coordinator with their identity in
+// the environment: the socket to dial, the rank to announce and the
+// heartbeat period to keep. MaybeWorker at the top of a main() (or a
+// TestMain) turns any binary that links this package into its own worker
+// binary — the coordinator re-execs the running executable by default, so
+// no separate binary ships.
+const (
+	// EnvSocket is the Unix-domain socket path the worker dials.
+	EnvSocket = "REPRO_PROC_SOCKET"
+	// EnvRank is the worker's rank (decimal).
+	EnvRank = "REPRO_PROC_RANK"
+	// EnvBeat is the heartbeat period (time.Duration string, optional).
+	EnvBeat = "REPRO_PROC_BEAT"
+)
+
+// defaultBeat is the heartbeat period when EnvBeat is unset or invalid.
+const defaultBeat = 25 * time.Millisecond
+
+// MaybeWorker inspects the environment and, when this process was
+// spawned as a proc-backend worker, runs the worker loop and exits —
+// it never returns in that case. Call it first thing in main() and in
+// TestMain before any other work.
+func MaybeWorker() {
+	socket := os.Getenv(EnvSocket)
+	if socket == "" {
+		return
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil || rank < 0 {
+		fmt.Fprintf(os.Stderr, "proc worker: bad %s=%q\n", EnvRank, os.Getenv(EnvRank))
+		os.Exit(2)
+	}
+	beat := defaultBeat
+	if d, err := time.ParseDuration(os.Getenv(EnvBeat)); err == nil && d > 0 {
+		beat = d
+	}
+	if err := RunWorker(socket, rank, beat); err != nil {
+		fmt.Fprintf(os.Stderr, "proc worker %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker dials the coordinator, announces its rank, then serves merge
+// requests until a shutdown frame or connection loss. One goroutine
+// serves merges; a second sends heartbeats; a write mutex keeps their
+// frames from interleaving.
+func RunWorker(socket string, rank int, beat time.Duration) error {
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", socket, err)
+	}
+	defer conn.Close()
+
+	var wmu sync.Mutex
+	send := func(frame []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, frame)
+	}
+
+	var e enc
+	e.reset(fHello)
+	e.u32(uint32(rank))
+	if err := send(append([]byte(nil), e.finish()...)); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		var be enc
+		be.reset(fBeat)
+		be.u32(uint32(rank))
+		frame := append([]byte(nil), be.finish()...)
+		t := time.NewTicker(beat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if send(frame) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	w := &workerState{}
+	var buf []byte
+	for {
+		var payload []byte
+		payload, buf, err = readFrame(conn, buf)
+		if err != nil {
+			// Connection loss is the coordinator's teardown (or its
+			// death); either way the worker's job is over.
+			return nil
+		}
+		switch payload[0] {
+		case fMemReq:
+			res, err := w.serveMem(payload)
+			if err != nil {
+				return err
+			}
+			if err := send(res); err != nil {
+				return err
+			}
+		case fRouteReq:
+			res, err := w.serveRoute(payload)
+			if err != nil {
+				return err
+			}
+			if err := send(res); err != nil {
+				return err
+			}
+		case fShutdown:
+			return nil
+		default:
+			return fmt.Errorf("unexpected frame type %d", payload[0])
+		}
+	}
+}
+
+// workerState is one worker's reusable merge scratch: the reference
+// mergers plus decoded-column storage, so steady-state merges allocate
+// nothing.
+type workerState struct {
+	mm   engine.MemMerger
+	rm   engine.RouteMerger
+	cols [][]int32
+	res  enc
+}
+
+// columns sizes the reusable column set to n rows starting at row base
+// and decodes one u32-counted i32 column from d into each.
+func (w *workerState) columns(d *dec, base, n int) [][]int32 {
+	for len(w.cols) < base+n {
+		w.cols = append(w.cols, nil)
+	}
+	out := w.cols[base : base+n]
+	for i := range out {
+		out[i] = d.col(out[i])
+	}
+	return out
+}
+
+func (w *workerState) serveMem(payload []byte) ([]byte, error) {
+	d := dec{b: payload, off: 1}
+	phase := d.u32()
+	attempt := d.u32()
+	cells := int(d.u32())
+	packed := d.u8() == 1
+	lo := int(d.u32())
+	hi := int(d.u32())
+	nprocs := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	req := engine.MemMergeReq{
+		Phase: int(phase), Attempt: int(attempt), Cells: cells, Packed: packed,
+		Reads:  w.columns(&d, 0, nprocs),
+		Writes: w.columns(&d, nprocs, nprocs),
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	st := w.mm.Merge(req, lo, hi)
+	e := &w.res
+	e.reset(fMemRes)
+	e.u32(phase)
+	e.u32(attempt)
+	e.i64(st.KRead)
+	e.i64(st.KWrite)
+	e.i32(st.Viol)
+	return e.finish(), nil
+}
+
+func (w *workerState) serveRoute(payload []byte) ([]byte, error) {
+	d := dec{b: payload, off: 1}
+	phase := d.u32()
+	attempt := d.u32()
+	p := int(d.u32())
+	lo := int(d.u32())
+	hi := int(d.u32())
+	nsenders := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	req := engine.RouteMergeReq{
+		Phase: int(phase), Attempt: int(attempt), P: p,
+		Dsts: w.columns(&d, 0, nsenders),
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	st := w.rm.Merge(req, lo, hi)
+	e := &w.res
+	e.reset(fRouteRes)
+	e.u32(phase)
+	e.u32(attempt)
+	e.i64(st.HRecv)
+	return e.finish(), nil
+}

@@ -14,11 +14,14 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/boolor"
 	"repro/internal/bsp"
 	"repro/internal/compaction"
@@ -55,6 +58,13 @@ type Scenario struct {
 	// the shared-memory models have degraded runners, so it is ignored
 	// (strict mode) for bsp and gsm.
 	Degraded bool
+	// Backend selects the commit-barrier backend ("", "inproc" = the
+	// built-in merge; "proc" = worker subprocesses). On proc, injected
+	// crash and message-channel verdicts additionally echo as real
+	// process kills and frame drops/dups.
+	Backend string
+	// ProcWorkers is the proc backend's worker-process count (default 1).
+	ProcWorkers int
 }
 
 // Name renders a stable scenario identifier for subtests and logs.
@@ -67,8 +77,19 @@ func (s Scenario) Name() string {
 	if s.Degraded {
 		mode = "degraded"
 	}
-	return fmt.Sprintf("%s/%s/n%d/seed%d/%s/%s",
+	name := fmt.Sprintf("%s/%s/n%d/seed%d/%s/%s",
 		s.Model, s.Alg, s.N, s.Seed, strings.Join(parts, "+"), mode)
+	if s.Backend != "" && s.Backend != "inproc" {
+		name += fmt.Sprintf("/%s%d", s.Backend, s.procWorkers())
+	}
+	return name
+}
+
+func (s Scenario) procWorkers() int {
+	if s.ProcWorkers <= 0 {
+		return 1
+	}
+	return s.ProcWorkers
 }
 
 // Outcome is the result of one chaos run, judged against the robustness
@@ -90,6 +111,10 @@ type Outcome struct {
 	Panicked string
 	// TimedOut is true when the run overran its deadline.
 	TimedOut bool
+	// Cancelled is true when the run was cut short by context
+	// cancellation (SIGINT); a cancelled run is not an invariant
+	// violation.
+	Cancelled bool
 	// FaultLines is the plan's deterministic injection log.
 	FaultLines []string
 	// Stream is the engine observer event stream.
@@ -103,6 +128,8 @@ type Outcome struct {
 // invariant and a descriptive error otherwise.
 func (o *Outcome) Invariant() error {
 	switch {
+	case o.Cancelled:
+		return nil
 	case o.Panicked != "":
 		return fmt.Errorf("%s: panicked: %s", o.Scenario.Name(), o.Panicked)
 	case o.TimedOut:
@@ -119,16 +146,55 @@ func (o *Outcome) Invariant() error {
 	return nil
 }
 
+// Proc-backend chaos runs use a tighter liveness protocol than the
+// production defaults, so a realized frame drop costs one short response
+// deadline instead of seconds of sweep wall time.
+const (
+	chaosHeartbeatInterval = 10 * time.Millisecond
+	chaosHeartbeatTimeout  = 500 * time.Millisecond
+)
+
+// newBackend constructs the scenario's commit-barrier backend (nil for
+// inproc). PARSIM_PROC_LOGDIR, when set, receives the per-rank worker
+// logs — the CI failure-artifact hook; it never influences results.
+func newBackend(sc Scenario) (engine.Backend, error) {
+	return backend.New(backend.Config{
+		Name:              sc.Backend,
+		ProcWorkers:       sc.procWorkers(),
+		HeartbeatInterval: chaosHeartbeatInterval,
+		HeartbeatTimeout:  chaosHeartbeatTimeout,
+		LogDir:            os.Getenv("PARSIM_PROC_LOGDIR"),
+	})
+}
+
 // Run executes one scenario under a watchdog deadline, recovering panics
-// into the outcome. workers caps simulation parallelism (0 = GOMAXPROCS).
-// On deadline overrun the runner goroutine is abandoned (the simulators
-// have no cancellation); the overrun itself fails the sweep, so leaked
-// goroutines only ever exist on a run that is already a reported bug.
-func Run(sc Scenario, deadline time.Duration, workers int) *Outcome {
+// into the outcome. workers caps simulation parallelism (0 = GOMAXPROCS);
+// ctx cancellation (nil = Background) cuts the run short with a Cancelled
+// outcome. Run owns the scenario's backend: it is created before the
+// runner starts and closed on every exit path, so worker subprocesses die
+// promptly on deadline overrun or SIGINT — closing the backend also fails
+// any in-flight merge permanently, unblocking a proc runner goroutine.
+// In-proc runners have no cancellation and are abandoned on overrun; the
+// overrun itself fails the sweep, so leaked goroutines only ever exist on
+// a run that is already a reported bug.
+func Run(ctx context.Context, sc Scenario, deadline time.Duration, workers int) *Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if deadline <= 0 {
 		deadline = DefaultDeadline
 	}
 	out := &Outcome{Scenario: sc}
+	bk, err := newBackend(sc)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	closeBackend := func() {
+		if bk != nil {
+			bk.Close()
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		defer func() {
@@ -137,30 +203,35 @@ func Run(sc Scenario, deadline time.Duration, workers int) *Outcome {
 			}
 			close(done)
 		}()
-		execute(sc, workers, out)
+		execute(sc, workers, bk, out)
 	}()
 	watchdog := time.NewTimer(deadline)
 	defer watchdog.Stop()
 	select {
 	case <-done:
+		closeBackend()
 		return out
+	case <-ctx.Done():
+		closeBackend()
+		return &Outcome{Scenario: sc, Cancelled: true}
 	case <-watchdog.C:
+		closeBackend()
 		return &Outcome{Scenario: sc, TimedOut: true}
 	}
 }
 
 // execute dispatches to the per-family runner. All of them attach the
-// plan, run the algorithm, check the oracle and collect the event
-// streams.
-func execute(sc Scenario, workers int, out *Outcome) {
+// plan and backend, run the algorithm, check the oracle and collect the
+// event streams.
+func execute(sc Scenario, workers int, bk engine.Backend, out *Outcome) {
 	plan := fault.NewPlan(sc.Seed, sc.Specs...)
 	switch sc.Model {
 	case "bsp":
-		runBSP(sc, workers, plan, out)
+		runBSP(sc, workers, bk, plan, out)
 	case "gsm":
-		runGSM(sc, workers, plan, out)
+		runGSM(sc, workers, bk, plan, out)
 	default:
-		runShared(sc, workers, plan, out)
+		runShared(sc, workers, bk, plan, out)
 	}
 	out.FaultLines = plan.EventLines()
 }
@@ -181,7 +252,7 @@ func (o *Outcome) finish(err error, got, want int64, what string) {
 
 // runShared covers the QSM-family models (qsm, sqsm, crqw): parity tree,
 // OR contention tree and dart-throwing LAC, each with a degraded variant.
-func runShared(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+func runShared(sc Scenario, workers int, bk engine.Backend, plan *fault.Plan, out *Outcome) {
 	var rule cost.Rule
 	switch sc.Model {
 	case "qsm":
@@ -203,6 +274,9 @@ func runShared(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
 	}
 	ev := &engine.EventLog{}
 	m.AddObserver(ev)
+	if bk != nil {
+		m.SetBackend(bk)
+	}
 	m.InjectFaults(plan, engine.RetryPolicy{}, sc.Degraded)
 	defer func() {
 		out.Stream = ev.String()
@@ -280,7 +354,7 @@ const bspComponents = 8
 
 // runBSP covers the BSP component-tree algorithms. BSP has no degraded
 // runners, so crashes always run strict and poison diagnosably.
-func runBSP(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+func runBSP(sc Scenario, workers int, bk engine.Backend, plan *fault.Plan, out *Outcome) {
 	bits := workload.Bits(sc.Seed, sc.N)
 	var priv int
 	var want int64
@@ -302,6 +376,9 @@ func runBSP(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
 	}
 	ev := &engine.EventLog{}
 	m.AddObserver(ev)
+	if bk != nil {
+		m.SetBackend(bk)
+	}
 	m.InjectFaults(plan, engine.RetryPolicy{}, false)
 	defer func() {
 		out.Stream = ev.String()
@@ -322,7 +399,7 @@ func runBSP(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
 
 // runGSM covers the GSM information-gather algorithms; like BSP it always
 // runs strict.
-func runGSM(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
+func runGSM(sc Scenario, workers int, bk engine.Backend, plan *fault.Plan, out *Outcome) {
 	bits := workload.Bits(sc.Seed, sc.N)
 	const gamma = 2
 	r := (sc.N + gamma - 1) / gamma
@@ -336,6 +413,9 @@ func runGSM(sc Scenario, workers int, plan *fault.Plan, out *Outcome) {
 	}
 	ev := &engine.EventLog{}
 	m.AddObserver(ev)
+	if bk != nil {
+		m.SetBackend(bk)
+	}
 	m.InjectFaults(plan, engine.RetryPolicy{}, false)
 	defer func() {
 		out.Stream = ev.String()

@@ -26,8 +26,8 @@ func TestChaosSweep(t *testing.T) {
 	for _, sc := range scs {
 		sc := sc
 		t.Run(sc.Name(), func(t *testing.T) {
-			o1 := Run(sc, deadline, 1)
-			o8 := Run(sc, deadline, 8)
+			o1 := Run(nil, sc, deadline, 1)
+			o8 := Run(nil, sc, deadline, 8)
 			for _, o := range []*Outcome{o1, o8} {
 				if err := o.Invariant(); err != nil {
 					t.Fatal(err)
@@ -70,8 +70,8 @@ func TestChaosReplayDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sc := range scs[:20] {
-		a := Run(sc, DefaultDeadline, 0)
-		b := Run(sc, DefaultDeadline, 0)
+		a := Run(nil, sc, DefaultDeadline, 0)
+		b := Run(nil, sc, DefaultDeadline, 0)
 		if a.Stream != b.Stream || strings.Join(a.FaultLines, "\n") != strings.Join(b.FaultLines, "\n") {
 			t.Fatalf("%s: replay diverged", sc.Name())
 		}
@@ -84,7 +84,7 @@ func TestChaosReplayDeterminism(t *testing.T) {
 // The sweep aggregator reports invariant violations instead of dropping
 // them, and a panicking scenario is caught, not propagated.
 func TestChaosRunRecoversPanic(t *testing.T) {
-	o := Run(Scenario{Model: "qsm", Alg: "parity", N: 0, Seed: 1}, DefaultDeadline, 0)
+	o := Run(nil, Scenario{Model: "qsm", Alg: "parity", N: 0, Seed: 1}, DefaultDeadline, 0)
 	if o.Panicked != "" {
 		t.Fatalf("n=0 should error cleanly, got panic %q", o.Panicked)
 	}
@@ -99,7 +99,7 @@ func TestChaosSweepSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Sweep(scs[:26], DefaultDeadline, 0)
+	s := Sweep(nil, scs[:26], DefaultDeadline, 0)
 	if len(s.Failures) != 0 {
 		t.Fatalf("sweep failures:\n%s", s)
 	}

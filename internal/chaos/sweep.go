@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -82,7 +83,10 @@ type Summary struct {
 	Runs, Verified, Errored int
 	Injected, Recovered     int
 	MaskedProcs             int
-	Failures                []string
+	// Cancelled counts runs cut short (plus scenarios never started) by
+	// context cancellation; a non-zero count marks a partial summary.
+	Cancelled int
+	Failures  []string
 }
 
 // String renders the sweep summary (and failures, if any).
@@ -90,6 +94,9 @@ func (s *Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos sweep: %d runs, %d verified, %d diagnosable errors, %d faults injected, %d recovered, %d procs masked",
 		s.Runs, s.Verified, s.Errored, s.Injected, s.Recovered, s.MaskedProcs)
+	if s.Cancelled > 0 {
+		fmt.Fprintf(&b, " (interrupted: %d runs not finished)", s.Cancelled)
+	}
 	for _, f := range s.Failures {
 		b.WriteString("\n  FAIL ")
 		b.WriteString(f)
@@ -100,11 +107,25 @@ func (s *Summary) String() string {
 // Sweep runs every scenario under the deadline and aggregates outcomes.
 // Scenarios run sequentially — the simulators parallelize internally via
 // Workers, and sequential runs keep the summary order deterministic.
-func Sweep(scs []Scenario, deadline time.Duration, workers int) *Summary {
+// Context cancellation (nil = Background) stops the sweep between runs
+// and tears down the run in flight; the summary then reports the partial
+// tally with the unfinished count.
+func Sweep(ctx context.Context, scs []Scenario, deadline time.Duration, workers int) *Summary {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &Summary{}
-	for _, sc := range scs {
-		o := Run(sc, deadline, workers)
+	for i, sc := range scs {
+		if ctx.Err() != nil {
+			s.Cancelled += len(scs) - i
+			break
+		}
+		o := Run(ctx, sc, deadline, workers)
 		s.Runs++
+		if o.Cancelled {
+			s.Cancelled++
+			continue
+		}
 		if err := o.Invariant(); err != nil {
 			s.Failures = append(s.Failures, err.Error())
 			continue

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the commit-barrier backend seam. The engine's default
+// ("inproc") commit path is the sharded two-pass merge in mem.go /
+// bitmem.go / route.go — it stays byte-for-byte what it always was. A
+// Backend replaces only the *measurement* half of the barrier: counting
+// per-cell contention, detecting read+write violations and measuring the
+// h-relation over the request columns. Everything value-carrying stays on
+// the coordinating process — write payloads, inbox contents, observer
+// emission, cost charging and checkpoint/rollback — because the engines
+// are generic over payload types the transport cannot serialize.
+//
+// That split is what makes a distributed backend possible without
+// touching the determinism contract: the merge statistics are a pure
+// function of the (addr, proc) request columns, the columns are built in
+// ascending processor order on the coordinator, and the backend's answer
+// is compared against nothing — it IS the answer, so a backend that
+// implements the reference rules (see MemMerger / RouteMerger) produces
+// byte-identical event streams, cost reports and memory images to the
+// in-proc path at every Workers setting and every worker-process count.
+//
+// Transport failures are recovery-schedulable, not fatal: a failed merge
+// surfaces as PhaseRetry through the machine's RetryPolicy — charging the
+// same model-time backoff stall an injected transient fault charges —
+// unless the backend declares the error permanent (TransportError with
+// Permanent set), which poisons the machine diagnosably.
+
+// MemMergeReq is one shared-memory barrier merge: the per-processor
+// request columns of the phase attempt, borrowed from the engine's phase
+// contexts (valid only for the duration of the MergeMem call).
+type MemMergeReq struct {
+	// Phase is the zero-based index the phase would commit as; Attempt
+	// the 1-based attempt counter. Both are diagnostic — the merge result
+	// must not depend on them.
+	Phase, Attempt int
+	// Cells is the current shared-memory size (bits for packed columns).
+	Cells int
+	// Packed marks bit-engine write columns: entries are addr<<1 | bit
+	// and the cell address is entry>>1. Read columns are plain addresses
+	// either way.
+	Packed bool
+	// Reads and Writes hold one column per processor, index = processor
+	// id. Crashed (masked) processors contribute empty columns.
+	Reads, Writes [][]int32
+}
+
+// MergeStats is the shared-memory merge answer: the paper's per-cell
+// contention maxima (processors per cell, deduplicated per processor) and
+// the smallest cell that was both read and written this phase (−1 =
+// none). MaxOps/MaxRW stay coordinator-side — they never leave the phase
+// contexts.
+type MergeStats struct {
+	KRead, KWrite int64
+	// Viol is the smallest violating cell address, −1 for a clean phase.
+	Viol int32
+}
+
+// RouteMergeReq is one message-routing barrier merge: the per-sender
+// destination columns of the superstep attempt (message payloads stay on
+// the coordinator).
+type RouteMergeReq struct {
+	// Phase and Attempt are diagnostic, as in MemMergeReq.
+	Phase, Attempt int
+	// P is the component count; destinations are in [0, P).
+	P int
+	// Dsts holds one destination column per sender, index = component id.
+	Dsts [][]int32
+}
+
+// RouteStats is the routing merge answer: the receive side of the
+// h-relation (max fan-in over destination components). The send side is
+// the column lengths, which the coordinator already has.
+type RouteStats struct {
+	HRecv int64
+}
+
+// Backend computes the commit-barrier merge statistics for a machine. A
+// nil backend selects the built-in in-proc sharded merge. Implementations
+// must be deterministic functions of the request columns (the reference
+// rules are MemMerger/RouteMerger); they may fail with transport errors,
+// which the engine converts into retry-or-poison per TransportError.
+// MergeMem/MergeRoute are called from the coordinating goroutine only.
+type Backend interface {
+	// Name identifies the backend in reports and diagnostics.
+	Name() string
+	// MergeMem answers one shared-memory merge request.
+	MergeMem(req MemMergeReq) (MergeStats, error)
+	// MergeRoute answers one message-routing merge request.
+	MergeRoute(req RouteMergeReq) (RouteStats, error)
+	// Close releases backend resources (worker processes, sockets). It
+	// must be idempotent; after Close every merge fails permanently.
+	Close() error
+}
+
+// FaultRealizer is an optional Backend extension: backends with physical
+// failure modes (worker processes, message frames) implement it to mirror
+// injected verdicts as real faults — a crash verdict kills a worker
+// process, a message-channel verdict drops or duplicates a transport
+// frame. The engine calls Realize on the coordinating goroutine right
+// after the injector fires and before the verdict is acted on; the
+// physical effect then surfaces (if at all) as a transport error on a
+// later merge, which recovers through the same retry machinery. Realize
+// must not change the model-level verdict semantics.
+type FaultRealizer interface {
+	Realize(ic InjectCtx, v Verdict)
+}
+
+// TransportError is how a Backend reports a failed merge. Permanent
+// errors poison the machine (diagnosably); transient ones schedule a
+// phase retry under the machine's RetryPolicy, charging the same
+// model-time backoff stall as an injected transient fault.
+type TransportError struct {
+	// Backend is the reporting backend's Name.
+	Backend string
+	// Rank is the failing worker rank, −1 when not rank-specific.
+	Rank int
+	// Permanent marks errors retry cannot help (backend closed, worker
+	// respawn budget exhausted, handshake failure).
+	Permanent bool
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	if e.Rank >= 0 {
+		return fmt.Sprintf("%s backend: worker %d: %s transport fault: %v", e.Backend, e.Rank, kind, e.Err)
+	}
+	return fmt.Sprintf("%s backend: %s transport fault: %v", e.Backend, kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// SetBackend attaches a commit-barrier backend to the machine; call
+// before the first phase (nil restores the built-in in-proc merge). The
+// machine does not own the backend: callers close it after the run.
+func (c *Core) SetBackend(b Backend) { c.backend = b } //lint:commitpurity-ok pre-run configuration, like InjectFaults: set once before the first phase, never during a barrier
+
+// BackendName returns the attached backend's name, or "inproc" for the
+// built-in merge.
+func (c *Core) BackendName() string {
+	if c.backend == nil {
+		return "inproc"
+	}
+	return c.backend.Name()
+}
+
+// transportStatus converts a failed backend merge into a phase status:
+// permanent transport faults poison the machine diagnosably; transient
+// ones become PhaseRetry, recovering through the same RetryPolicy (and
+// charging the same model-time backoff stall) as injected transient
+// faults. Nothing was charged or applied when the merge failed, so no
+// rollback is needed — the retried attempt re-runs the bodies against
+// unchanged start-of-phase state.
+func (c *Core) transportStatus(err error) PhaseStatus {
+	var te *TransportError
+	if errors.As(err, &te) && te.Permanent {
+		c.RecordErr(fmt.Errorf("phase %d: %w", c.curPhase, err)) //lint:hotpathalloc-ok abort path: formats once, then the machine is poisoned
+		return PhaseAborted
+	}
+	c.fstats.Transport++
+	c.lastFault = err //lint:commitpurity-ok transport-retry bookkeeping inside the commit barrier: transportStatus is called only from the backend commit paths, mirroring consultInjector
+	return PhaseRetry
+}
+
+// MemMerger is the reference shared-memory merge: the exact contention
+// and violation rules of the in-proc sharded commit, applied serially
+// over one contiguous cell range [lo, hi). Backend workers run it over
+// their owned range; tests run it over the whole space and compare
+// against the built-in path. The scratch persists across merges, so a
+// steady-state merge allocates nothing.
+//
+// Rules (mirroring mem.go pass 2): contention counts *processors* per
+// cell — duplicate requests by one processor dedupe via the last mark;
+// all reads are counted before all writes, so a positive count at a
+// written cell means the forbidden read+write mix, and the smallest such
+// cell is reported.
+type MemMerger struct {
+	count, last []int32
+	touched     []int32
+}
+
+// Merge computes the merge statistics for the cells in [lo, hi);
+// requests outside the range are ignored (the caller shards the columns
+// or passes the full space).
+func (g *MemMerger) Merge(req MemMergeReq, lo, hi int) MergeStats {
+	width := hi - lo
+	if width < 0 {
+		width = 0
+	}
+	if len(g.count) < width {
+		g.count = make([]int32, width)
+		g.last = make([]int32, width)
+	}
+	st := MergeStats{Viol: -1}
+	touched := g.touched[:0]
+	for i, col := range req.Reads {
+		pr := int32(i) + 1
+		for _, a := range col {
+			if int(a) < lo || int(a) >= hi {
+				continue
+			}
+			x := a - int32(lo)
+			if g.last[x] == pr {
+				continue
+			}
+			g.last[x] = pr
+			if g.count[x] == 0 {
+				touched = append(touched, x)
+			}
+			g.count[x]++
+			st.KRead = max(st.KRead, int64(g.count[x]))
+		}
+	}
+	for i, col := range req.Writes {
+		pr := -(int32(i) + 1)
+		for _, e := range col {
+			a := e
+			if req.Packed {
+				a = e >> 1
+			}
+			if int(a) < lo || int(a) >= hi {
+				continue
+			}
+			x := a - int32(lo)
+			if g.count[x] > 0 {
+				if st.Viol < 0 || a < st.Viol {
+					st.Viol = a
+				}
+				continue
+			}
+			if g.last[x] == pr {
+				continue
+			}
+			g.last[x] = pr
+			if g.count[x] == 0 {
+				touched = append(touched, x)
+			}
+			g.count[x]--
+			st.KWrite = max(st.KWrite, int64(-g.count[x]))
+		}
+	}
+	for _, x := range touched {
+		g.count[x] = 0
+		g.last[x] = 0
+	}
+	g.touched = touched[:0]
+	return st
+}
+
+// RouteMerger is the reference routing merge: per-destination fan-in
+// counting over one contiguous component range [lo, hi), mirroring the
+// in-proc pass 2. The scratch persists across merges.
+type RouteMerger struct {
+	recv []int64
+}
+
+// Merge returns the maximum fan-in over destinations in [lo, hi);
+// destinations outside the range are ignored.
+func (g *RouteMerger) Merge(req RouteMergeReq, lo, hi int) RouteStats {
+	width := hi - lo
+	if width < 0 {
+		width = 0
+	}
+	if len(g.recv) < width {
+		g.recv = make([]int64, width)
+	} else {
+		for i := 0; i < width; i++ {
+			g.recv[i] = 0
+		}
+	}
+	for _, col := range req.Dsts {
+		for _, d := range col {
+			if int(d) >= lo && int(d) < hi {
+				g.recv[int(d)-lo]++
+			}
+		}
+	}
+	var st RouteStats
+	for i := 0; i < width; i++ {
+		st.HRecv = max(st.HRecv, g.recv[i])
+	}
+	return st
+}

@@ -56,6 +56,10 @@ type BitMem struct {
 	cb bitBuf
 	// ckWords is the word-level memory snapshot of the last Checkpoint.
 	ckWords []uint64
+	// bkReads/bkWrites are the reusable column-of-columns headers handed
+	// to an attached Backend (the columns themselves are borrowed from the
+	// phase contexts).
+	bkReads, bkWrites [][]int32
 }
 
 // InitBits prepares the engine for a machine with the given model,
@@ -315,14 +319,14 @@ func (b *bitBuf) ensure(nbits, nwords, workers, p int) (sh sched.Sharding, nm in
 		b.mRW = make([]int64, nm) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	if len(b.kr) < sh.N {
-		b.kr = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
-		b.kw = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.kr = make([]int64, sh.N)   //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.kw = make([]int64, sh.N)   //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 		b.viol = make([]int32, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 		b.touched = growSlices(b.touched, sh.N)
 	}
 	if len(b.count) < nbits {
 		b.count = make([]int32, nbits) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
-		b.last = make([]int32, nbits) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.last = make([]int32, nbits)  //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	return sh, nm
 }
@@ -333,6 +337,9 @@ func (b *bitBuf) ensure(nbits, nwords, workers, p int) (sh sched.Sharding, nm in
 // (addr>>6) so the apply and scratch accesses of different shards touch
 // disjoint words.
 func (m *BitMem) commit(workers int) PhaseStatus {
+	if m.backend != nil {
+		return m.commitBackend()
+	}
 	ctxs := m.ctxs
 	b := &m.cb
 	sh, nm := b.ensure(m.nbits, len(m.words), workers, len(ctxs))
@@ -461,6 +468,82 @@ func (m *BitMem) commit(workers int) PhaseStatus {
 	m.finish(workers, nm, ns, true)
 	m.observePhaseEnd(pc)
 	return PhaseCommitted
+}
+
+// commitBackend is BitMem's commit barrier when a Backend is attached:
+// Mem.commitBackend for the packed representation. Write columns ship
+// packed (addr<<1 | bit, Packed set) and the apply unpacks them per
+// processor in ascending order — the same last-writer-wins winner at
+// every bit as the sharded word-space replay.
+func (m *BitMem) commitBackend() PhaseStatus {
+	ctxs := m.ctxs
+	var mOp, mRW int64
+	reads := m.bkReads[:0]
+	writes := m.bkWrites[:0]
+	for _, c := range ctxs {
+		mOp = max(mOp, c.ops)
+		mRW = max(mRW, c.reads, c.wrs)
+		reads = append(reads, c.readAddrs)
+		writes = append(writes, c.writes)
+	}
+	m.bkReads, m.bkWrites = reads, writes //lint:commitpurity-ok column-header scratch pooled by the commit barrier itself; commitBackend is the backend-path commit entry point
+	st, err := m.backend.MergeMem(MemMergeReq{
+		Phase: m.curPhase, Attempt: m.attempt, Cells: m.nbits, Packed: true,
+		Reads: reads, Writes: writes,
+	})
+	if err != nil {
+		return m.transportStatus(err)
+	}
+	if st.Viol >= 0 {
+		m.RecordErr(fmt.Errorf("%w: cell %d both read and written in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+			m.model.Violation(), st.Viol, m.Report().NumPhases()))
+		return PhaseAborted
+	}
+
+	o := Outcome{MaxOps: mOp, MaxRW: mRW, KRead: st.KRead, KWrite: st.KWrite}
+	if m.InjectorActive() {
+		switch v := m.consultInjector(m.nbits); v.Class { //lint:injectoronce-ok commitBackend IS the commit barrier when a backend is attached; one draw per attempt, same as the built-in path
+		case FaultPermanent:
+			if v.Violation {
+				m.RecordErr(fmt.Errorf("%w: %w in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+					m.model.Violation(), v.Err, m.Report().NumPhases()))
+			} else {
+				m.RecordErr(fmt.Errorf("%s: phase %d: %w", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+					m.model.Prefix(), m.Report().NumPhases(), v.Err))
+			}
+			return PhaseAborted
+		case FaultTransient:
+			m.chargePhase(o)
+			m.applyCtxWrites()
+			m.corruptCell(v.Addr)
+			m.Rollback()
+			return PhaseRetry
+		}
+	}
+
+	pc := m.chargePhase(o)
+	if m.Observing() {
+		m.emitRequests()
+	}
+	m.applyCtxWrites()
+	m.observePhaseEnd(pc)
+	return PhaseCommitted
+}
+
+// applyCtxWrites commits the phase's packed writes straight from the
+// processor contexts in ascending processor order (the backend path's
+// replacement for the word-sharded replay).
+func (m *BitMem) applyCtxWrites() {
+	for _, c := range m.ctxs {
+		for _, pk := range c.writes {
+			a := pk >> 1
+			if pk&1 == 1 {
+				m.words[a>>6] |= 1 << (uint32(a) & 63) //lint:commitpurity-ok the backend path's apply half: called only from commitBackend inside the barrier
+			} else {
+				m.words[a>>6] &^= 1 << (uint32(a) & 63) //lint:commitpurity-ok the backend path's apply half: called only from commitBackend inside the barrier
+			}
+		}
+	}
 }
 
 // bitPayload renders an observer payload; the constants match what the

@@ -84,6 +84,9 @@ type Machine interface {
 	InjectFaults(inj Injector, rp RetryPolicy, degraded bool)
 	// FaultStats returns the engine-side fault accounting of the run.
 	FaultStats() FaultStats
+	// SetBackend attaches a commit-barrier backend (see backend.go); call
+	// before the first phase. nil selects the built-in in-proc merge.
+	SetBackend(Backend)
 }
 
 // Core is the lifecycle state shared by every simulated machine. Machine
@@ -122,6 +125,11 @@ type Core struct {
 	lastFault error
 	ckMark    cost.Mark
 	ckOk      bool
+
+	// backend, when non-nil, replaces the built-in sharded barrier merge
+	// with an external merge service (see backend.go); nil is the default
+	// in-proc path, untouched.
+	backend Backend
 }
 
 // Init prepares the core for a machine with the given model, parameters,

@@ -190,6 +190,9 @@ type FaultStats struct {
 	MaskedProcs int
 	// RecoveryCost is the model time charged to recovery stall phases.
 	RecoveryCost cost.Time
+	// Transport counts backend merge failures recovered through retry
+	// (see backend.go); zero on the in-proc path.
+	Transport int
 }
 
 // InjectFaults attaches a fault injector and recovery policy to the
@@ -246,13 +249,23 @@ func (c *Core) consultInjector(cells int) Verdict {
 	if c.inj == nil {
 		return Verdict{}
 	}
-	v := c.inj.Inject(InjectCtx{
+	ic := InjectCtx{
 		Phase:   c.curPhase,
 		Attempt: c.attempt,
 		P:       c.params.P,
 		Cells:   cells,
 		Total:   c.report.TotalTime,
-	})
+	}
+	v := c.inj.Inject(ic)
+	// Backends with physical failure modes mirror the verdict as a real
+	// fault (process kill, frame drop/dup). The model-level bookkeeping
+	// below is untouched: the verdict, not its physical echo, is the
+	// deterministic source of truth.
+	if v.Class != FaultNone && c.backend != nil {
+		if fr, ok := c.backend.(FaultRealizer); ok {
+			fr.Realize(ic, v)
+		}
+	}
 	switch v.Class {
 	case FaultNone:
 		return v
@@ -289,18 +302,35 @@ func (c *Core) noteCommitted() {
 	}
 }
 
+// Saturation bounds of the exponential recovery backoff. The exponent
+// cap keeps the shift defined at any attempt count; the ops cap keeps
+// one stall's charge — and the sums of many stalls — comfortably inside
+// int64 cost arithmetic even when BackoffOps itself is huge. Without the
+// ops cap, BackoffOps ≥ 2^31 shifted by the 32-bit exponent cap walked
+// straight past the sign bit and charged a negative stall.
+const (
+	maxRecoveryShift = 32
+	maxRecoveryOps   = int64(1) << 40
+)
+
 // chargeRecovery charges the model-time backoff stall for a retry of the
 // current phase: a visible phase (PhaseStart/PhaseEnd events, a report
-// record) of BackoffOps·2^(attempt-1) local operations priced by the
-// model's own cost rule. It runs after Rollback, so the stall occupies
-// the index of the phase being retried minus nothing — the retried
-// attempt follows it.
+// record) of min(BackoffOps·2^(attempt-1), maxRecoveryOps) local
+// operations priced by the model's own cost rule — the doubling
+// saturates instead of overflowing at high attempt counts. It runs after
+// Rollback, so the stall occupies the index of the phase being retried
+// minus nothing — the retried attempt follows it.
 func (c *Core) chargeRecovery() {
 	shift := uint(c.attempt - 1)
-	if shift > 32 {
-		shift = 32
+	if shift > maxRecoveryShift {
+		shift = maxRecoveryShift
 	}
-	ops := c.retry.backoff() << shift
+	ops := c.retry.backoff()
+	if ops >= maxRecoveryOps>>shift {
+		ops = maxRecoveryOps
+	} else {
+		ops <<= shift
+	}
 	c.observePhaseStart()
 	pc := c.model.PhaseCost(Outcome{MaxOps: ops})
 	c.report.Add(pc)

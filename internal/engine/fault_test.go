@@ -2,9 +2,11 @@ package engine_test
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/engine"
 )
 
@@ -200,5 +202,48 @@ func TestDegradedCrashMasksFromNextPhase(t *testing.T) {
 	}
 	if got := m.Survivors(); len(got) != 3 {
 		t.Errorf("Survivors = %v, want 3 processors", got)
+	}
+}
+
+// Exponential recovery backoff must saturate, not overflow: the naive
+// BackoffOps·2^(attempt-1) charge walks past the int64 sign bit once the
+// shift reaches 63 (sooner for large BackoffOps) and charges a negative
+// stall, corrupting the cost report. At high attempt counts every stall
+// saturates instead, and the total stays exact, positive and predictable.
+func TestRecoveryBackoffSaturates(t *testing.T) {
+	run := func(backoff int64) *cost.Report {
+		m := newMemMachine(t, 2, 4, 1)
+		m.InjectFaults(persistentTransient{}, engine.RetryPolicy{MaxAttempts: 70, BackoffOps: backoff}, false)
+		m.Phase(func(c *engine.MemCtx[int64]) { c.Write(c.Proc(), 1) })
+		if !errors.Is(m.Err(), errScripted) {
+			t.Fatalf("Err = %v, want the exhausted transient chain", m.Err())
+		}
+		r := m.Report()
+		if got, want := r.NumPhases(), 69; got != want {
+			t.Fatalf("NumPhases = %d, want %d recovery stalls", got, want)
+		}
+		for i, pc := range r.Phases {
+			if pc.Time < 0 || pc.MaxOps < 0 {
+				t.Fatalf("stall %d charged negative cost %+v — backoff overflowed", i, pc)
+			}
+			if i > 0 && pc.Time < r.Phases[i-1].Time {
+				t.Fatalf("stall %d cheaper than stall %d — backoff stopped doubling monotonically", i, i-1)
+			}
+		}
+		return r
+	}
+
+	// BackoffOps=1: stalls double up to the 2^32 exponent cap (attempts
+	// 1..33), then hold there for the remaining 36 retries.
+	r := run(1)
+	if got, want := r.TotalTime, cost.Time(38*(int64(1)<<32)-1); got != want {
+		t.Fatalf("TotalTime = %d, want %d (33 doubling stalls + 36 capped)", got, want)
+	}
+
+	// A maximal base charge saturates every stall at the ops ceiling from
+	// the first retry instead of going negative at the first shift.
+	r = run(math.MaxInt64)
+	if got, want := r.TotalTime, cost.Time(69*(int64(1)<<40)); got != want {
+		t.Fatalf("TotalTime = %d, want %d (69 ceiling stalls)", got, want)
 	}
 }

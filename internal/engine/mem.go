@@ -58,6 +58,9 @@ type Mem[V any] struct {
 	// contract replaces cell values rather than mutating them in place
 	// (last-writer-wins stores, GSM's copy-on-write Merge).
 	ckMem []V
+	// bkReads/bkWrites are the reusable column views handed to a commit
+	// backend (one borrowed slice per processor; see commitBackend).
+	bkReads, bkWrites [][]int32
 }
 
 // InitMem prepares the engine for a machine with the given model,
@@ -300,14 +303,14 @@ func (b *memBuf[V]) ensure(memSize, workers, p int) (sh sched.Sharding, nm int) 
 		b.mRW = make([]int64, nm) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	if len(b.kr) < sh.N {
-		b.kr = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
-		b.kw = make([]int64, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.kr = make([]int64, sh.N)   //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.kw = make([]int64, sh.N)   //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 		b.viol = make([]int32, sh.N) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 		b.touched = growSlices(b.touched, sh.N)
 	}
 	if len(b.count) < memSize {
 		b.count = make([]int32, memSize) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
-		b.last = make([]int32, memSize) //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
+		b.last = make([]int32, memSize)  //lint:hotpathalloc-ok amortized scratch growth to the high-water mark; steady-state commits do not allocate
 	}
 	return sh, nm
 }
@@ -328,6 +331,9 @@ func growSlices[T any](s [][]T, n int) [][]T {
 // the injector consult happens exactly once per attempt on the
 // coordinating goroutine.
 func (m *Mem[V]) commit(workers int) PhaseStatus {
+	if m.backend != nil {
+		return m.commitBackend()
+	}
 	ctxs := m.ctxs
 	b := &m.cb
 	sh, nm := b.ensure(len(m.mem), workers, len(ctxs))
@@ -470,6 +476,82 @@ func (m *Mem[V]) commit(workers int) PhaseStatus {
 	m.finish(workers, nm, ns, true)
 	m.observePhaseEnd(pc)
 	return PhaseCommitted
+}
+
+// commitBackend is the commit barrier when a Backend is attached: the
+// request columns are handed (borrowed, ascending processor order) to
+// the backend for contention counting and violation detection, and the
+// value-carrying half of the barrier — charging, observer emission and
+// the write apply — stays here. Writes apply per processor in ascending
+// order, which commits the same winner at every cell as the built-in
+// bucket replay (last write of the highest-numbered processor; merging
+// Applies are order-insensitive). A failed merge schedules a phase retry
+// or poisons the machine per transportStatus; nothing was charged or
+// applied, so state is already consistent.
+func (m *Mem[V]) commitBackend() PhaseStatus {
+	ctxs := m.ctxs
+	var mOp, mRW int64
+	reads := m.bkReads[:0]
+	writes := m.bkWrites[:0]
+	for _, c := range ctxs {
+		mOp = max(mOp, c.ops)
+		mRW = max(mRW, c.reads, c.wrs)
+		reads = append(reads, c.readAddrs)
+		writes = append(writes, c.writeAddrs)
+	}
+	m.bkReads, m.bkWrites = reads, writes //lint:commitpurity-ok column-header scratch pooled by the commit barrier itself; commitBackend is the backend-path commit entry point
+	st, err := m.backend.MergeMem(MemMergeReq{
+		Phase: m.curPhase, Attempt: m.attempt, Cells: len(m.mem),
+		Reads: reads, Writes: writes,
+	})
+	if err != nil {
+		return m.transportStatus(err)
+	}
+	if st.Viol >= 0 {
+		m.RecordErr(fmt.Errorf("%w: cell %d both read and written in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+			m.model.Violation(), st.Viol, m.Report().NumPhases()))
+		return PhaseAborted
+	}
+
+	o := Outcome{MaxOps: mOp, MaxRW: mRW, KRead: st.KRead, KWrite: st.KWrite}
+	if m.InjectorActive() {
+		switch v := m.consultInjector(len(m.mem)); v.Class { //lint:injectoronce-ok commitBackend IS the commit barrier when a backend is attached; one draw per attempt, same as the built-in path
+		case FaultPermanent:
+			if v.Violation {
+				m.RecordErr(fmt.Errorf("%w: %w in phase %d", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+					m.model.Violation(), v.Err, m.Report().NumPhases()))
+			} else {
+				m.RecordErr(fmt.Errorf("%s: phase %d: %w", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+					m.model.Prefix(), m.Report().NumPhases(), v.Err))
+			}
+			return PhaseAborted
+		case FaultTransient:
+			m.chargePhase(o)
+			m.applyCtxWrites()
+			m.corruptCell(v.Addr)
+			m.Rollback()
+			return PhaseRetry
+		}
+	}
+
+	pc := m.chargePhase(o)
+	if m.Observing() {
+		m.emitRequests()
+	}
+	m.applyCtxWrites()
+	m.observePhaseEnd(pc)
+	return PhaseCommitted
+}
+
+// applyCtxWrites commits the phase's writes straight from the processor
+// contexts in ascending processor order (the backend path's replacement
+// for the sharded bucket replay).
+func (m *Mem[V]) applyCtxWrites() {
+	for _, c := range m.ctxs {
+		if len(c.writeAddrs) > 0 {
+			m.model.Apply(m.mem, c.writeAddrs, c.writeVals)
+		}
+	}
 }
 
 // emitRequests renders the phase's requests as observer events, grouped

@@ -76,6 +76,10 @@ type Route[M any] struct {
 	// ckInbox is the inbox snapshot of the last Checkpoint (per-component
 	// message copies, buffers reused across supersteps).
 	ckInbox [][]M
+	// bkDsts is the reusable column-of-columns header handed to an
+	// attached Backend (the destination columns are borrowed from the
+	// staging buffers).
+	bkDsts [][]int32
 }
 
 // InitRoute prepares the engine for a machine with the given model,
@@ -227,6 +231,9 @@ func (b *routeBuf[M]) ensure(p, nm, ns int) {
 // for every Workers setting; the injector consult happens exactly once
 // per attempt on the coordinating goroutine.
 func (r *Route[M]) commit(workers int) PhaseStatus {
+	if r.backend != nil {
+		return r.commitBackend()
+	}
 	p := r.P()
 	b := &r.rb
 	nm := sched.NumBlocks(workers, p)
@@ -331,6 +338,77 @@ func (r *Route[M]) commit(workers int) PhaseStatus {
 	r.inbox = next
 	r.observePhaseEnd(pc)
 	return PhaseCommitted
+}
+
+// commitBackend is the routing commit barrier when a Backend is
+// attached: the destination columns ship to the backend for the
+// receive-side h-relation; the send side (column lengths), charging,
+// observer emission and the actual delivery stay here. Delivery fills
+// the ping-ponged inboxes by ascending sender — exactly the grouped-by-
+// sender order the sharded replay produces.
+func (r *Route[M]) commitBackend() PhaseStatus {
+	p := r.P()
+	var w, h int64
+	dsts := r.bkDsts[:0]
+	for _, s := range r.sends {
+		w = max(w, s.work)
+		h = max(h, int64(len(s.msgs)))
+		dsts = append(dsts, s.dsts)
+	}
+	r.bkDsts = dsts //lint:commitpurity-ok column-header scratch pooled by the commit barrier itself; commitBackend is the backend-path commit entry point
+	st, err := r.backend.MergeRoute(RouteMergeReq{
+		Phase: r.curPhase, Attempt: r.attempt, P: p, Dsts: dsts,
+	})
+	if err != nil {
+		return r.transportStatus(err)
+	}
+	h = max(h, st.HRecv)
+
+	if r.InjectorActive() {
+		switch v := r.consultInjector(0); v.Class { //lint:injectoronce-ok commitBackend IS the commit barrier when a backend is attached; one draw per attempt, same as the built-in path
+		case FaultPermanent:
+			// Nothing delivers; the machine poisons with the fault error
+			// (staged sends are simply abandoned).
+			r.RecordErr(fmt.Errorf("%s: superstep %d: %w", //lint:hotpathalloc-ok violation path: formats once, then the machine is poisoned
+				r.model.Name(), r.Report().NumPhases(), v.Err))
+			return PhaseAborted
+		case FaultTransient:
+			// Mirror the built-in path: charge, deliver, damage the target
+			// component's inbox, then roll back to the superstep-start
+			// checkpoint. The aborted attempt emits no events.
+			r.chargePhase(Outcome{MaxOps: w, MaxRW: h})
+			r.deliverFromSends()
+			r.corruptInbox(v.Addr, v.Drop)
+			r.Rollback()
+			return PhaseRetry
+		}
+	}
+
+	pc := r.chargePhase(Outcome{MaxOps: w, MaxRW: h})
+	if r.Observing() {
+		r.emitRequests()
+	}
+	r.deliverFromSends()
+	r.observePhaseEnd(pc)
+	return PhaseCommitted
+}
+
+// deliverFromSends routes the staged messages straight from the staging
+// buffers into the ping-ponged inboxes, by ascending sender (the backend
+// path's replacement for the sharded pass-2 replay).
+func (r *Route[M]) deliverFromSends() {
+	next := r.spare
+	for d := range next {
+		next[d] = next[d][:0]
+	}
+	for _, s := range r.sends {
+		for j, msg := range s.msgs {
+			d := s.dsts[j]
+			next[d] = append(next[d], msg)
+		}
+	}
+	r.spare = r.inbox //lint:commitpurity-ok the backend path's delivery half: called only from commitBackend inside the barrier
+	r.inbox = next    //lint:commitpurity-ok the backend path's delivery half: called only from commitBackend inside the barrier
 }
 
 // emitRequests renders the superstep's sends as observer events, grouped

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseSpec hardens the spec grammar: no input may panic the parser,
+// and every accepted input must produce a well-formed Spec whose
+// canonical rendering round-trips — String() reparses to the identical
+// Spec and is a fixed point of the grammar. The checked-in corpus under
+// testdata/fuzz/FuzzParseSpec pins the grammar edges (including the
+// NaN-probability regression: NaN defeats plain range checks because
+// every comparison against it is false).
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"crash@2:p1", "crash@0", "crash~0.25", "mem@1", "mem~0.05",
+		"drop~0.1", "dup~0.1", "violation@2", "budget@200", "budget@0",
+		"mem~0", "mem~1", "mem~5e-1", " mem@3 ", "crash@+2:p+0",
+		"", "@", "~", "crash", "crash@", "crash@-1", "crash@2:p",
+		"crash@2:p-1", "crash@1@2", "mem~1.5", "mem~-0.1", "mem~NaN",
+		"mem~Inf", "mem~-0", "budget~0.5", "budget@-1", "unknown@1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		switch spec.Kind {
+		case Crash, MemTransient, MsgDrop, MsgDup, Violation, Budget:
+		default:
+			t.Fatalf("ParseSpec(%q) accepted unknown kind %v", s, spec.Kind)
+		}
+		if spec.Proc >= 0 && spec.Kind != Crash {
+			t.Fatalf("ParseSpec(%q) pinned a processor on non-crash spec %+v", s, spec)
+		}
+		if spec.Kind != Budget && spec.Phase < 0 {
+			if math.IsNaN(spec.Prob) || spec.Prob < 0 || spec.Prob > 1 {
+				t.Fatalf("ParseSpec(%q) accepted probability %v outside [0,1]", s, spec.Prob)
+			}
+		}
+		if spec.Budget < 0 {
+			t.Fatalf("ParseSpec(%q) accepted negative budget %v", s, spec.Budget)
+		}
+
+		canon := spec.String()
+		spec2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if spec2 != spec {
+			t.Fatalf("round trip diverged: %q → %+v → %q → %+v", s, spec, canon, spec2)
+		}
+		if again := spec2.String(); again != canon {
+			t.Fatalf("canonical form is not a fixed point: %q renders %q then %q", s, canon, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -85,7 +86,9 @@ func ParseSpec(s string) (Spec, error) {
 		return spec, nil
 	}
 	q, err := strconv.ParseFloat(argStr, 64)
-	if err != nil || q < 0 || q > 1 {
+	// NaN slips through plain range checks (NaN < 0 and NaN > 1 are both
+	// false) and would poison every downstream probability draw.
+	if err != nil || math.IsNaN(q) || q < 0 || q > 1 {
 		return Spec{}, fmt.Errorf("fault: bad probability in spec %q", s)
 	}
 	spec.Prob = q

@@ -48,6 +48,10 @@ const (
 	ReasonInvalidParams = "invalid-params"
 	// ReasonUnknownExp: an experiment cell names an unregistered ID.
 	ReasonUnknownExp = "unknown-exp"
+	// ReasonCancelled: the run was cut short by context cancellation
+	// (SIGINT). Cancelled cells are never persisted — a resumed sweep
+	// re-runs them.
+	ReasonCancelled = "cancelled"
 )
 
 // Cell is one grid point. The zero value of an axis means "model
@@ -81,6 +85,11 @@ type Cell struct {
 	// Degraded masks crashes and re-partitions over survivors (fault
 	// cells on shared-memory models only).
 	Degraded bool `json:"degraded,omitempty"`
+	// Backend selects the commit-barrier backend ("", "inproc" = the
+	// built-in merge; "proc" = worker subprocesses).
+	Backend string `json:"backend,omitempty"`
+	// ProcWorkers is the proc backend's worker-process count (0 = 1).
+	ProcWorkers int `json:"procWorkers,omitempty"`
 }
 
 // withDefaults fills zero axes with the parsim defaults so the runner and
@@ -129,9 +138,19 @@ func (c Cell) Key() string {
 	if faults == "" {
 		faults = "none"
 	}
-	return fmt.Sprintf("%s/%s/n%d/p%d/g%d/d%d/L%d/a%d/b%d/c%d/f%d/seed%d/%s/%s",
+	key := fmt.Sprintf("%s/%s/n%d/p%d/g%d/d%d/L%d/a%d/b%d/c%d/f%d/seed%d/%s/%s",
 		d.Model, d.Alg, d.N, d.P, d.G, d.D, d.L,
 		d.Alpha, d.Beta, d.Gamma, d.Fanin, d.Seed, faults, mode)
+	// Non-default backends suffix the key; inproc cells keep the exact
+	// historical key so resumes over old outputs stay byte-identical.
+	if d.Backend != "" && d.Backend != "inproc" {
+		pw := d.ProcWorkers
+		if pw <= 0 {
+			pw = 1
+		}
+		key += fmt.Sprintf("/%s%d", d.Backend, pw)
+	}
+	return key
 }
 
 // Status classifies a completed record.
@@ -185,7 +204,7 @@ var csvHeader = []string{
 	"alpha", "beta", "gamma", "fanin", "seed", "faults", "degraded",
 	"status", "reason", "error", "time", "phases", "work",
 	"bound", "upper", "ratio", "allRounds", "verified",
-	"injected", "recovered", "maskedProcs",
+	"injected", "recovered", "maskedProcs", "backend", "procWorkers",
 }
 
 // csvRow renders the record in csvHeader order.
@@ -213,6 +232,7 @@ func (r Record) csvRow() []string {
 		f(r.Bound), f(r.Upper), f(r.Ratio),
 		fmt.Sprintf("%t", r.AllRounds), fmt.Sprintf("%t", r.Verified),
 		i(r.Injected), i(r.Recovered), i(r.MaskedProcs),
+		r.Backend, i(r.ProcWorkers),
 	}
 }
 

@@ -186,6 +186,13 @@ type Outcome struct {
 // algorithm, and checks the oracle. workers caps simulation parallelism
 // (0 = GOMAXPROCS). parsim's single-run mode is a thin wrapper over this.
 func Execute(c Cell, withEvents bool, workers int) (*Outcome, error) {
+	return ExecuteWith(c, withEvents, workers, nil)
+}
+
+// ExecuteWith is Execute with an explicit commit-barrier backend (nil =
+// the built-in merge). The caller owns the backend's lifecycle; the
+// machine only borrows it for the run.
+func ExecuteWith(c Cell, withEvents bool, workers int, bk engine.Backend) (*Outcome, error) {
 	c = c.withDefaults()
 	ms, ok := ModelByName(c.Model)
 	if !ok {
@@ -243,6 +250,9 @@ func Execute(c Cell, withEvents bool, workers int) (*Outcome, error) {
 	if withEvents {
 		ev = &engine.EventLog{}
 		m.AddObserver(ev)
+	}
+	if bk != nil {
+		m.SetBackend(bk)
 	}
 	ro, err := run()
 	if err != nil {

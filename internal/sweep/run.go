@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,6 +29,10 @@ type Options struct {
 	// Progress, when non-nil, receives a carriage-return progress line
 	// per cell (count-based only — no wall-clock, no rates).
 	Progress io.Writer
+	// Ctx stops the sweep between cells and tears down the cell in
+	// flight (nil = context.Background()). Cancelled cells are not
+	// persisted, so a resumed sweep re-runs them.
+	Ctx context.Context
 }
 
 // Summary aggregates one sweep invocation.
@@ -61,7 +66,7 @@ func Run(cells []Cell, opt Options) (*Summary, error) {
 		return nil, err
 	}
 	s := &Summary{Total: len(cells), SkipReasons: make(map[string]int)}
-	rc := RunConfig{MaxCost: opt.MaxCost, Workers: opt.Workers, Deadline: opt.Deadline}
+	rc := RunConfig{MaxCost: opt.MaxCost, Workers: opt.Workers, Deadline: opt.Deadline, Ctx: opt.Ctx}
 	appended := 0
 	for i, c := range cells {
 		var rec Record
@@ -73,7 +78,17 @@ func Run(cells []Cell, opt Options) (*Summary, error) {
 				s.Interrupted = true
 				break
 			}
+			if opt.Ctx != nil && opt.Ctx.Err() != nil {
+				s.Interrupted = true
+				break
+			}
 			rec = RunCell(c, rc)
+			if rec.Status == StatusSkipped && rec.Reason == ReasonCancelled {
+				// The interrupt landed mid-cell: the cell is not a result
+				// and must not be persisted — a resumed sweep re-runs it.
+				s.Interrupted = true
+				break
+			}
 			if werr := w.append(rec); werr != nil {
 				w.close()
 				return nil, werr

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -22,6 +24,16 @@ type RunConfig struct {
 	Workers int
 	// Deadline is the fault-cell watchdog (0 = chaos.DefaultDeadline).
 	Deadline time.Duration
+	// Ctx cancels in-flight fault cells (nil = context.Background()); a
+	// cancelled cell comes back with ReasonCancelled and is not a result.
+	Ctx context.Context
+}
+
+func (rc RunConfig) ctx() context.Context {
+	if rc.Ctx == nil {
+		return context.Background()
+	}
+	return rc.Ctx
 }
 
 // Check decides whether a cell is runnable. It returns "" for runnable
@@ -50,6 +62,9 @@ func Check(c Cell, maxCost int64) string {
 	ms, ok := ModelByName(d.Model)
 	if !ok {
 		return ReasonUnknownModel
+	}
+	if !backend.Valid(d.Backend) || d.ProcWorkers < 0 {
+		return ReasonInvalidParams
 	}
 	if d.Faults != "" {
 		if _, reason := chaosAlgFor(ms, d.Alg); reason != "" {
@@ -190,10 +205,15 @@ func runFaultCell(rec *Record, rc RunConfig) {
 	ms, _ := ModelByName(rec.Model)
 	alg, _ := chaosAlgFor(ms, rec.Alg)
 	specs, _ := fault.ParseSpecs(rec.Faults) // Check already validated
-	o := chaos.Run(chaos.Scenario{
+	o := chaos.Run(rc.ctx(), chaos.Scenario{
 		Model: rec.Model, Alg: alg, N: rec.N, Seed: rec.Seed,
 		Specs: specs, Degraded: rec.Degraded,
+		Backend: rec.Backend, ProcWorkers: rec.ProcWorkers,
 	}, rc.Deadline, rc.Workers)
+	if o.Cancelled {
+		rec.Status, rec.Reason = StatusSkipped, ReasonCancelled
+		return
+	}
 	if o.Report != nil {
 		rec.Injected = o.Report.Injected
 		rec.Recovered = o.Report.Recovered
@@ -209,9 +229,19 @@ func runFaultCell(rec *Record, rc RunConfig) {
 	}
 }
 
-// runMachineCell runs one fault-free algorithm cell through Execute.
+// runMachineCell runs one fault-free algorithm cell through Execute,
+// constructing (and closing) the cell's commit-barrier backend around
+// the run.
 func runMachineCell(rec *Record, rc RunConfig) {
-	out, err := Execute(rec.Cell, false, rc.Workers)
+	bk, err := backend.New(backend.Config{Name: rec.Cell.Backend, ProcWorkers: rec.ProcWorkers})
+	if err != nil {
+		rec.Status, rec.Error = StatusFailed, err.Error()
+		return
+	}
+	if bk != nil {
+		defer bk.Close()
+	}
+	out, err := ExecuteWith(rec.Cell, false, rc.Workers, bk)
 	if err != nil {
 		rec.Status, rec.Error = StatusFailed, err.Error()
 		return
