@@ -8,6 +8,13 @@
 //	parsim sweep -models qsm,bsp -algs parity,bsp-parity -n 256..4096:*2 -seeds 1..3 -o out.jsonl
 //	parsim sweep -preset tables|chaos|smoke [-o out.jsonl] [-resume]
 //	parsim sweep -bench [-bench-o BENCH_pr6.json] [-bench-baseline BENCH_pr6.json]
+//	parsim worker -socket PATH -rank R [-beat D]   (internal)
+//
+// The worker subcommand is internal plumbing: it is the explicit
+// spelling of the proc backend's re-exec protocol, so a coordinator
+// configured with Bin/Args can target any binary that dispatches here.
+// It is listed in the usage output, marked internal, and not part of the
+// user-facing surface.
 //
 // The chaos subcommand runs seeded fault-injection scenarios (one with
 // -model, the full sweep without) and fails only on robustness-invariant
@@ -46,21 +53,45 @@ func main() {
 	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// subcommand is one entry of the dispatch registry. The same table
+// drives cliMain's dispatch and the top-level usage text, so the help
+// output cannot drift from what actually runs. Internal subcommands
+// (re-exec plumbing rather than user-facing surface) stay listed but
+// are marked as such.
+type subcommand struct {
+	name     string
+	synopsis string
+	internal bool
+	run      func(argv []string, stdout, stderr io.Writer) error
+}
+
+// subcommands is the dispatch registry; bare `parsim [flags]` (no
+// subcommand word) is the single-run mode handled by cliMain's default.
+var subcommands = []subcommand{
+	{"chaos", "seeded fault-injection scenarios, single or full matrix", false,
+		func(argv []string, stdout, _ io.Writer) error { return runChaos(argv, stdout) }},
+	{"sweep", "parameter-grid sweeps with resume and bench trajectories", false,
+		func(argv []string, stdout, stderr io.Writer) error { return runSweep(argv, stdout, stderr) }},
+	{"worker", "proc-backend worker process (internal: spawned by a coordinator over re-exec)", true,
+		func(argv []string, stdout, _ io.Writer) error { return runWorker(argv, stdout) }},
+}
+
 // cliMain is the testable entry point: every subcommand returns its
 // error here, and this is the single place that prefixes "parsim:" and
 // picks the exit code.
 func cliMain(argv []string, stdout, stderr io.Writer) int {
 	var err error
-	switch {
-	case len(argv) > 0 && argv[0] == "chaos":
-		err = runChaos(argv[1:], stdout)
-	case len(argv) > 0 && argv[0] == "sweep":
-		err = runSweep(argv[1:], stdout, stderr)
-	case len(argv) > 0 && argv[0] == "worker":
-		err = runWorker(argv[1:], stdout)
-	default:
-		err = runSingle(argv, stdout)
+	run := runSingleCmd
+	if len(argv) > 0 {
+		for i := range subcommands {
+			if subcommands[i].name == argv[0] {
+				run = subcommands[i].run
+				argv = argv[1:]
+				break
+			}
+		}
 	}
+	err = run(argv, stdout, stderr)
 	switch {
 	case err == nil, errors.Is(err, flag.ErrHelp):
 		return 0
@@ -68,6 +99,21 @@ func cliMain(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "parsim:", err)
 		return 1
 	}
+}
+
+func runSingleCmd(argv []string, stdout, _ io.Writer) error {
+	return runSingle(argv, stdout)
+}
+
+// usageHeader renders the registry-driven subcommand synopsis printed
+// ahead of the single-run flag defaults by `parsim -h`.
+func usageHeader(w io.Writer) {
+	fmt.Fprintln(w, "Usage:")
+	fmt.Fprintln(w, "  parsim [flags]         run one algorithm on one machine (flags below)")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  parsim %s [flags]  %s\n", sc.name, sc.synopsis)
+	}
+	fmt.Fprintln(w, "\nSingle-run flags:")
 }
 
 // parseFlags parses with ContinueOnError so flag errors flow through the
@@ -109,6 +155,10 @@ func runWorker(argv []string, stdout io.Writer) error {
 // the same sweep.Execute path a grid cell takes.
 func runSingle(argv []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("parsim", flag.ContinueOnError)
+	fs.Usage = func() {
+		usageHeader(fs.Output())
+		fs.PrintDefaults()
+	}
 	model := fs.String("model", "qsm", sweep.ModelUsage())
 	alg := fs.String("alg", "parity", sweep.AlgUsage())
 	n := fs.Int("n", 1024, "input size")

@@ -96,6 +96,37 @@ func TestCLIHelpIsSuccess(t *testing.T) {
 	}
 }
 
+func TestCLIUsageListsEverySubcommand(t *testing.T) {
+	// Registry-driven: whatever the dispatch table knows, -h must list,
+	// internal entries (the worker re-exec plumbing) marked as such —
+	// and every listed name must actually dispatch (its own -h is a
+	// success, not a fall-through to single-run mode).
+	_, stdout, _ := runCLI("-h")
+	for _, sc := range subcommands {
+		line := ""
+		for _, l := range strings.Split(stdout, "\n") {
+			if strings.Contains(l, "parsim "+sc.name+" ") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Errorf("-h output does not list subcommand %q:\n%s", sc.name, stdout)
+			continue
+		}
+		if sc.internal != strings.Contains(line, "internal") {
+			t.Errorf("subcommand %q: internal=%t but usage line is %q", sc.name, sc.internal, line)
+		}
+		code, sub, stderr := runCLI(sc.name, "-h")
+		if code != 0 || stderr != "" {
+			t.Errorf("parsim %s -h: exit %d, stderr %q", sc.name, code, stderr)
+		}
+		if sub == stdout {
+			t.Errorf("parsim %s -h fell through to single-run usage", sc.name)
+		}
+	}
+}
+
 func TestCLIUsageListsEveryModelAndAlg(t *testing.T) {
 	// The drift this PR fixes: -model usage used to omit qsmgd and gsm,
 	// -alg usage used to omit gsm-parity and gsm-or.

@@ -2,9 +2,11 @@
 // the determinism/engine contracts (maporder, globalrand, wallclock,
 // commitpurity), the interprocedural fault/checkpoint/sentinel contracts
 // of PR 5 (sentinelwrap, snapshotdeep, costbalance, injectoronce,
-// observerpurity) built on per-function fact summaries, and the
-// CFG-based dataflow contracts of PR 8 (hotpathalloc, colescape,
-// bitaddr).
+// observerpurity) built on per-function fact summaries, the CFG-based
+// dataflow contracts of PR 8 (hotpathalloc, colescape, bitaddr), and
+// the concurrency contracts of PR 10 (goleak, lockorder, atomicmix,
+// framestate) covering goroutine lifecycle, lock discipline, atomic
+// access discipline and the proc backend's wire-protocol frame state.
 //
 // It runs two ways. As a standalone driver over package patterns:
 //

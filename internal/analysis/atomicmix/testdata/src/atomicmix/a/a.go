@@ -1,0 +1,77 @@
+// Package a exercises the atomicmix analyzer: a location accessed via
+// sync/atomic anywhere must be accessed via sync/atomic everywhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	ops  int64
+	hits int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.ops, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.ops)
+}
+
+func (c *counter) mixed() int64 {
+	c.ops = 0    // want `non-atomic access to counter.ops`
+	return c.ops // want `non-atomic access to counter.ops`
+}
+
+func (c *counter) plainOnly() int64 {
+	c.hits++ // never atomic anywhere: plain access is the discipline
+	return c.hits
+}
+
+func closureMix(c *counter) func() {
+	return func() {
+		c.ops = 7 // want `non-atomic access to counter.ops`
+	}
+}
+
+var total int64
+
+func addTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func mixedTotal() int64 {
+	total++      // want `non-atomic access to total`
+	return total // want `non-atomic access to total`
+}
+
+func localMix() int64 {
+	var n int64
+	atomic.StoreInt64(&n, 1)
+	n = 2 // want `non-atomic access to n`
+	return atomic.LoadInt64(&n)
+}
+
+type gate struct {
+	closed atomic.Bool
+	n      int
+}
+
+func (g *gate) set() bool {
+	g.closed.Store(true)
+	return g.closed.Load()
+}
+
+func copyGate(g *gate) {
+	x := g.closed // want `whole-value copy of atomic.Bool`
+	_ = x.Load()
+}
+
+func overwriteGate(g, h *gate) {
+	g.closed = h.closed // want `whole-value copy of atomic.Bool`
+	g.n = h.n
+}
+
+func allowlisted(c *counter) {
+	//lint:atomicmix-ok fixture: runs before any goroutine is spawned
+	c.ops = 0
+}

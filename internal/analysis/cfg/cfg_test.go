@@ -428,6 +428,150 @@ func f(n int) {
 	}
 }
 
+func TestGoStatementSpawnSites(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(w *W, ch chan int) {
+	go w.loop()
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+	mark("after")
+}`)
+	if len(g.Gos) != 2 {
+		t.Fatalf("got %d spawn sites, want 2\n%s", len(g.Gos), g.Dump(nil))
+	}
+	// Spawning never blocks the spawner: the code after both go
+	// statements falls through to the exit.
+	after := markBlock(t, g, "after")
+	if !g.Reachable()[after] || !g.ReachesExit()[after] {
+		t.Errorf("spawner must fall through past go statements to the exit")
+	}
+	// The spawned literal's body is NOT inlined: its infinite receive
+	// loop must not appear as blocks of the spawner's graph.
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "for.") {
+			t.Errorf("spawned function literal body leaked into the spawner's graph (block %d %s)", b.Index, b.Kind)
+		}
+	}
+}
+
+func TestSelectClauseKinds(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(in chan int, out chan int) {
+	select {
+	case v := <-in:
+		_ = v
+		mark("recv")
+	case out <- 1:
+		mark("send")
+	default:
+		mark("none")
+	}
+}`)
+	kinds := map[string]bool{}
+	for _, b := range g.Blocks {
+		kinds[b.Kind] = true
+	}
+	for _, want := range []string{"select.recv", "select.send", "select.default"} {
+		if !kinds[want] {
+			t.Errorf("missing clause kind %s\n%s", want, g.Dump(nil))
+		}
+	}
+}
+
+func TestBlockingSelectHasNoSkipEdge(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(in chan int) {
+	select {
+	case <-in:
+		mark("recv")
+	}
+	mark("after")
+}`)
+	// Without a default clause the dispatch cannot skip the
+	// communication: deleting the only clause block must cut off
+	// everything after the select.
+	recv := markBlock(t, g, "recv")
+	after := markBlock(t, g, "after")
+	if g.ReachableWithout(map[*Block]bool{recv: true})[after] {
+		t.Errorf("select without default must not have an edge around its clauses")
+	}
+}
+
+func TestDeferUnlockRecorded(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(mu sync.Locker, cleanup func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	defer cleanup()
+	mark("body")
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if len(g.DeferUnlocks) != 1 {
+		t.Fatalf("got %d defer-unlocks, want 1 (cleanup() is not a mutex release)", len(g.DeferUnlocks))
+	}
+	if !IsUnlockCall(g.DeferUnlocks[0].Call) {
+		t.Errorf("recorded defer-unlock does not match IsUnlockCall")
+	}
+}
+
+func TestReachesExit(t *testing.T) {
+	// A loop whose only content is a channel receive has no path to the
+	// function exit: its blocks are reachable but not exit-reaching —
+	// exactly the goroutine-leak shape goleak reports.
+	g, _ := buildFunc(t, `
+func f(ch chan int) {
+	for {
+		v := <-ch
+		_ = v
+		mark("loop")
+	}
+}`)
+	loop := markBlock(t, g, "loop")
+	if !g.Reachable()[loop] {
+		t.Fatal("loop body must be reachable")
+	}
+	if g.ReachesExit()[loop] {
+		t.Errorf("an escapeless receive loop must not reach the exit")
+	}
+
+	// The same loop with a guarded return has an exit path from every
+	// reachable block.
+	g2, _ := buildFunc(t, `
+func f(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+			mark("work")
+		}
+	}
+}`)
+	exitReach := g2.ReachesExit()
+	for b := range g2.Reachable() {
+		if !exitReach[b] {
+			t.Errorf("block %d (%s) is reachable but cannot reach the exit\n%s", b.Index, b.Kind, g2.Dump(nil))
+		}
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f() {
+	select {}
+}`)
+	// select{} never proceeds: no reachable path to the exit exists.
+	if g.ReachesExit()[g.Entry] {
+		t.Errorf("select{} must cut the entry off from the exit")
+	}
+}
+
 func TestDumpIsStable(t *testing.T) {
 	g, fset := buildFunc(t, `
 func f(a, b bool) {
@@ -441,5 +585,31 @@ func f(a, b bool) {
 	}
 	if !strings.Contains(d1, "cfg f:") || !strings.Contains(d1, "cond.&&") {
 		t.Errorf("dump missing expected headers:\n%s", d1)
+	}
+}
+
+func TestDumpShowsConcurrencyConstructs(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(mu sync.Locker, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go worker(ch)
+	select {
+	case <-ch:
+	default:
+	}
+	ch <- 1
+	<-ch
+}`)
+	d := g.Dump(fset)
+	for _, want := range []string{
+		"1 spawns", "(1 unlock at exit)",
+		"go worker", "defer-unlock mu.Unlock",
+		"select.recv", "select.default",
+		"send", "recv",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
 	}
 }

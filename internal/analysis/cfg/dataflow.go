@@ -89,6 +89,12 @@ func (g *Graph) Dump(fset *token.FileSet) string {
 	if len(g.Defers) > 0 {
 		fmt.Fprintf(&sb, ", %d defers", len(g.Defers))
 	}
+	if len(g.DeferUnlocks) > 0 {
+		fmt.Fprintf(&sb, " (%d unlock at exit)", len(g.DeferUnlocks))
+	}
+	if len(g.Gos) > 0 {
+		fmt.Fprintf(&sb, ", %d spawns", len(g.Gos))
+	}
 	sb.WriteByte('\n')
 	reach := g.Reachable()
 	for _, b := range g.Blocks {
@@ -129,6 +135,9 @@ func nodeLabel(n ast.Node) string {
 		if c, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
 			return "call " + callLabel(c)
 		}
+		if u, ok := ast.Unparen(x.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return "recv"
+		}
 		return "expr"
 	case *ast.ReturnStmt:
 		return "return"
@@ -138,6 +147,9 @@ func nodeLabel(n ast.Node) string {
 		}
 		return x.Tok.String()
 	case *ast.DeferStmt:
+		if IsUnlockCall(x.Call) {
+			return "defer-unlock " + callLabel(x.Call)
+		}
 		return "defer " + callLabel(x.Call)
 	case *ast.GoStmt:
 		return "go " + callLabel(x.Call)

@@ -1,0 +1,12 @@
+package framestate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framestate"
+)
+
+func TestFramestate(t *testing.T) {
+	analysistest.Run(t, framestate.Analyzer, "framestate/a")
+}

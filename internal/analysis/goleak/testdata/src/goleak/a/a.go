@@ -1,0 +1,108 @@
+// Package a exercises the goleak analyzer: spawned bodies must prove an
+// exit path (every reachable CFG block reaches the function exit).
+package a
+
+import "sync"
+
+func sink(int) {}
+
+// pump never exits: the receive loop has no escape edge. Not reported
+// here — the leak is charged to the spawn site.
+func pump(ch chan int) {
+	for {
+		v := <-ch
+		sink(v)
+	}
+}
+
+// drain exits when the channel closes (ok branch returns).
+func drain(ch chan int) {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		sink(v)
+	}
+}
+
+func spawnsLiteralLeak(ch chan int) {
+	go func() { // want `goroutine has no statically provable exit path`
+		for {
+			v := <-ch
+			sink(v)
+		}
+	}()
+}
+
+func spawnsGuardedLoop(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+func spawnsForever() {
+	go func() { // want `goroutine has no statically provable exit path`
+		select {}
+	}()
+}
+
+func spawnsTerminating(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink(<-ch)
+	}()
+}
+
+func spawnsNamedLeak(ch chan int) {
+	go pump(ch) // want `goroutine pump has no statically provable exit path`
+}
+
+func spawnsNamedClean(ch chan int) {
+	go drain(ch)
+}
+
+type worker struct {
+	stop chan struct{}
+}
+
+// loop is exit-guarded through the stop channel.
+func (w *worker) loop(ch chan int) {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-ch:
+			sink(v)
+		}
+	}
+}
+
+// spin never exits.
+func (w *worker) spin() {
+	for {
+	}
+}
+
+func spawnsMethods(w *worker, ch chan int) {
+	go w.loop(ch)
+	go w.spin() // want `goroutine worker.spin has no statically provable exit path`
+}
+
+func spawnsFuncValue(fn func()) {
+	// Unresolvable target: under-approximate, no report.
+	go fn()
+}
+
+func spawnsAllowlisted(ch chan int) {
+	//lint:goleak-ok fixture: lifetime bounded by the process in this scenario
+	go pump(ch)
+}

@@ -1,0 +1,153 @@
+// Package a exercises the lockorder analyzer: no blocking operation
+// while a mutex may be held, and no acquisition cycles.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu sync.Mutex
+	ch = make(chan int)
+)
+
+func recvWhileHeld() {
+	mu.Lock()
+	<-ch // want `channel receive while holding mu@`
+	mu.Unlock()
+}
+
+func recvAfterUnlock() {
+	mu.Lock()
+	mu.Unlock()
+	<-ch
+}
+
+func sendUnderDeferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want `channel send while holding mu@`
+}
+
+func sleepWhileHeld() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while holding mu@`
+}
+
+func waitWhileHeld(wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want `blocking call sync.WaitGroup.Wait while holding mu@`
+}
+
+func pollWhileHeld(done chan struct{}) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // non-blocking: has a default clause
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+func selectWhileHeld(done chan struct{}) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `blocking select while holding mu@`
+	case <-done:
+	case v := <-ch:
+		_ = v
+	}
+}
+
+// killOnBranch releases before the receive on every path that receives.
+func killOnBranch(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		<-ch
+		return
+	}
+	mu.Unlock()
+}
+
+// helper blocks; callers holding a lock inherit the finding via the
+// "blocks:channel receive" summary.
+func helper() int {
+	return <-ch
+}
+
+func callsBlockerWhileHeld() {
+	mu.Lock()
+	defer mu.Unlock()
+	_ = helper() // want `call to helper may block \(channel receive\) while holding mu@`
+}
+
+func spawnWhileHeld() {
+	mu.Lock()
+	go helper() // the spawned goroutine does not block this critical section
+	mu.Unlock()
+}
+
+func closureBlocksWhileHeld() func() {
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		ch <- 2 // want `channel send while holding mu@`
+	}
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) recvHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-ch // want `channel receive while holding box.mu`
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want `lock acquisition cycle: muA@.* -> muB@.* -> muA@`
+	muB.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+var muR sync.Mutex
+
+func lockTwice() {
+	muR.Lock()
+	muR.Lock() // want `recursive acquisition of muR@`
+	muR.Unlock()
+	muR.Unlock()
+}
+
+func allowlisted() {
+	mu.Lock()
+	defer mu.Unlock()
+	//lint:lockorder-ok fixture: the send has a dedicated drainer, bounded wait
+	ch <- 3
+}

@@ -6,13 +6,17 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/bitaddr"
 	"repro/internal/analysis/colescape"
 	"repro/internal/analysis/commitpurity"
 	"repro/internal/analysis/costbalance"
+	"repro/internal/analysis/framestate"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/injectoronce"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/observerpurity"
 	"repro/internal/analysis/sentinelwrap"
@@ -22,7 +26,9 @@ import (
 
 // Analyzers returns the full reprolint suite: the per-file determinism
 // checks of PR 3 first, then the interprocedural contract analyzers,
-// then the CFG-based dataflow analyzers of PR 8.
+// then the CFG-based dataflow analyzers of PR 8, then the concurrency
+// analyzers of PR 10 (goroutine lifecycle, lock discipline, atomic
+// access discipline, wire-protocol frame state).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.Analyzer,
@@ -37,5 +43,9 @@ func Analyzers() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		colescape.Analyzer,
 		bitaddr.Analyzer,
+		goleak.Analyzer,
+		lockorder.Analyzer,
+		atomicmix.Analyzer,
+		framestate.Analyzer,
 	}
 }

@@ -230,6 +230,14 @@ func (c *Coordinator) spawn(rank int) error {
 	if c.closed.Load() {
 		return fmt.Errorf("coordinator closed")
 	}
+	// Drain a hello that arrived while nobody was waiting (the buffer
+	// holds one): it belongs to an earlier, possibly dead process, and
+	// adopting it here would hand the new slot a stale connection.
+	select {
+	case stale := <-c.hello[rank]:
+		stale.Close()
+	default:
+	}
 	bin := c.opt.Bin
 	if bin == "" {
 		exe, err := os.Executable()

@@ -1,0 +1,55 @@
+package proc
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSpawnDrainsStaleHello pins the fix for a respawn-budget leak: a
+// hello that arrived while nobody was waiting sits in the rank's cap-1
+// buffer, and spawn used to adopt that stale (possibly dead) connection
+// as the fresh process's, burning a respawn when it turned out dead.
+// spawn must instead close the buffered connection and wait for the new
+// process's hello.
+func TestSpawnDrainsStaleHello(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+
+	c := &Coordinator{
+		opt: Options{
+			// "true" exits immediately without dialing, so the only way
+			// spawn can succeed is by wrongly adopting the stale conn.
+			Bin:               "true",
+			LogDir:            t.TempDir(),
+			HeartbeatInterval: time.Second,
+			HeartbeatTimeout:  50 * time.Millisecond,
+		},
+		socket: filepath.Join(t.TempDir(), "w.sock"),
+		hello:  []chan net.Conn{make(chan net.Conn, 1)},
+	}
+	c.hello[0] <- server
+
+	if err := c.spawn(0); err == nil {
+		t.Fatal("spawn succeeded: it adopted the stale buffered hello connection")
+	}
+	if len(c.hello[0]) != 0 {
+		t.Fatal("stale hello connection still buffered after spawn")
+	}
+
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := client.Read(buf)
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("read from stale connection succeeded; want closed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stale connection was not closed by spawn")
+	}
+}

@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestProcBackendGoroutineHygiene pins the coordinator's goroutine
+// lifecycle: after a chaos run over the proc backend — crash faults
+// included, so the respawn and kill paths all fire — Close must tear
+// down every acceptLoop, readLoop and reaper goroutine. NumGoroutine
+// must return to its pre-run baseline within a bounded wait; on timeout
+// the full stack dump names the leaker. The static goleak analyzer
+// proves each spawned goroutine has an exit path; this is the runtime
+// check that those paths are actually taken.
+func TestProcBackendGoroutineHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	specs, err := fault.ParseSpecs("crash@1:p0,mem~0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	sc := Scenario{
+		Model: "qsm", Alg: "parity", N: 32, Seed: 3,
+		Specs: specs, Degraded: true,
+		Backend: "proc", ProcWorkers: 2,
+	}
+	o := Run(nil, sc, 30*time.Second, 0)
+	if err := o.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%d goroutines alive %v after Close, baseline %d:\n%s",
+				n, 10*time.Second, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
